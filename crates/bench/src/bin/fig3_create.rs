@@ -1,0 +1,32 @@
+//! Figure 3 — "25MByte file creation times" for Inversion (client/server)
+//! and ULTRIX NFS. "Inversion gets about 36% of the throughput of NFS for
+//! file creation. This difference is due primarily to the extra overhead in
+//! maintaining indices in Inversion."
+
+use bench::report::{print_comparison, print_header, Comparison};
+use bench::testbed::{InversionTestbed, NfsTestbed};
+use bench::workload::{measure_create, InversionRemote, UltrixNfs, MB};
+
+fn main() {
+    print_header("Figure 3: 25 MB file creation times");
+    eprintln!("running Inversion client/server create ...");
+    let mut remote = InversionRemote::new(InversionTestbed::paper());
+    let inv = measure_create(&mut remote, 25 * MB);
+    eprintln!("running ULTRIX NFS create ...");
+    let mut nfs = UltrixNfs::new(NfsTestbed::paper());
+    let nfs_t = measure_create(&mut nfs, 25 * MB);
+
+    print_comparison(
+        &["Inversion", "ULTRIX NFS"],
+        &[Comparison::new(
+            "Create 25MByte file",
+            &[141.5, 50.6],
+            &[inv, nfs_t],
+        )],
+    );
+    println!();
+    println!(
+        "Inversion achieves {:.0}% of NFS creation throughput (paper: ~36%).",
+        100.0 * nfs_t / inv
+    );
+}

@@ -1,0 +1,35 @@
+//! Figure 4 — "Random byte access": latency to read or write a single byte
+//! at a random location in the 25 MB file, caches cold. "For single-byte
+//! reads, Inversion gets 70 percent of the throughput of NFS. Single-byte
+//! writes are slightly worse; Inversion is 61 percent of NFS."
+
+use bench::report::{print_comparison, print_header, Comparison};
+use bench::testbed::{InversionTestbed, NfsTestbed};
+use bench::workload::{measure_byte_ops, measure_create, InversionRemote, UltrixNfs, MB};
+
+fn main() {
+    print_header("Figure 4: random single-byte access (25 MB file)");
+    eprintln!("preparing Inversion ...");
+    let mut remote = InversionRemote::new(InversionTestbed::paper());
+    measure_create(&mut remote, 25 * MB);
+    let (inv_r, inv_w) = measure_byte_ops(&mut remote, 25 * MB, 10);
+
+    eprintln!("preparing NFS ...");
+    let mut nfs = UltrixNfs::new(NfsTestbed::paper());
+    measure_create(&mut nfs, 25 * MB);
+    let (nfs_r, nfs_w) = measure_byte_ops(&mut nfs, 25 * MB, 10);
+
+    print_comparison(
+        &["Inversion", "ULTRIX NFS"],
+        &[
+            Comparison::new("read 1 byte", &[0.02, 0.01], &[inv_r, nfs_r]),
+            Comparison::new("write 1 byte", &[0.03, 0.02], &[inv_w, nfs_w]),
+        ],
+    );
+    println!();
+    println!(
+        "Inversion read throughput vs NFS: {:.0}% (paper: 70%); write: {:.0}% (paper: 61%).",
+        100.0 * nfs_r / inv_r,
+        100.0 * nfs_w / inv_w
+    );
+}

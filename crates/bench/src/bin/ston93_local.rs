@@ -1,0 +1,69 @@
+//! The \[STON93\] local-benchmark aside: "\[STON93\] presents the results of
+//! such a benchmark ... Those results show that Inversion gets better than
+//! 90% of the throughput of the native file system on large sequential
+//! transfers, and roughly 70% of the throughput on small, uniformly random
+//! transfers." No network, no PRESTOserve: Inversion in-process against a
+//! local FFS mount with an ordinary (asynchronous) buffer cache.
+
+use bench::report::{print_comparison, print_header, Comparison};
+use bench::testbed::{InversionTestbed, LocalFfsTestbed};
+use bench::workload::{
+    measure_create, measure_read_ops, measure_write_ops, InversionLocal, LocalFfs, MB,
+};
+
+fn main() {
+    print_header("STON93 aside: Inversion in-process vs native local FFS (25 MB file)");
+    eprintln!("running Inversion single-process ...");
+    let mut inv = InversionLocal::new(InversionTestbed::paper());
+    measure_create(&mut inv, 25 * MB);
+    let (i_read1, i_readseq, i_readrand) = measure_read_ops(&mut inv, 25 * MB);
+    let (i_write1, _i_wseq, i_wrand) = measure_write_ops(&mut inv, 25 * MB);
+
+    eprintln!("running native local FFS ...");
+    let mut ffs = LocalFfs::new(LocalFfsTestbed::new());
+    measure_create(&mut ffs, 25 * MB);
+    let (f_read1, f_readseq, f_readrand) = measure_read_ops(&mut ffs, 25 * MB);
+    let (f_write1, _f_wseq, f_wrand) = measure_write_ops(&mut ffs, 25 * MB);
+
+    // STON93 reports throughput ratios, not absolute seconds; the paper
+    // quotes only the two headline percentages.
+    print_comparison(
+        &["Inversion local", "native FFS"],
+        &[
+            Comparison::new(
+                "single 1MByte read",
+                &[f64::NAN, f64::NAN],
+                &[i_read1, f_read1],
+            ),
+            Comparison::new(
+                "sequential page reads",
+                &[f64::NAN, f64::NAN],
+                &[i_readseq, f_readseq],
+            ),
+            Comparison::new(
+                "random page reads",
+                &[f64::NAN, f64::NAN],
+                &[i_readrand, f_readrand],
+            ),
+            Comparison::new(
+                "single 1MByte write",
+                &[f64::NAN, f64::NAN],
+                &[i_write1, f_write1],
+            ),
+            Comparison::new(
+                "random page writes",
+                &[f64::NAN, f64::NAN],
+                &[i_wrand, f_wrand],
+            ),
+        ],
+    );
+    println!();
+    println!(
+        "large sequential transfers: Inversion at {:.0}% of native (STON93: better than 90%)",
+        100.0 * f_read1 / i_read1
+    );
+    println!(
+        "small random transfers:     Inversion at {:.0}% of native (STON93: roughly 70%)",
+        100.0 * f_readrand / i_readrand
+    );
+}

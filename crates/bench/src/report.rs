@@ -1,0 +1,97 @@
+//! Paper-versus-measured reporting.
+
+/// One row of a comparison: the paper's number next to ours.
+#[derive(Debug, Clone)]
+pub struct Comparison {
+    /// Row label (the paper's operation name).
+    pub label: String,
+    /// The paper's measurements, one per system column.
+    pub paper: Vec<f64>,
+    /// Our simulated measurements, one per system column.
+    pub measured: Vec<f64>,
+}
+
+impl Comparison {
+    /// Creates a row.
+    pub fn new(label: &str, paper: &[f64], measured: &[f64]) -> Comparison {
+        Comparison {
+            label: label.to_string(),
+            paper: paper.to_vec(),
+            measured: measured.to_vec(),
+        }
+    }
+}
+
+/// Prints a section banner.
+pub fn print_header(title: &str) {
+    println!();
+    println!("{}", "=".repeat(title.len().max(60)));
+    println!("{title}");
+    println!("{}", "=".repeat(title.len().max(60)));
+}
+
+/// Prints a comparison table. Each system gets a `paper` and a `measured`
+/// column (seconds); a final column compares the paper's ratio between the
+/// first two systems with ours, which is the reproduction target ("the
+/// shape — who wins, by roughly what factor").
+pub fn print_comparison(systems: &[&str], rows: &[Comparison]) {
+    print!("{:<38}", "operation");
+    for s in systems {
+        print!("{:>14} {:>14}", format!("{s}"), "(measured)");
+    }
+    if systems.len() >= 2 {
+        print!("{:>22}", "ratio paper / ours");
+    }
+    println!();
+    let width = 38 + systems.len() * 29 + if systems.len() >= 2 { 22 } else { 0 };
+    println!("{}", "-".repeat(width));
+    for row in rows {
+        print!("{:<38}", row.label);
+        for i in 0..systems.len() {
+            let p = row.paper.get(i).copied().unwrap_or(f64::NAN);
+            let m = row.measured.get(i).copied().unwrap_or(f64::NAN);
+            print!("{:>13.3}s {:>13.3}s", p, m);
+        }
+        if systems.len() >= 2 {
+            let paper_ratio = row.paper[0] / row.paper[1];
+            let our_ratio = row.measured[0] / row.measured[1];
+            print!("{:>11.2}x {:>9.2}x", paper_ratio, our_ratio);
+        }
+        println!();
+    }
+}
+
+/// Formats a byte count human-readably.
+pub fn human_bytes(n: u64) -> String {
+    if n >= 1 << 30 {
+        format!("{:.1} GB", n as f64 / (1u64 << 30) as f64)
+    } else if n >= 1 << 20 {
+        format!("{:.1} MB", n as f64 / (1u64 << 20) as f64)
+    } else if n >= 1 << 10 {
+        format!("{:.1} KB", n as f64 / 1024.0)
+    } else {
+        format!("{n} B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn human_bytes_units() {
+        assert_eq!(human_bytes(512), "512 B");
+        assert_eq!(human_bytes(2048), "2.0 KB");
+        assert_eq!(human_bytes(25 << 20), "25.0 MB");
+        assert_eq!(human_bytes(3 << 30), "3.0 GB");
+    }
+
+    #[test]
+    fn comparison_construction() {
+        let c = Comparison::new("create", &[141.5, 50.6], &[100.0, 45.0]);
+        assert_eq!(c.paper.len(), 2);
+        // Printing must not panic even with mismatched columns.
+        print_comparison(&["Inversion", "NFS"], &[c]);
+        print_header("test");
+    }
+}

@@ -1,0 +1,204 @@
+//! The server side of client/server Inversion.
+//!
+//! "Strictly speaking, the Inversion file system is a small set of routines
+//! that are compiled into the POSTGRES data manager. Requests for file
+//! system data call these routines." [`InvServer`] is that data-manager-side
+//! dispatcher: it owns a server-side [`crate::InvClient`] per connection and
+//! executes decoded requests against it. The wire protocol lives in
+//! [`crate::client`].
+
+use minidb::Oid;
+use simdev::SimInstant;
+
+use crate::api::{Fd, InvClient, OpenMode, SeekWhence};
+use crate::fs::{CreateMode, FileStat, InvResult, InversionFs};
+
+/// A request as carried by the client/server protocol. Sizes on the wire
+/// are computed by [`Request::wire_size`].
+#[derive(Debug, Clone)]
+pub enum Request {
+    /// `p_begin`
+    Begin,
+    /// `p_commit`
+    Commit,
+    /// `p_abort`
+    Abort,
+    /// `p_creat(path, mode)`
+    Creat(String, CreateMode),
+    /// `p_open(path, mode, timestamp)`
+    Open(String, OpenMode, Option<SimInstant>),
+    /// `p_close(fd)`
+    Close(Fd),
+    /// `p_read(fd, len)`
+    Read(Fd, usize),
+    /// `p_write(fd, data)`
+    Write(Fd, Vec<u8>),
+    /// `p_lseek(fd, offset, whence)`
+    Lseek(Fd, i64, SeekWhence),
+    /// `p_stat(path)`
+    Stat(String),
+    /// `p_mkdir(path)`
+    Mkdir(String),
+    /// `p_unlink(path)`
+    Unlink(String),
+    /// `p_readdir(path)`
+    Readdir(String),
+}
+
+impl Request {
+    /// Approximate encoded size in bytes (header + payload), used to charge
+    /// the simulated network.
+    pub fn wire_size(&self) -> usize {
+        const HDR: usize = 40; // Op, fd, lengths, TCP framing overhead.
+        HDR + match self {
+            Request::Begin | Request::Commit | Request::Abort => 0,
+            Request::Creat(p, _) => p.len() + 16,
+            Request::Open(p, _, _) => p.len() + 16,
+            Request::Close(_) => 4,
+            Request::Read(_, _) => 12,
+            Request::Write(_, data) => 12 + data.len(),
+            Request::Lseek(_, _, _) => 16,
+            Request::Stat(p) | Request::Mkdir(p) | Request::Unlink(p) | Request::Readdir(p) => {
+                p.len()
+            }
+        }
+    }
+}
+
+/// A server response; sized by [`Response::wire_size`].
+#[derive(Debug, Clone)]
+pub enum Response {
+    /// Success with no payload.
+    Ok,
+    /// A new file descriptor.
+    Fd(Fd),
+    /// Read data.
+    Data(Vec<u8>),
+    /// A byte count (writes) or offset (seeks).
+    Count(u64),
+    /// File attributes.
+    Stat(Box<FileStat>),
+    /// Directory listing.
+    Entries(Vec<(String, Oid)>),
+}
+
+impl Response {
+    /// Approximate encoded size in bytes.
+    pub fn wire_size(&self) -> usize {
+        const HDR: usize = 40;
+        HDR + match self {
+            Response::Ok => 0,
+            Response::Fd(_) => 4,
+            Response::Data(d) => d.len(),
+            Response::Count(_) => 8,
+            Response::Stat(_) => 96,
+            Response::Entries(es) => es.iter().map(|(n, _)| n.len() + 8).sum(),
+        }
+    }
+}
+
+/// The data-manager-side request executor for one connection.
+pub struct InvServer {
+    client: InvClient,
+}
+
+impl InvServer {
+    /// Creates a server session on `fs`.
+    pub fn new(fs: &InversionFs) -> InvServer {
+        InvServer {
+            client: fs.client(),
+        }
+    }
+
+    /// Direct access to the server-side client (the in-process benchmark
+    /// path uses this; "the same files can be used simultaneously by
+    /// dynamically-loaded code and by the more conventional client/server
+    /// architecture").
+    pub fn local(&mut self) -> &mut InvClient {
+        &mut self.client
+    }
+
+    /// Executes one request.
+    pub fn handle(&mut self, req: Request) -> InvResult<Response> {
+        match req {
+            Request::Begin => self.client.p_begin().map(|_| Response::Ok),
+            Request::Commit => self.client.p_commit().map(|_| Response::Ok),
+            Request::Abort => self.client.p_abort().map(|_| Response::Ok),
+            Request::Creat(path, mode) => self.client.p_creat(&path, mode).map(Response::Fd),
+            Request::Open(path, mode, ts) => self.client.p_open(&path, mode, ts).map(Response::Fd),
+            Request::Close(fd) => self.client.p_close(fd).map(|_| Response::Ok),
+            Request::Read(fd, len) => {
+                let mut buf = vec![0u8; len];
+                let n = self.client.p_read(fd, &mut buf)?;
+                buf.truncate(n);
+                Ok(Response::Data(buf))
+            }
+            Request::Write(fd, data) => self
+                .client
+                .p_write(fd, &data)
+                .map(|n| Response::Count(n as u64)),
+            Request::Lseek(fd, off, whence) => {
+                self.client.p_lseek(fd, off, whence).map(Response::Count)
+            }
+            Request::Stat(path) => self
+                .client
+                .p_stat(&path, None)
+                .map(|s| Response::Stat(Box::new(s))),
+            Request::Mkdir(path) => self.client.p_mkdir(&path).map(|_| Response::Ok),
+            Request::Unlink(path) => self.client.p_unlink(&path).map(|_| Response::Ok),
+            Request::Readdir(path) => self.client.p_readdir(&path, None).map(Response::Entries),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn server_executes_requests() {
+        let fs = InversionFs::open_in_memory().unwrap();
+        let mut srv = InvServer::new(&fs);
+        srv.handle(Request::Begin).unwrap();
+        let Response::Fd(fd) = srv
+            .handle(Request::Creat("/f".into(), CreateMode::default()))
+            .unwrap()
+        else {
+            panic!()
+        };
+        let Response::Count(n) = srv.handle(Request::Write(fd, b"abc".to_vec())).unwrap() else {
+            panic!()
+        };
+        assert_eq!(n, 3);
+        srv.handle(Request::Lseek(fd, 0, SeekWhence::Set)).unwrap();
+        let Response::Data(d) = srv.handle(Request::Read(fd, 10)).unwrap() else {
+            panic!()
+        };
+        assert_eq!(d, b"abc");
+        srv.handle(Request::Close(fd)).unwrap();
+        srv.handle(Request::Commit).unwrap();
+        let Response::Stat(st) = srv.handle(Request::Stat("/f".into())).unwrap() else {
+            panic!()
+        };
+        assert_eq!(st.size, 3);
+    }
+
+    #[test]
+    fn wire_sizes_scale_with_payload() {
+        let small = Request::Write(3, vec![0; 10]).wire_size();
+        let big = Request::Write(3, vec![0; 8192]).wire_size();
+        assert!(big > small + 8000);
+        assert!(Response::Data(vec![0; 100]).wire_size() > Response::Ok.wire_size());
+        assert!(Request::Stat("/a/long/path".into()).wire_size() > Request::Begin.wire_size());
+        let entries = Response::Entries(vec![("file".into(), Oid(1))]).wire_size();
+        assert!(entries > Response::Ok.wire_size());
+    }
+
+    #[test]
+    fn errors_propagate() {
+        let fs = InversionFs::open_in_memory().unwrap();
+        let mut srv = InvServer::new(&fs);
+        assert!(srv.handle(Request::Stat("/missing".into())).is_err());
+        assert!(srv.handle(Request::Close(42)).is_err());
+    }
+}

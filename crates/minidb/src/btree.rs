@@ -1,0 +1,763 @@
+//! B+tree indices.
+//!
+//! "In order to speed up seeks on files, Inversion maintains a Btree index
+//! on the chunk number attribute", and "various Btree indices on the naming
+//! table speed up \[pathname\] operations". Because the heap never overwrites,
+//! an index accumulates entries for *every version* of a key — "the
+//! appropriate historical version of a file is constructed using an index on
+//! all of the file's available data, including both old and current blocks".
+//! Readers filter index hits through tuple visibility.
+//!
+//! Structure: a meta page (block 0) pointing at the root; internal nodes
+//! hold `(min_key, child)` fence entries; leaves hold `(key, tid)` and are
+//! chained left-to-right for range scans. Duplicate keys are expected and
+//! supported. Deletion is lazy (no rebalancing); the vacuum cleaner rebuilds
+//! indices when it rewrites a relation.
+
+use crate::buffer::BufferPool;
+use crate::datum::{decode_row, encode_row, Datum};
+use crate::error::{DbError, DbResult};
+use crate::ids::{DeviceId, RelId, Tid};
+use crate::page;
+use crate::smgr::Smgr;
+use std::cmp::Ordering;
+
+/// Special-area layout for B-tree node pages.
+const SPECIAL_SIZE: usize = 12;
+const LEAF_FLAG: u8 = 1;
+
+/// Meta-page special layout: magic + root block.
+const META_MAGIC: u32 = 0x4254_5245; // "BTRE"
+
+/// A key is a sequence of datums compared lexicographically.
+pub type Key = Vec<Datum>;
+
+fn cmp_keys(a: &[Datum], b: &[Datum]) -> Ordering {
+    for (x, y) in a.iter().zip(b.iter()) {
+        match x.cmp_total(y) {
+            Ordering::Equal => continue,
+            other => return other,
+        }
+    }
+    a.len().cmp(&b.len())
+}
+
+struct NodeMeta {
+    leaf: bool,
+    right: u64, // 0 = none (block 0 is always the meta page).
+}
+
+fn read_node_meta(data: &[u8]) -> NodeMeta {
+    let sp = page::special(data);
+    NodeMeta {
+        leaf: sp[0] & LEAF_FLAG != 0,
+        right: u64::from_le_bytes(sp[4..12].try_into().unwrap()),
+    }
+}
+
+fn write_node_meta(data: &mut [u8], meta: &NodeMeta) {
+    let sp = page::special_mut(data);
+    sp[0] = if meta.leaf { LEAF_FLAG } else { 0 };
+    sp[1..4].fill(0);
+    sp[4..12].copy_from_slice(&meta.right.to_le_bytes());
+}
+
+/// Encodes one index item: `[klen u16][key][payload]`.
+fn encode_item(key: &[Datum], payload: &[u8]) -> Vec<u8> {
+    let kbytes = encode_row(key);
+    let mut out = Vec::with_capacity(2 + kbytes.len() + payload.len());
+    out.extend_from_slice(&(kbytes.len() as u16).to_le_bytes());
+    out.extend_from_slice(&kbytes);
+    out.extend_from_slice(payload);
+    out
+}
+
+fn decode_item(item: &[u8]) -> DbResult<(Key, &[u8])> {
+    if item.len() < 2 {
+        return Err(DbError::Corrupt("index item too short".into()));
+    }
+    let klen = u16::from_le_bytes(item[..2].try_into().unwrap()) as usize;
+    let kbytes = item
+        .get(2..2 + klen)
+        .ok_or_else(|| DbError::Corrupt("index item key truncated".into()))?;
+    let key = decode_row(kbytes)?;
+    Ok((key, &item[2 + klen..]))
+}
+
+/// A handle binding a B-tree index relation to its machinery.
+pub struct BTree<'a> {
+    /// The shared buffer cache.
+    pub pool: &'a BufferPool,
+    /// The device manager switch.
+    pub smgr: &'a Smgr,
+    /// Device the index lives on.
+    pub dev: DeviceId,
+    /// The index relation.
+    pub rel: RelId,
+}
+
+impl<'a> BTree<'a> {
+    /// Initializes an empty index: a meta page and one empty leaf root.
+    pub fn create(&self) -> DbResult<()> {
+        let (meta_blk, meta_ref) = self.pool.new_page(self.smgr, self.dev, self.rel)?;
+        if meta_blk != 0 {
+            return Err(DbError::Invalid(
+                "index relation not empty at create".into(),
+            ));
+        }
+        let (root_blk, root_ref) = self.pool.new_page(self.smgr, self.dev, self.rel)?;
+        {
+            let mut root = root_ref.write();
+            let data = root.data_mut();
+            page::init(data, SPECIAL_SIZE);
+            write_node_meta(
+                data,
+                &NodeMeta {
+                    leaf: true,
+                    right: 0,
+                },
+            );
+        }
+        let mut meta = meta_ref.write();
+        let data = meta.data_mut();
+        page::init(data, 16);
+        let sp = page::special_mut(data);
+        sp[..4].copy_from_slice(&META_MAGIC.to_le_bytes());
+        sp[4..12].copy_from_slice(&root_blk.to_le_bytes());
+        Ok(())
+    }
+
+    fn root(&self) -> DbResult<u64> {
+        let meta_ref = self.pool.get_page(self.smgr, self.dev, self.rel, 0)?;
+        let meta = meta_ref.read();
+        let sp = page::special(meta.data());
+        if sp.len() < 12 || u32::from_le_bytes(sp[..4].try_into().unwrap()) != META_MAGIC {
+            return Err(DbError::Corrupt(format!(
+                "bad btree meta page in {}",
+                self.rel
+            )));
+        }
+        Ok(u64::from_le_bytes(sp[4..12].try_into().unwrap()))
+    }
+
+    fn set_root(&self, root: u64) -> DbResult<()> {
+        let meta_ref = self.pool.get_page(self.smgr, self.dev, self.rel, 0)?;
+        let mut meta = meta_ref.write();
+        let sp = page::special_mut(meta.data_mut());
+        sp[4..12].copy_from_slice(&root.to_le_bytes());
+        Ok(())
+    }
+
+    /// Descends from the root to the leaf that should contain `key`,
+    /// returning the leaf block and the path of internal blocks walked.
+    fn descend(&self, key: &[Datum]) -> DbResult<(u64, Vec<u64>)> {
+        let mut blk = self.root()?;
+        let mut path = Vec::new();
+        loop {
+            let pref = self.pool.get_page(self.smgr, self.dev, self.rel, blk)?;
+            let pbuf = pref.read();
+            let data = pbuf.data();
+            let meta = read_node_meta(data);
+            if meta.leaf {
+                return Ok((blk, path));
+            }
+            // Find the last child whose fence key is strictly below `key`
+            // (strict, so that duplicates equal to a fence are found in the
+            // left sibling too); default to the first child when every fence
+            // is >= key.
+            let n = page::nslots(data);
+            let mut child: Option<u64> = None;
+            for s in 0..n {
+                let Some(item) = page::item(data, s) else {
+                    continue;
+                };
+                let (k, payload) = decode_item(item)?;
+                if cmp_keys(&k, key) != Ordering::Less {
+                    break;
+                }
+                child = Some(u64::from_le_bytes(
+                    payload[..8]
+                        .try_into()
+                        .map_err(|_| DbError::Corrupt("bad child pointer".into()))?,
+                ));
+            }
+            let next = match child {
+                Some(c) => c,
+                None => {
+                    // Key below all fences: take the first live child.
+                    let mut first = None;
+                    for s in 0..n {
+                        if let Some(item) = page::item(data, s) {
+                            let (_, payload) = decode_item(item)?;
+                            first = Some(u64::from_le_bytes(
+                                payload[..8]
+                                    .try_into()
+                                    .map_err(|_| DbError::Corrupt("bad child pointer".into()))?,
+                            ));
+                            break;
+                        }
+                    }
+                    first
+                        .ok_or_else(|| DbError::Corrupt("internal node with no children".into()))?
+                }
+            };
+            path.push(blk);
+            blk = next;
+        }
+    }
+
+    /// Inserts `(key, tid)`. Duplicate keys are allowed.
+    pub fn insert(&self, key: &[Datum], tid: Tid) -> DbResult<()> {
+        let item = encode_item(key, &tid.encode());
+        let (leaf, path) = self.descend(key)?;
+        self.insert_into_node(leaf, path, key, &item)
+    }
+
+    /// Inserts an encoded item into a node, splitting upward as needed.
+    fn insert_into_node(
+        &self,
+        blk: u64,
+        mut path: Vec<u64>,
+        key: &[Datum],
+        item: &[u8],
+    ) -> DbResult<()> {
+        let pref = self.pool.get_page(self.smgr, self.dev, self.rel, blk)?;
+        let mut pbuf = pref.write();
+        let data = pbuf.data_mut();
+        if page::fits(data, item.len()) {
+            Self::insert_sorted(data, key, item)?;
+            return Ok(());
+        }
+        // Split: collect all items (plus the new one) in key order, keep the
+        // lower half here, move the upper half to a fresh right sibling.
+        let meta = read_node_meta(data);
+        let mut items: Vec<(Key, Vec<u8>)> = Vec::with_capacity(page::nslots(data) as usize + 1);
+        for (_, it) in page::iter(data) {
+            let (k, _) = decode_item(it)?;
+            items.push((k, it.to_vec()));
+        }
+        let pos = items.partition_point(|(k, _)| cmp_keys(k, key) != Ordering::Greater);
+        items.insert(pos, (key.to_vec(), item.to_vec()));
+        let mid = items.len() / 2;
+
+        let (right_blk, right_ref) = self.pool.new_page(self.smgr, self.dev, self.rel)?;
+        let mut right = right_ref.write();
+        let rdata = right.data_mut();
+        page::init(rdata, SPECIAL_SIZE);
+        write_node_meta(
+            rdata,
+            &NodeMeta {
+                leaf: meta.leaf,
+                right: meta.right,
+            },
+        );
+        for (_, it) in &items[mid..] {
+            page::insert(rdata, it)?;
+        }
+        let split_key = items[mid].0.clone();
+
+        // Rewrite the left node with the lower half.
+        page::init(data, SPECIAL_SIZE);
+        write_node_meta(
+            data,
+            &NodeMeta {
+                leaf: meta.leaf,
+                right: right_blk,
+            },
+        );
+        for (_, it) in &items[..mid] {
+            page::insert(data, it)?;
+        }
+        drop(pbuf);
+        drop(right);
+
+        // Propagate the fence for the new right node.
+        let fence = encode_item(&split_key, &right_blk.to_le_bytes());
+        match path.pop() {
+            Some(parent) => self.insert_into_node(parent, path, &split_key, &fence),
+            None => {
+                // Splitting the root: make a new root over both halves.
+                let (new_root, root_ref) = self.pool.new_page(self.smgr, self.dev, self.rel)?;
+                let mut root = root_ref.write();
+                let rdata = root.data_mut();
+                page::init(rdata, SPECIAL_SIZE);
+                write_node_meta(
+                    rdata,
+                    &NodeMeta {
+                        leaf: false,
+                        right: 0,
+                    },
+                );
+                // Left fence: an empty key sorts before everything real.
+                let left_fence = encode_item(&[], &blk.to_le_bytes());
+                page::insert(rdata, &left_fence)?;
+                page::insert(rdata, &fence)?;
+                drop(root);
+                self.set_root(new_root)
+            }
+        }
+    }
+
+    /// Inserts `item` into a node page, keeping slot order sorted by key.
+    ///
+    /// Slotted pages append items; to preserve sorted order under arbitrary
+    /// interleavings we rewrite the page when the insertion point is not at
+    /// the end. Pages are 8 KB and in cache, so this is a memcpy, not I/O.
+    fn insert_sorted(data: &mut [u8], key: &[Datum], item: &[u8]) -> DbResult<()> {
+        let n = page::nslots(data);
+        let mut at_end = true;
+        for s in (0..n).rev() {
+            // Compare against the last *live* item; a dead trailing slot
+            // must not mask an ordering violation.
+            if let Some(last) = page::item(data, s) {
+                let (k, _) = decode_item(last)?;
+                if cmp_keys(&k, key) == Ordering::Greater {
+                    at_end = false;
+                }
+                break;
+            }
+        }
+        if at_end {
+            page::insert(data, item)?;
+            return Ok(());
+        }
+        let meta = read_node_meta(data);
+        let mut items: Vec<(Key, Vec<u8>)> = Vec::with_capacity(n as usize + 1);
+        for (_, it) in page::iter(data) {
+            let (k, _) = decode_item(it)?;
+            items.push((k, it.to_vec()));
+        }
+        let pos = items.partition_point(|(k, _)| cmp_keys(k, key) != Ordering::Greater);
+        items.insert(pos, (key.to_vec(), item.to_vec()));
+        page::init(data, SPECIAL_SIZE);
+        write_node_meta(data, &meta);
+        for (_, it) in &items {
+            page::insert(data, it)?;
+        }
+        Ok(())
+    }
+
+    /// Returns every tuple id stored under exactly `key`.
+    pub fn search(&self, key: &[Datum]) -> DbResult<Vec<Tid>> {
+        let mut out = Vec::new();
+        self.scan(Some(key), Some(key), |_, tid| {
+            out.push(tid);
+            Ok(true)
+        })?;
+        Ok(out)
+    }
+
+    /// Scans keys in `[lo, hi]` (both inclusive; `None` = unbounded),
+    /// calling `f(key, tid)` in key order. `f` returns `false` to stop.
+    pub fn scan(
+        &self,
+        lo: Option<&[Datum]>,
+        hi: Option<&[Datum]>,
+        mut f: impl FnMut(&[Datum], Tid) -> DbResult<bool>,
+    ) -> DbResult<()> {
+        let mut blk = match lo {
+            Some(k) => self.descend(k)?.0,
+            None => {
+                // Walk down the leftmost spine.
+                let mut b = self.root()?;
+                loop {
+                    let pref = self.pool.get_page(self.smgr, self.dev, self.rel, b)?;
+                    let pbuf = pref.read();
+                    let data = pbuf.data();
+                    let meta = read_node_meta(data);
+                    if meta.leaf {
+                        break b;
+                    }
+                    let mut first = None;
+                    for s in 0..page::nslots(data) {
+                        if let Some(item) = page::item(data, s) {
+                            let (_, payload) = decode_item(item)?;
+                            first = Some(u64::from_le_bytes(
+                                payload[..8]
+                                    .try_into()
+                                    .map_err(|_| DbError::Corrupt("bad child".into()))?,
+                            ));
+                            break;
+                        }
+                    }
+                    b = first
+                        .ok_or_else(|| DbError::Corrupt("internal node with no children".into()))?;
+                }
+            }
+        };
+        loop {
+            let pref = self.pool.get_page(self.smgr, self.dev, self.rel, blk)?;
+            let mut hits = Vec::new();
+            let right;
+            {
+                let pbuf = pref.read();
+                let data = pbuf.data();
+                let meta = read_node_meta(data);
+                right = meta.right;
+                for (_, item) in page::iter(data) {
+                    let (k, payload) = decode_item(item)?;
+                    if let Some(lo) = lo {
+                        if cmp_keys(&k, lo) == Ordering::Less {
+                            continue;
+                        }
+                    }
+                    if let Some(hi) = hi {
+                        if cmp_keys(&k, hi) == Ordering::Greater {
+                            return Self::drain(&mut hits, &mut f).map(|_| ());
+                        }
+                    }
+                    let tid = Tid::decode(payload)
+                        .ok_or_else(|| DbError::Corrupt("bad tid in leaf".into()))?;
+                    hits.push((k, tid));
+                }
+            }
+            if !Self::drain(&mut hits, &mut f)? {
+                return Ok(());
+            }
+            if right == 0 {
+                return Ok(());
+            }
+            blk = right;
+        }
+    }
+
+    fn drain(
+        hits: &mut Vec<(Key, Tid)>,
+        f: &mut impl FnMut(&[Datum], Tid) -> DbResult<bool>,
+    ) -> DbResult<bool> {
+        for (k, tid) in hits.drain(..) {
+            if !f(&k, tid)? {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    /// Removes the entry `(key, tid)` if present; returns whether it was.
+    pub fn delete(&self, key: &[Datum], tid: Tid) -> DbResult<bool> {
+        let (mut blk, _) = self.descend(key)?;
+        loop {
+            let pref = self.pool.get_page(self.smgr, self.dev, self.rel, blk)?;
+            let mut pbuf = pref.write();
+            let data = pbuf.data_mut();
+            let meta = read_node_meta(data);
+            let mut past = false;
+            for s in 0..page::nslots(data) {
+                let Some(item) = page::item(data, s) else {
+                    continue;
+                };
+                let (k, payload) = decode_item(item)?;
+                match cmp_keys(&k, key) {
+                    Ordering::Less => continue,
+                    Ordering::Greater => {
+                        past = true;
+                        break;
+                    }
+                    Ordering::Equal => {
+                        if Tid::decode(payload) == Some(tid) {
+                            page::set_dead(data, s)?;
+                            return Ok(true);
+                        }
+                    }
+                }
+            }
+            if past || meta.right == 0 {
+                return Ok(false);
+            }
+            blk = meta.right;
+        }
+    }
+
+    /// Total live entries (walks every leaf; for tests and vacuum stats).
+    pub fn len(&self) -> DbResult<usize> {
+        let mut n = 0;
+        self.scan(None, None, |_, _| {
+            n += 1;
+            Ok(true)
+        })?;
+        Ok(n)
+    }
+
+    /// Whether the index has no live entries.
+    pub fn is_empty(&self) -> DbResult<bool> {
+        Ok(self.len()? == 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::Oid;
+    use crate::smgr::{shared_device, GenericManager};
+    use simdev::{DiskProfile, MagneticDisk, SimClock};
+
+    struct Fixture {
+        pool: BufferPool,
+        smgr: Smgr,
+        rel: RelId,
+    }
+
+    impl Fixture {
+        fn new() -> Fixture {
+            let clock = SimClock::new();
+            let dev = shared_device(MagneticDisk::new(
+                "d",
+                clock,
+                DiskProfile::tiny_for_tests(65536),
+            ));
+            let mut smgr = Smgr::new();
+            smgr.register(
+                DeviceId::DEFAULT,
+                Box::new(GenericManager::format(dev).unwrap()),
+            )
+            .unwrap();
+            let rel = Oid(60);
+            smgr.with(DeviceId::DEFAULT, |m| m.create_rel(rel)).unwrap();
+            let fx = Fixture {
+                pool: BufferPool::new(64),
+                smgr,
+                rel,
+            };
+            fx.btree().create().unwrap();
+            fx
+        }
+
+        fn btree(&self) -> BTree<'_> {
+            BTree {
+                pool: &self.pool,
+                smgr: &self.smgr,
+                dev: DeviceId::DEFAULT,
+                rel: self.rel,
+            }
+        }
+    }
+
+    fn ikey(n: i32) -> Key {
+        vec![Datum::Int4(n)]
+    }
+
+    #[test]
+    fn empty_tree_finds_nothing() {
+        let fx = Fixture::new();
+        let bt = fx.btree();
+        assert!(bt.search(&ikey(5)).unwrap().is_empty());
+        assert!(bt.is_empty().unwrap());
+    }
+
+    #[test]
+    fn insert_and_point_lookup() {
+        let fx = Fixture::new();
+        let bt = fx.btree();
+        for i in 0..100 {
+            bt.insert(&ikey(i), Tid::new(i as u32, 0)).unwrap();
+        }
+        for i in 0..100 {
+            let hits = bt.search(&ikey(i)).unwrap();
+            assert_eq!(hits, vec![Tid::new(i as u32, 0)], "key {i}");
+        }
+        assert!(bt.search(&ikey(100)).unwrap().is_empty());
+        assert_eq!(bt.len().unwrap(), 100);
+    }
+
+    #[test]
+    fn survives_many_splits_sequential() {
+        let fx = Fixture::new();
+        let bt = fx.btree();
+        let n = 5000;
+        for i in 0..n {
+            bt.insert(&ikey(i), Tid::new(i as u32, (i % 7) as u16))
+                .unwrap();
+        }
+        assert_eq!(bt.len().unwrap(), n as usize);
+        for i in (0..n).step_by(97) {
+            assert_eq!(
+                bt.search(&ikey(i)).unwrap(),
+                vec![Tid::new(i as u32, (i % 7) as u16)]
+            );
+        }
+    }
+
+    #[test]
+    fn survives_many_splits_random_order() {
+        let fx = Fixture::new();
+        let bt = fx.btree();
+        // Deterministic pseudo-random permutation of 0..4000.
+        let n = 4000u32;
+        let mut keys: Vec<u32> = (0..n).map(|i| i.wrapping_mul(2654435761) % n).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        let inserted = keys.clone();
+        for &k in &inserted {
+            bt.insert(&ikey(k as i32), Tid::new(k, 1)).unwrap();
+        }
+        for &k in inserted.iter().step_by(53) {
+            assert_eq!(bt.search(&ikey(k as i32)).unwrap(), vec![Tid::new(k, 1)]);
+        }
+        assert_eq!(bt.len().unwrap(), inserted.len());
+    }
+
+    #[test]
+    fn duplicates_all_returned() {
+        let fx = Fixture::new();
+        let bt = fx.btree();
+        for v in 0..20u16 {
+            bt.insert(&ikey(7), Tid::new(100, v)).unwrap();
+        }
+        bt.insert(&ikey(6), Tid::new(1, 0)).unwrap();
+        bt.insert(&ikey(8), Tid::new(2, 0)).unwrap();
+        let hits = bt.search(&ikey(7)).unwrap();
+        assert_eq!(hits.len(), 20);
+    }
+
+    #[test]
+    fn duplicates_across_page_splits() {
+        let fx = Fixture::new();
+        let bt = fx.btree();
+        // Enough duplicates of one key to span several leaves.
+        for v in 0..2000u32 {
+            bt.insert(&ikey(42), Tid::new(v, 0)).unwrap();
+        }
+        assert_eq!(bt.search(&ikey(42)).unwrap().len(), 2000);
+        assert!(bt.search(&ikey(41)).unwrap().is_empty());
+        assert!(bt.search(&ikey(43)).unwrap().is_empty());
+    }
+
+    #[test]
+    fn range_scan_in_order() {
+        let fx = Fixture::new();
+        let bt = fx.btree();
+        for i in (0..1000).rev() {
+            bt.insert(&ikey(i), Tid::new(i as u32, 0)).unwrap();
+        }
+        let mut seen = Vec::new();
+        bt.scan(Some(&ikey(100)), Some(&ikey(199)), |k, _| {
+            seen.push(k[0].as_int().unwrap());
+            Ok(true)
+        })
+        .unwrap();
+        assert_eq!(seen.len(), 100);
+        assert!(seen.windows(2).all(|w| w[0] <= w[1]), "sorted order");
+        assert_eq!(*seen.first().unwrap(), 100);
+        assert_eq!(*seen.last().unwrap(), 199);
+    }
+
+    #[test]
+    fn unbounded_scans() {
+        let fx = Fixture::new();
+        let bt = fx.btree();
+        for i in 0..50 {
+            bt.insert(&ikey(i), Tid::new(i as u32, 0)).unwrap();
+        }
+        let mut below = Vec::new();
+        bt.scan(None, Some(&ikey(9)), |k, _| {
+            below.push(k[0].as_int().unwrap());
+            Ok(true)
+        })
+        .unwrap();
+        assert_eq!(below, (0..10).collect::<Vec<_>>());
+        let mut above = Vec::new();
+        bt.scan(Some(&ikey(45)), None, |k, _| {
+            above.push(k[0].as_int().unwrap());
+            Ok(true)
+        })
+        .unwrap();
+        assert_eq!(above, (45..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn scan_early_stop() {
+        let fx = Fixture::new();
+        let bt = fx.btree();
+        for i in 0..100 {
+            bt.insert(&ikey(i), Tid::new(i as u32, 0)).unwrap();
+        }
+        let mut n = 0;
+        bt.scan(None, None, |_, _| {
+            n += 1;
+            Ok(n < 5)
+        })
+        .unwrap();
+        assert_eq!(n, 5);
+    }
+
+    #[test]
+    fn delete_specific_entry_among_duplicates() {
+        let fx = Fixture::new();
+        let bt = fx.btree();
+        for v in 0..5u16 {
+            bt.insert(&ikey(7), Tid::new(1, v)).unwrap();
+        }
+        assert!(bt.delete(&ikey(7), Tid::new(1, 2)).unwrap());
+        let hits = bt.search(&ikey(7)).unwrap();
+        assert_eq!(hits.len(), 4);
+        assert!(!hits.contains(&Tid::new(1, 2)));
+        // Deleting again: not found.
+        assert!(!bt.delete(&ikey(7), Tid::new(1, 2)).unwrap());
+        assert!(!bt.delete(&ikey(99), Tid::new(0, 0)).unwrap());
+    }
+
+    #[test]
+    fn composite_keys() {
+        let fx = Fixture::new();
+        let bt = fx.btree();
+        let key = |p: u32, name: &str| vec![Datum::Oid(p), Datum::Text(name.into())];
+        bt.insert(&key(810, "passwd"), Tid::new(1, 0)).unwrap();
+        bt.insert(&key(810, "group"), Tid::new(2, 0)).unwrap();
+        bt.insert(&key(811, "passwd"), Tid::new(3, 0)).unwrap();
+        assert_eq!(
+            bt.search(&key(810, "passwd")).unwrap(),
+            vec![Tid::new(1, 0)]
+        );
+        assert_eq!(bt.search(&key(810, "group")).unwrap(), vec![Tid::new(2, 0)]);
+        // Prefix range scan over parent 810.
+        let mut names = Vec::new();
+        bt.scan(
+            Some(&[Datum::Oid(810)]),
+            Some(&[Datum::Oid(810), Datum::Text("\u{10FFFF}".into())]),
+            |k, _| {
+                names.push(k[1].as_text().unwrap().to_string());
+                Ok(true)
+            },
+        )
+        .unwrap();
+        assert_eq!(names, vec!["group", "passwd"]);
+    }
+
+    #[test]
+    fn text_keys_sort_lexicographically() {
+        let fx = Fixture::new();
+        let bt = fx.btree();
+        for name in ["zebra", "alpha", "monkey", "aardvark"] {
+            bt.insert(&[Datum::Text(name.into())], Tid::new(0, 0))
+                .unwrap();
+        }
+        let mut seen = Vec::new();
+        bt.scan(None, None, |k, _| {
+            seen.push(k[0].as_text().unwrap().to_string());
+            Ok(true)
+        })
+        .unwrap();
+        assert_eq!(seen, vec!["aardvark", "alpha", "monkey", "zebra"]);
+    }
+
+    #[test]
+    fn interleaved_insert_search_delete() {
+        let fx = Fixture::new();
+        let bt = fx.btree();
+        let mut live = std::collections::HashSet::new();
+        for round in 0..1000u32 {
+            let k = (round * 37) % 257;
+            if round % 3 == 2 && live.contains(&k) {
+                assert!(bt.delete(&ikey(k as i32), Tid::new(k, 0)).unwrap());
+                live.remove(&k);
+            } else if !live.contains(&k) {
+                bt.insert(&ikey(k as i32), Tid::new(k, 0)).unwrap();
+                live.insert(k);
+            }
+        }
+        for k in 0..257u32 {
+            let hits = bt.search(&ikey(k as i32)).unwrap();
+            assert_eq!(hits.len(), usize::from(live.contains(&k)), "key {k}");
+        }
+    }
+}

@@ -1,0 +1,1272 @@
+//! The database facade: devices, catalogs, transactions, sessions.
+//!
+//! [`Db`] wires together the buffer cache, device manager switch,
+//! transaction status file, lock manager, catalog, and function registry.
+//! [`Session`] is one client's view: it carries a transaction (or a
+//! historical snapshot) and exposes tuple-level operations; the query
+//! language (see [`crate::query`]) executes against a session.
+//!
+//! # Commit protocol
+//!
+//! The no-overwrite storage manager needs no write-ahead log. Commit is:
+//! flush every dirty buffer, sync the device managers, then persist the
+//! transaction's `Committed` record in the status file — that last write is
+//! the commit point. Crash recovery is reopening the database: transactions
+//! without a committed status record are invisible forever.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{RwLock, RwLockReadGuard};
+use simdev::{DiskProfile, MagneticDisk, SimClock, SimDuration, SimInstant};
+
+use crate::btree::BTree;
+use crate::buffer::{BufferPool, DEFAULT_BUFFERS};
+use crate::catalog::{Catalog, IndexInfo, ProcEntry, RelKind, RelationEntry, RuleEntry};
+use crate::datum::{decode_row, Datum, Row, Schema, TypeId};
+use crate::error::{DbError, DbResult};
+use crate::funcs::{FuncDef, FunctionRegistry};
+use crate::heap::Heap;
+use crate::ids::{DeviceId, RelId, Tid, XactId};
+use crate::lock::{LockManager, LockMode};
+use crate::smgr::{read_meta, shared_device, write_meta, GenericManager, SharedDevice, Smgr};
+use crate::xact::{Snapshot, XactLog};
+
+/// Tunables for a [`Db`].
+#[derive(Debug, Clone)]
+pub struct DbConfig {
+    /// Buffer cache size in 8 KB frames (POSTGRES shipped with 64).
+    pub buffers: usize,
+    /// Lock wait timeout backstop.
+    pub lock_timeout: Duration,
+    /// When the buffer pool is under replacement pressure, write B-tree
+    /// pages through to the device as index entries are added, as
+    /// POSTGRES 4.0.1's buffer manager did. This is the behaviour behind
+    /// the paper's create-time result: "Btree writes are interleaved with
+    /// data file writes, penalizing Inversion by forcing the disk head to
+    /// move frequently." Transactions whose working set fits in the pool
+    /// still coalesce index writes to commit. Disable for an ablation.
+    pub eager_index_writes: bool,
+}
+
+impl Default for DbConfig {
+    fn default() -> Self {
+        DbConfig {
+            buffers: DEFAULT_BUFFERS,
+            lock_timeout: Duration::from_secs(10),
+            eager_index_writes: true,
+        }
+    }
+}
+
+pub(crate) struct DbInner {
+    pub(crate) config: DbConfig,
+    pub(crate) clock: SimClock,
+    pub(crate) pool: BufferPool,
+    pub(crate) smgr: Smgr,
+    pub(crate) xlog: XactLog,
+    pub(crate) locks: LockManager,
+    pub(crate) catalog: RwLock<Catalog>,
+    pub(crate) funcs: FunctionRegistry,
+    catalog_dev: SharedDevice,
+}
+
+/// A database instance. Cheap to clone; clones share everything.
+#[derive(Clone)]
+pub struct Db {
+    pub(crate) inner: Arc<DbInner>,
+}
+
+impl Db {
+    /// Opens a *fresh* database over an already-populated device switch.
+    ///
+    /// `log_dev` holds the transaction status file and `catalog_dev` the
+    /// serialized catalog; both must be dedicated (the first blocks are
+    /// overwritten).
+    pub fn open(
+        clock: SimClock,
+        smgr: Smgr,
+        log_dev: SharedDevice,
+        catalog_dev: SharedDevice,
+        config: DbConfig,
+    ) -> DbResult<Db> {
+        let xlog = XactLog::create(log_dev)?;
+        let db = Db {
+            inner: Arc::new(DbInner {
+                clock,
+                pool: BufferPool::new(config.buffers),
+                smgr,
+                xlog,
+                locks: LockManager::with_timeout(config.lock_timeout),
+                catalog: RwLock::new(Catalog::new()),
+                funcs: FunctionRegistry::with_builtins(),
+                catalog_dev,
+                config,
+            }),
+        };
+        db.persist_catalog()?;
+        Ok(db)
+    }
+
+    /// Reopens a database after a shutdown or crash.
+    ///
+    /// This *is* crash recovery: "no special boot-time file system check
+    /// program needs to be run". The caller re-attaches device managers
+    /// (e.g. [`GenericManager::attach`]) into `smgr` and passes the same log
+    /// and catalog devices.
+    pub fn recover(
+        clock: SimClock,
+        smgr: Smgr,
+        log_dev: SharedDevice,
+        catalog_dev: SharedDevice,
+        config: DbConfig,
+    ) -> DbResult<Db> {
+        let xlog = XactLog::recover(log_dev)?;
+        let cat_bytes = read_meta(&catalog_dev, 0)?
+            .ok_or_else(|| DbError::Corrupt("no catalog found on catalog device".into()))?;
+        let catalog = Catalog::decode(&cat_bytes)?;
+        Ok(Db {
+            inner: Arc::new(DbInner {
+                clock,
+                pool: BufferPool::new(config.buffers),
+                smgr,
+                xlog,
+                locks: LockManager::with_timeout(config.lock_timeout),
+                catalog: RwLock::new(catalog),
+                funcs: FunctionRegistry::with_builtins(),
+                catalog_dev,
+                config,
+            }),
+        })
+    }
+
+    /// Opens a small self-contained database on fast in-memory disks —
+    /// the zero-ceremony constructor for tests, examples and doctests.
+    pub fn open_in_memory() -> DbResult<Db> {
+        let clock = SimClock::new();
+        let data = shared_device(MagneticDisk::new(
+            "data",
+            clock.clone(),
+            DiskProfile::tiny_for_tests(1 << 17),
+        ));
+        let log = shared_device(MagneticDisk::new(
+            "log",
+            clock.clone(),
+            DiskProfile::tiny_for_tests(1 << 12),
+        ));
+        let cat = shared_device(MagneticDisk::new(
+            "catalog",
+            clock.clone(),
+            DiskProfile::tiny_for_tests(1 << 12),
+        ));
+        let mut smgr = Smgr::new();
+        smgr.register(DeviceId::DEFAULT, Box::new(GenericManager::format(data)?))?;
+        Db::open(clock, smgr, log, cat, DbConfig::default())
+    }
+
+    /// The simulated clock shared with the devices.
+    pub fn clock(&self) -> &SimClock {
+        &self.inner.clock
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimInstant {
+        self.inner.clock.now()
+    }
+
+    /// The function implementation registry (register Rust callables here).
+    pub fn functions(&self) -> &FunctionRegistry {
+        &self.inner.funcs
+    }
+
+    /// Read access to the catalog.
+    pub fn catalog(&self) -> RwLockReadGuard<'_, Catalog> {
+        self.inner.catalog.read()
+    }
+
+    /// Buffer cache statistics.
+    pub fn buffer_stats(&self) -> crate::buffer::BufferStats {
+        self.inner.pool.stats()
+    }
+
+    /// Allocates a fresh object identifier (persisted with the catalog).
+    pub fn alloc_oid(&self) -> DbResult<crate::ids::Oid> {
+        let oid = self.inner.catalog.write().alloc_oid();
+        self.persist_catalog()?;
+        Ok(oid)
+    }
+
+    /// Serializes the catalog to its device.
+    pub fn persist_catalog(&self) -> DbResult<()> {
+        let bytes = self.inner.catalog.read().encode();
+        write_meta(&self.inner.catalog_dev, 0, &bytes)?;
+        self.inner.catalog_dev.lock().sync()?;
+        Ok(())
+    }
+
+    /// Flushes and empties every cache (buffer pool, device managers) —
+    /// the benchmark's "all caches were flushed before each test".
+    pub fn flush_caches(&self) -> DbResult<()> {
+        self.inner.pool.flush_and_clear(&self.inner.smgr)?;
+        self.inner.smgr.sync_all()
+    }
+
+    /// Creates a heap table on the default device.
+    pub fn create_table(&self, name: &str, schema: Schema) -> DbResult<RelId> {
+        self.create_table_on(name, schema, DeviceId::DEFAULT, false)
+    }
+
+    /// Creates a heap table on a chosen device; `no_history` asks the vacuum
+    /// cleaner to discard (not archive) dead versions.
+    pub fn create_table_on(
+        &self,
+        name: &str,
+        schema: Schema,
+        dev: DeviceId,
+        no_history: bool,
+    ) -> DbResult<RelId> {
+        let id = {
+            let mut cat = self.inner.catalog.write();
+            let id = cat.alloc_oid();
+            cat.add_relation(RelationEntry {
+                id,
+                name: name.to_string(),
+                kind: RelKind::Heap,
+                device: dev,
+                schema,
+                index: None,
+                indexes: vec![],
+                archive: None,
+                no_history,
+            })?;
+            id
+        };
+        if let Err(e) = self.inner.smgr.with(dev, |m| m.create_rel(id)) {
+            self.inner.catalog.write().remove_relation(id).ok();
+            return Err(e);
+        }
+        self.persist_catalog()?;
+        Ok(id)
+    }
+
+    /// Creates a B-tree index named `name` on `table(columns...)`, on the
+    /// same device as the table, backfilling entries for every existing
+    /// tuple version (historical versions stay reachable through it).
+    pub fn create_index(&self, name: &str, table: RelId, columns: &[&str]) -> DbResult<RelId> {
+        let (dev, key_columns) = {
+            let cat = self.inner.catalog.read();
+            let t = cat.relation(table)?;
+            if t.kind != RelKind::Heap {
+                return Err(DbError::Invalid(format!("{name}: {table} is not a heap")));
+            }
+            let mut key_columns = Vec::with_capacity(columns.len());
+            for c in columns {
+                key_columns.push(t.schema.column_index(c).ok_or_else(|| {
+                    DbError::NotFound(format!("column \"{c}\" of \"{}\"", t.name))
+                })?);
+            }
+            (t.device, key_columns)
+        };
+        let id = {
+            let mut cat = self.inner.catalog.write();
+            let id = cat.alloc_oid();
+            cat.add_relation(RelationEntry {
+                id,
+                name: name.to_string(),
+                kind: RelKind::BTreeIndex,
+                device: dev,
+                schema: Schema::default(),
+                index: Some(IndexInfo {
+                    table,
+                    key_columns: key_columns.clone(),
+                }),
+                indexes: vec![],
+                archive: None,
+                no_history: false,
+            })?;
+            cat.relation_mut(table)?.indexes.push(id);
+            id
+        };
+        self.inner.smgr.with(dev, |m| m.create_rel(id))?;
+        let bt = BTree {
+            pool: &self.inner.pool,
+            smgr: &self.inner.smgr,
+            dev,
+            rel: id,
+        };
+        bt.create()?;
+        // Backfill from every tuple version in the heap.
+        let heap = Heap {
+            pool: &self.inner.pool,
+            smgr: &self.inner.smgr,
+            xlog: &self.inner.xlog,
+            dev,
+            rel: table,
+        };
+        heap.scan_all_raw(|tid, _hdr, row_bytes| {
+            let row = decode_row(row_bytes)?;
+            let key: Vec<Datum> = key_columns.iter().map(|&i| row[i].clone()).collect();
+            bt.insert(&key, tid)
+        })?;
+        self.persist_catalog()?;
+        Ok(id)
+    }
+
+    /// Drops a table (and its indices) or a single index.
+    pub fn drop_relation(&self, name: &str) -> DbResult<()> {
+        let entry = {
+            let cat = self.inner.catalog.read();
+            cat.relation_by_name(name)?.clone()
+        };
+        let mut victims = vec![entry.clone()];
+        if entry.kind == RelKind::Heap {
+            let cat = self.inner.catalog.read();
+            for &idx in &entry.indexes {
+                victims.push(cat.relation(idx)?.clone());
+            }
+            if let Some(arch) = entry.archive {
+                victims.push(cat.relation(arch)?.clone());
+            }
+        }
+        for v in &victims {
+            self.inner.pool.discard_rel(v.id);
+            self.inner.smgr.with(v.device, |m| m.drop_rel(v.id))?;
+        }
+        {
+            let mut cat = self.inner.catalog.write();
+            for v in &victims {
+                cat.remove_relation(v.id)?;
+            }
+        }
+        self.persist_catalog()
+    }
+
+    /// Registers a new file/database type (`define type` in the paper).
+    pub fn define_type(&self, name: &str) -> DbResult<TypeId> {
+        let id = self.inner.catalog.write().define_type(name)?;
+        self.persist_catalog()?;
+        Ok(id)
+    }
+
+    /// Registers a function definition; its implementation must be (or
+    /// become) available in [`Db::functions`] under `impl_key`.
+    pub fn define_function(
+        &self,
+        name: &str,
+        nargs: usize,
+        ret: TypeId,
+        impl_key: &str,
+        operates_on: Option<TypeId>,
+    ) -> DbResult<()> {
+        self.inner.catalog.write().define_proc(ProcEntry {
+            name: name.to_string(),
+            nargs,
+            ret,
+            impl_key: impl_key.to_string(),
+            operates_on,
+        })?;
+        self.persist_catalog()
+    }
+
+    /// Registers a predicate rule (see [`crate::rules`]).
+    pub fn define_rule(&self, rule: RuleEntry) -> DbResult<()> {
+        self.inner.catalog.write().define_rule(rule)?;
+        self.persist_catalog()
+    }
+
+    /// Resolves a function by query-language name to a callable.
+    pub fn resolve_function(&self, name: &str) -> DbResult<FuncDef> {
+        let (nargs, key) = {
+            let cat = self.inner.catalog.read();
+            let p = cat.proc(name)?;
+            (p.nargs, p.impl_key.clone())
+        };
+        Ok(FuncDef {
+            name: name.to_string(),
+            nargs,
+            imp: self.inner.funcs.resolve(&key)?,
+        })
+    }
+
+    /// Begins a read/write transaction.
+    pub fn begin(&self) -> DbResult<Session> {
+        let xid = self.inner.xlog.start();
+        let mut active = self.inner.xlog.active_set();
+        active.remove(&xid);
+        Ok(Session {
+            db: self.clone(),
+            xid: Some(xid),
+            snapshot: Snapshot::Current { xid, active },
+            done: false,
+            wrote: false,
+        })
+    }
+
+    /// Opens a read-only session onto the database as it was at `t` —
+    /// fine-grained time travel.
+    pub fn snapshot_at(&self, t: SimInstant) -> Session {
+        Session {
+            db: self.clone(),
+            xid: None,
+            snapshot: Snapshot::AsOf(t),
+            done: false,
+            wrote: false,
+        }
+    }
+
+    /// Looks up a relation id by name.
+    pub fn relation_id(&self, name: &str) -> DbResult<RelId> {
+        Ok(self.inner.catalog.read().relation_by_name(name)?.id)
+    }
+
+    /// The schema of a heap relation.
+    pub fn schema_of(&self, rel: RelId) -> DbResult<Schema> {
+        Ok(self.inner.catalog.read().relation(rel)?.schema.clone())
+    }
+
+    /// Finds an index of `table` whose key columns are exactly `cols`.
+    pub fn find_index(&self, table: RelId, cols: &[usize]) -> Option<RelId> {
+        let cat = self.inner.catalog.read();
+        let t = cat.relation(table).ok()?;
+        for &idx in &t.indexes {
+            if let Ok(e) = cat.relation(idx) {
+                if let Some(info) = &e.index {
+                    if info.key_columns == cols {
+                        return Some(idx);
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    pub(crate) fn heap_parts(&self, rel: RelId) -> DbResult<HeapParts> {
+        let cat = self.inner.catalog.read();
+        let e = cat.relation(rel)?;
+        if e.kind != RelKind::Heap {
+            return Err(DbError::Invalid(format!("{rel} is not a heap")));
+        }
+        let mut indexes = Vec::new();
+        for &idx in &e.indexes {
+            let ie = cat.relation(idx)?;
+            let info = ie
+                .index
+                .as_ref()
+                .ok_or_else(|| DbError::Corrupt(format!("index {idx} without index info")))?;
+            indexes.push((idx, info.key_columns.clone()));
+        }
+        Ok((e.device, indexes))
+    }
+}
+
+/// A heap's device plus its indices with their key columns.
+pub(crate) type HeapParts = (DeviceId, Vec<(RelId, Vec<usize>)>);
+
+/// One client's transactional (or historical) view of a [`Db`].
+pub struct Session {
+    pub(crate) db: Db,
+    xid: Option<XactId>,
+    snapshot: Snapshot,
+    done: bool,
+    wrote: bool,
+}
+
+impl Session {
+    /// The owning database.
+    pub fn db(&self) -> &Db {
+        &self.db
+    }
+
+    /// The session's transaction id, if it is a writing session.
+    pub fn xid(&self) -> Option<XactId> {
+        self.xid
+    }
+
+    /// The session's snapshot.
+    pub fn snapshot(&self) -> &Snapshot {
+        &self.snapshot
+    }
+
+    /// Whether this session can write.
+    pub fn is_writable(&self) -> bool {
+        !self.done && self.snapshot.is_writable()
+    }
+
+    fn writable_xid(&self) -> DbResult<XactId> {
+        if self.done {
+            return Err(DbError::NoTransaction);
+        }
+        self.xid.ok_or(DbError::ReadOnly)
+    }
+
+    fn lock(&self, rel: RelId, mode: LockMode) -> DbResult<()> {
+        // Purely historical sessions read immutable versions: no locks.
+        let Some(xid) = self.xid else { return Ok(()) };
+        self.db.inner.locks.acquire(xid, rel, mode)
+    }
+
+    /// Like [`Session::lock`], but skipped entirely when the operation runs
+    /// under an explicit historical snapshot — old committed versions are
+    /// immutable, so readers of the past need no 2PL and never block.
+    fn lock_for(&self, rel: RelId, mode: LockMode, snap: &Snapshot) -> DbResult<()> {
+        match snap {
+            Snapshot::Current { .. } => self.lock(rel, mode),
+            Snapshot::AsOf(_) | Snapshot::Dirty => Ok(()),
+        }
+    }
+
+    fn heap<'a>(&'a self, rel: RelId, dev: DeviceId) -> Heap<'a> {
+        Heap {
+            pool: &self.db.inner.pool,
+            smgr: &self.db.inner.smgr,
+            xlog: &self.db.inner.xlog,
+            dev,
+            rel,
+        }
+    }
+
+    fn btree<'a>(&'a self, rel: RelId, dev: DeviceId) -> BTree<'a> {
+        BTree {
+            pool: &self.db.inner.pool,
+            smgr: &self.db.inner.smgr,
+            dev,
+            rel,
+        }
+    }
+
+    /// Inserts `row` into `rel`, maintaining its indices.
+    pub fn insert(&mut self, rel: RelId, row: Row) -> DbResult<Tid> {
+        let xid = self.writable_xid()?;
+        let (dev, indexes) = self.db.heap_parts(rel)?;
+        {
+            let cat = self.db.inner.catalog.read();
+            let schema = &cat.relation(rel)?.schema;
+            if row.len() != schema.len() {
+                return Err(DbError::Bind(format!(
+                    "relation \"{}\" has {} columns, row has {}",
+                    cat.relation(rel)?.name,
+                    schema.len(),
+                    row.len()
+                )));
+            }
+        }
+        self.lock(rel, LockMode::Exclusive)?;
+        self.wrote = true;
+        let tid = self.heap(rel, dev).insert(xid, &row)?;
+        for (idx, cols) in &indexes {
+            let key: Vec<Datum> = cols.iter().map(|&i| row[i].clone()).collect();
+            self.btree(*idx, dev).insert(&key, tid)?;
+        }
+        // Under replacement pressure (pool full), POSTGRES 4 forced index
+        // pages out interleaved with data pages — the effect behind the
+        // paper's slow 25 MB create. Transactions that fit in the cache
+        // coalesce index writes until commit instead.
+        if self.db.inner.config.eager_index_writes
+            && self.db.inner.pool.len() + 1 >= self.db.inner.pool.capacity()
+        {
+            for (idx, _) in &indexes {
+                self.db.inner.pool.flush_rel(&self.db.inner.smgr, *idx)?;
+            }
+        }
+        Ok(tid)
+    }
+
+    /// Deletes the tuple at `tid`. Returns `false` if already deleted.
+    pub fn delete(&mut self, rel: RelId, tid: Tid) -> DbResult<bool> {
+        let xid = self.writable_xid()?;
+        let (dev, _) = self.db.heap_parts(rel)?;
+        self.lock(rel, LockMode::Exclusive)?;
+        self.wrote = true;
+        self.heap(rel, dev).delete(xid, tid)
+    }
+
+    /// Replaces the tuple at `tid` with `row` (no-overwrite: old version
+    /// stays), maintaining indices for the new version.
+    pub fn update(&mut self, rel: RelId, tid: Tid, row: Row) -> DbResult<Tid> {
+        if !self.delete(rel, tid)? {
+            return Err(DbError::Invalid(format!(
+                "tuple {tid} concurrently deleted"
+            )));
+        }
+        self.insert(rel, row)
+    }
+
+    /// Fetches the row at `tid` if visible to this session.
+    pub fn fetch(&mut self, rel: RelId, tid: Tid) -> DbResult<Option<Row>> {
+        let (dev, _) = self.db.heap_parts(rel)?;
+        self.lock(rel, LockMode::Shared)?;
+        let snap = self.snapshot.clone();
+        self.heap(rel, dev).fetch(&snap, tid)
+    }
+
+    /// Scans `rel`, returning every visible row (with its tuple id).
+    pub fn seq_scan(&mut self, rel: RelId) -> DbResult<Vec<(Tid, Row)>> {
+        let snap = self.snapshot.clone();
+        self.scan_with_snapshot(rel, &snap)
+    }
+
+    /// Scans `rel` under an explicit snapshot (time-travel queries inside a
+    /// current session use this). Historical scans also search the archive
+    /// relation the vacuum cleaner may have moved old versions to.
+    pub fn scan_with_snapshot(&mut self, rel: RelId, snap: &Snapshot) -> DbResult<Vec<(Tid, Row)>> {
+        let (dev, _) = self.db.heap_parts(rel)?;
+        self.lock_for(rel, LockMode::Shared, snap)?;
+        let mut out = self.heap(rel, dev).scan_collect(snap)?;
+        if let Snapshot::AsOf(t) = snap {
+            if let Some((arch, arch_dev)) = self.archive_of(rel)? {
+                let heap = self.heap(arch, arch_dev);
+                // Archive rows: (amin time, amax time, original row bytes).
+                heap.scan_visible(&Snapshot::Dirty, |tid, row| {
+                    let amin = SimInstant::from_nanos(row[0].as_int()? as u64);
+                    let amax = SimInstant::from_nanos(row[1].as_int()? as u64);
+                    if amin <= *t && *t < amax {
+                        out.push((tid, decode_row(row[2].as_bytes()?)?));
+                    }
+                    Ok(true)
+                })?;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Scans every tuple version whose inserting transaction *committed*,
+    /// regardless of later deletion — "everything that was ever real".
+    /// Garbage collectors use this to distinguish historical references
+    /// from the debris of aborted transactions.
+    pub fn scan_committed_versions(&mut self, rel: RelId) -> DbResult<Vec<Row>> {
+        let (dev, _) = self.db.heap_parts(rel)?;
+        self.lock(rel, LockMode::Shared)?;
+        let heap = self.heap(rel, dev);
+        let xlog = &self.db.inner.xlog;
+        let mut out = Vec::new();
+        heap.scan_all_raw(|_tid, hdr, bytes| {
+            if matches!(xlog.state(hdr.xmin), crate::xact::XactState::Committed(_)) {
+                out.push(decode_row(bytes)?);
+            }
+            Ok(())
+        })?;
+        Ok(out)
+    }
+
+    /// Scans every committed tuple version of `rel` with its lifetime:
+    /// `(created_at, deleted_at, row)` where `deleted_at` is `None` for
+    /// live versions. Includes versions the vacuum cleaner moved to the
+    /// archive. This is the raw material for version-history listings.
+    pub fn scan_version_history(
+        &mut self,
+        rel: RelId,
+    ) -> DbResult<Vec<(SimInstant, Option<SimInstant>, Row)>> {
+        let (dev, _) = self.db.heap_parts(rel)?;
+        self.lock(rel, LockMode::Shared)?;
+        let mut out = Vec::new();
+        {
+            let heap = self.heap(rel, dev);
+            let xlog = &self.db.inner.xlog;
+            heap.scan_all_raw(|_tid, hdr, bytes| {
+                let crate::xact::XactState::Committed(t0) = xlog.state(hdr.xmin) else {
+                    return Ok(());
+                };
+                let t1 = match xlog.state(hdr.xmax) {
+                    crate::xact::XactState::Committed(t) => Some(t),
+                    _ => None,
+                };
+                out.push((t0, t1, decode_row(bytes)?));
+                Ok(())
+            })?;
+        }
+        // Archived versions carry explicit lifetimes.
+        let arch = self.archive_of(rel)?;
+        if let Some((arch, arch_dev)) = arch {
+            let heap = self.heap(arch, arch_dev);
+            heap.scan_visible(&Snapshot::Dirty, |_tid, row| {
+                let t0 = SimInstant::from_nanos(row[0].as_int()? as u64);
+                let t1 = SimInstant::from_nanos(row[1].as_int()? as u64);
+                out.push((t0, Some(t1), decode_row(row[2].as_bytes()?)?));
+                Ok(true)
+            })?;
+        }
+        out.sort_by_key(|(t0, _, _)| *t0);
+        Ok(out)
+    }
+
+    fn archive_of(&self, rel: RelId) -> DbResult<Option<(RelId, DeviceId)>> {
+        let cat = self.db.inner.catalog.read();
+        let e = cat.relation(rel)?;
+        match e.archive {
+            Some(a) => {
+                let ae = cat.relation(a)?;
+                Ok(Some((a, ae.device)))
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// Point lookup through an index: rows of `rel` where the indexed
+    /// columns equal `key`, filtered by visibility.
+    pub fn index_scan_eq(&mut self, index: RelId, key: &[Datum]) -> DbResult<Vec<(Tid, Row)>> {
+        let snap = self.snapshot.clone();
+        self.index_scan_eq_with(index, key, &snap)
+    }
+
+    /// [`Session::index_scan_eq`] under an explicit snapshot.
+    ///
+    /// Historical snapshots also search the table's archive relation: the
+    /// vacuum cleaner may have moved the versions visible at that instant
+    /// out of the heap (and rebuilt the index without them).
+    pub fn index_scan_eq_with(
+        &mut self,
+        index: RelId,
+        key: &[Datum],
+        snap: &Snapshot,
+    ) -> DbResult<Vec<(Tid, Row)>> {
+        let (table, dev, key_columns) = {
+            let cat = self.db.inner.catalog.read();
+            let ie = cat.relation(index)?;
+            let info = ie
+                .index
+                .as_ref()
+                .ok_or_else(|| DbError::Invalid(format!("{index} is not an index")))?;
+            (info.table, ie.device, info.key_columns.clone())
+        };
+        self.lock_for(table, LockMode::Shared, snap)?;
+        let tids = self.btree(index, dev).search(key)?;
+        let mut out = Vec::new();
+        {
+            let heap = self.heap(table, dev);
+            for tid in tids {
+                if let Some(row) = heap.fetch(snap, tid)? {
+                    out.push((tid, row));
+                }
+            }
+        }
+        if let Snapshot::AsOf(t) = snap {
+            self.scan_archive_matching(
+                table,
+                *t,
+                |row| {
+                    key_columns.len() == key.len()
+                        && key_columns
+                            .iter()
+                            .zip(key)
+                            .all(|(&c, k)| row[c].cmp_total(k) == std::cmp::Ordering::Equal)
+                },
+                &mut out,
+            )?;
+        }
+        Ok(out)
+    }
+
+    /// Appends archived row versions of `table` visible at `t` and matching
+    /// `pred` to `out`.
+    fn scan_archive_matching(
+        &mut self,
+        table: RelId,
+        t: SimInstant,
+        pred: impl Fn(&Row) -> bool,
+        out: &mut Vec<(Tid, Row)>,
+    ) -> DbResult<()> {
+        let arch = {
+            let cat = self.db.inner.catalog.read();
+            let e = cat.relation(table)?;
+            match e.archive {
+                Some(a) => Some((a, cat.relation(a)?.device)),
+                None => None,
+            }
+        };
+        let Some((arch, arch_dev)) = arch else {
+            return Ok(());
+        };
+        let heap = self.heap(arch, arch_dev);
+        heap.scan_visible(&Snapshot::Dirty, |tid, row| {
+            let amin = SimInstant::from_nanos(row[0].as_int()? as u64);
+            let amax = SimInstant::from_nanos(row[1].as_int()? as u64);
+            if amin <= t && t < amax {
+                let orig = decode_row(row[2].as_bytes()?)?;
+                if pred(&orig) {
+                    out.push((tid, orig));
+                }
+            }
+            Ok(true)
+        })
+    }
+
+    /// Range scan through an index (`lo..=hi`, `None` = unbounded), calling
+    /// `f(tid, row)` for each visible row in key order; `f` returns `false`
+    /// to stop early.
+    pub fn index_scan_range(
+        &mut self,
+        index: RelId,
+        lo: Option<&[Datum]>,
+        hi: Option<&[Datum]>,
+        mut f: impl FnMut(Tid, Row) -> DbResult<bool>,
+    ) -> DbResult<()> {
+        let snap = self.snapshot.clone();
+        let (table, dev) = {
+            let cat = self.db.inner.catalog.read();
+            let ie = cat.relation(index)?;
+            let info = ie
+                .index
+                .as_ref()
+                .ok_or_else(|| DbError::Invalid(format!("{index} is not an index")))?;
+            (info.table, ie.device)
+        };
+        self.lock(table, LockMode::Shared)?;
+        let bt = self.btree(index, dev);
+        let heap = self.heap(table, dev);
+        bt.scan(lo, hi, |_k, tid| match heap.fetch(&snap, tid)? {
+            Some(row) => f(tid, row),
+            None => Ok(true),
+        })
+    }
+
+    /// Commits the transaction: data to stable storage, then the status
+    /// record — the commit point.
+    pub fn commit(&mut self) -> DbResult<()> {
+        if self.done {
+            return Err(DbError::NoTransaction);
+        }
+        self.done = true;
+        let Some(xid) = self.xid else {
+            return Ok(()); // Historical sessions end trivially.
+        };
+        // A hair of commit processing keeps commit timestamps strictly
+        // monotone even if no device advanced the clock.
+        self.db.inner.clock.advance(SimDuration::from_micros(1));
+        let result = if self.wrote {
+            self.db
+                .inner
+                .pool
+                .flush_all(&self.db.inner.smgr)
+                .and_then(|_| self.db.inner.smgr.sync_all())
+                .and_then(|_| self.db.inner.xlog.commit(xid, self.db.inner.clock.now()))
+        } else {
+            // Read-only: no durability needed, no status-file write.
+            self.db
+                .inner
+                .xlog
+                .commit_readonly(xid, self.db.inner.clock.now())
+        };
+        if result.is_err() {
+            // The commit never reached the status file, so the transaction
+            // is aborted by definition; record that (best effort — a dead
+            // log device changes nothing, absence of a commit record is
+            // authoritative) and release the locks.
+            let _ = self.db.inner.xlog.abort(xid);
+        }
+        self.db.inner.locks.release_all(xid);
+        result
+    }
+
+    /// Aborts the transaction; all its updates become permanently invisible.
+    pub fn abort(&mut self) -> DbResult<()> {
+        if self.done {
+            return Err(DbError::NoTransaction);
+        }
+        self.done = true;
+        let Some(xid) = self.xid else {
+            return Ok(());
+        };
+        self.db.inner.xlog.abort(xid)?;
+        self.db.inner.locks.release_all(xid);
+        Ok(())
+    }
+}
+
+impl Drop for Session {
+    fn drop(&mut self) {
+        if !self.done {
+            if let Some(xid) = self.xid {
+                let _ = self.db.inner.xlog.abort(xid);
+                self.db.inner.locks.release_all(xid);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db_with_table() -> (Db, RelId) {
+        let db = Db::open_in_memory().unwrap();
+        let rel = db
+            .create_table(
+                "emp",
+                Schema::new([("name", TypeId::TEXT), ("age", TypeId::INT4)]),
+            )
+            .unwrap();
+        (db, rel)
+    }
+
+    fn emp(name: &str, age: i32) -> Row {
+        vec![Datum::Text(name.into()), Datum::Int4(age)]
+    }
+
+    #[test]
+    fn insert_commit_read() {
+        let (db, rel) = db_with_table();
+        let mut s = db.begin().unwrap();
+        s.insert(rel, emp("mao", 29)).unwrap();
+        s.insert(rel, emp("mike", 45)).unwrap();
+        s.commit().unwrap();
+
+        let mut r = db.begin().unwrap();
+        let rows = r.seq_scan(rel).unwrap();
+        assert_eq!(rows.len(), 2);
+        r.commit().unwrap();
+    }
+
+    #[test]
+    fn abort_discards_updates() {
+        let (db, rel) = db_with_table();
+        let mut s = db.begin().unwrap();
+        s.insert(rel, emp("ghost", 0)).unwrap();
+        s.abort().unwrap();
+        let mut r = db.begin().unwrap();
+        assert!(r.seq_scan(rel).unwrap().is_empty());
+        r.commit().unwrap();
+    }
+
+    #[test]
+    fn dropped_session_aborts() {
+        let (db, rel) = db_with_table();
+        {
+            let mut s = db.begin().unwrap();
+            s.insert(rel, emp("ghost", 0)).unwrap();
+            // Dropped without commit.
+        }
+        let mut r = db.begin().unwrap();
+        assert!(r.seq_scan(rel).unwrap().is_empty());
+        r.commit().unwrap();
+    }
+
+    #[test]
+    fn wrong_arity_rejected() {
+        let (db, rel) = db_with_table();
+        let mut s = db.begin().unwrap();
+        assert!(matches!(
+            s.insert(rel, vec![Datum::Int4(1)]),
+            Err(DbError::Bind(_))
+        ));
+        s.abort().unwrap();
+    }
+
+    #[test]
+    fn update_and_time_travel() {
+        let (db, rel) = db_with_table();
+        let mut s = db.begin().unwrap();
+        let tid = s.insert(rel, emp("mao", 29)).unwrap();
+        s.commit().unwrap();
+        let t_young = db.now();
+
+        let mut s = db.begin().unwrap();
+        s.update(rel, tid, emp("mao", 30)).unwrap();
+        s.commit().unwrap();
+
+        // Present: one row, age 30.
+        let mut r = db.begin().unwrap();
+        let rows = r.seq_scan(rel).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].1[1], Datum::Int4(30));
+        r.commit().unwrap();
+
+        // The past: age 29.
+        let mut h = db.snapshot_at(t_young);
+        let rows = h.seq_scan(rel).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].1[1], Datum::Int4(29));
+        assert!(!h.is_writable());
+        assert!(matches!(h.insert(rel, emp("x", 1)), Err(DbError::ReadOnly)));
+    }
+
+    #[test]
+    fn index_scan_finds_visible_versions_only() {
+        let (db, rel) = db_with_table();
+        let idx = db.create_index("emp_age", rel, &["age"]).unwrap();
+        let mut s = db.begin().unwrap();
+        let tid = s.insert(rel, emp("mao", 29)).unwrap();
+        s.insert(rel, emp("mike", 29)).unwrap();
+        s.insert(rel, emp("margo", 31)).unwrap();
+        s.commit().unwrap();
+
+        let mut r = db.begin().unwrap();
+        let rows = r.index_scan_eq(idx, &[Datum::Int4(29)]).unwrap();
+        assert_eq!(rows.len(), 2);
+        r.commit().unwrap();
+
+        // Delete one and re-check.
+        let mut s = db.begin().unwrap();
+        s.delete(rel, tid).unwrap();
+        s.commit().unwrap();
+        let mut r = db.begin().unwrap();
+        let rows = r.index_scan_eq(idx, &[Datum::Int4(29)]).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].1[0], Datum::Text("mike".into()));
+        r.commit().unwrap();
+    }
+
+    #[test]
+    fn index_backfill_covers_preexisting_rows() {
+        let (db, rel) = db_with_table();
+        let mut s = db.begin().unwrap();
+        s.insert(rel, emp("early", 10)).unwrap();
+        s.commit().unwrap();
+        let idx = db.create_index("emp_age", rel, &["age"]).unwrap();
+        let mut r = db.begin().unwrap();
+        assert_eq!(r.index_scan_eq(idx, &[Datum::Int4(10)]).unwrap().len(), 1);
+        r.commit().unwrap();
+    }
+
+    #[test]
+    fn index_range_scan_in_order() {
+        let (db, rel) = db_with_table();
+        let idx = db.create_index("emp_age", rel, &["age"]).unwrap();
+        let mut s = db.begin().unwrap();
+        for age in [40, 10, 30, 20, 50] {
+            s.insert(rel, emp(&format!("p{age}"), age)).unwrap();
+        }
+        s.commit().unwrap();
+        let mut r = db.begin().unwrap();
+        let mut seen = Vec::new();
+        r.index_scan_range(
+            idx,
+            Some(&[Datum::Int4(15)]),
+            Some(&[Datum::Int4(45)]),
+            |_, row| {
+                seen.push(row[1].as_int().unwrap());
+                Ok(true)
+            },
+        )
+        .unwrap();
+        assert_eq!(seen, vec![20, 30, 40]);
+        r.commit().unwrap();
+    }
+
+    #[test]
+    fn two_sessions_serialize_on_write_lock() {
+        let (db, rel) = db_with_table();
+        let db2 = db.clone();
+        let mut s1 = db.begin().unwrap();
+        s1.insert(rel, emp("a", 1)).unwrap();
+        let t = std::thread::spawn(move || {
+            let mut s2 = db2.begin().unwrap();
+            // Blocks until s1 commits.
+            s2.insert(rel, emp("b", 2)).unwrap();
+            s2.commit().unwrap();
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        s1.commit().unwrap();
+        t.join().unwrap();
+        let mut r = db.begin().unwrap();
+        assert_eq!(r.seq_scan(rel).unwrap().len(), 2);
+        r.commit().unwrap();
+    }
+
+    #[test]
+    fn crash_recovery_keeps_committed_loses_uncommitted() {
+        let clock = SimClock::new();
+        let data = shared_device(MagneticDisk::new(
+            "data",
+            clock.clone(),
+            DiskProfile::tiny_for_tests(1 << 16),
+        ));
+        let log = shared_device(MagneticDisk::new(
+            "log",
+            clock.clone(),
+            DiskProfile::tiny_for_tests(1 << 12),
+        ));
+        let cat = shared_device(MagneticDisk::new(
+            "cat",
+            clock.clone(),
+            DiskProfile::tiny_for_tests(1 << 12),
+        ));
+        let rel;
+        {
+            let mut smgr = Smgr::new();
+            smgr.register(
+                DeviceId::DEFAULT,
+                Box::new(GenericManager::format(data.clone()).unwrap()),
+            )
+            .unwrap();
+            let db = Db::open(
+                clock.clone(),
+                smgr,
+                log.clone(),
+                cat.clone(),
+                DbConfig::default(),
+            )
+            .unwrap();
+            rel = db
+                .create_table("t", Schema::new([("v", TypeId::INT4)]))
+                .unwrap();
+            let mut s = db.begin().unwrap();
+            s.insert(rel, vec![Datum::Int4(1)]).unwrap();
+            s.commit().unwrap();
+            let mut s = db.begin().unwrap();
+            s.insert(rel, vec![Datum::Int4(2)]).unwrap();
+            // CRASH: no commit, Db dropped with dirty buffers discarded.
+            std::mem::forget(s); // Not even an abort record.
+        }
+        // Recovery = reopen. Instantaneous: no scan, no fsck.
+        let mut smgr = Smgr::new();
+        smgr.register(
+            DeviceId::DEFAULT,
+            Box::new(GenericManager::attach(data).unwrap()),
+        )
+        .unwrap();
+        let db = Db::recover(clock, smgr, log, cat, DbConfig::default()).unwrap();
+        let mut r = db.begin().unwrap();
+        let rows = r.seq_scan(rel).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].1[0], Datum::Int4(1));
+        r.commit().unwrap();
+    }
+
+    #[test]
+    fn catalog_survives_recovery() {
+        let clock = SimClock::new();
+        let data = shared_device(MagneticDisk::new(
+            "data",
+            clock.clone(),
+            DiskProfile::tiny_for_tests(1 << 16),
+        ));
+        let log = shared_device(MagneticDisk::new(
+            "log",
+            clock.clone(),
+            DiskProfile::tiny_for_tests(1 << 12),
+        ));
+        let cat = shared_device(MagneticDisk::new(
+            "cat",
+            clock.clone(),
+            DiskProfile::tiny_for_tests(1 << 12),
+        ));
+        {
+            let mut smgr = Smgr::new();
+            smgr.register(
+                DeviceId::DEFAULT,
+                Box::new(GenericManager::format(data.clone()).unwrap()),
+            )
+            .unwrap();
+            let db = Db::open(
+                clock.clone(),
+                smgr,
+                log.clone(),
+                cat.clone(),
+                DbConfig::default(),
+            )
+            .unwrap();
+            db.create_table("naming", Schema::new([("filename", TypeId::TEXT)]))
+                .unwrap();
+            db.define_type("tm").unwrap();
+        }
+        let mut smgr = Smgr::new();
+        smgr.register(
+            DeviceId::DEFAULT,
+            Box::new(GenericManager::attach(data).unwrap()),
+        )
+        .unwrap();
+        let db = Db::recover(clock, smgr, log, cat, DbConfig::default()).unwrap();
+        assert!(db.relation_id("naming").is_ok());
+        assert!(db.catalog().type_by_name("tm").is_ok());
+    }
+
+    #[test]
+    fn drop_relation_removes_table_and_indices() {
+        let (db, rel) = db_with_table();
+        db.create_index("emp_age", rel, &["age"]).unwrap();
+        db.drop_relation("emp").unwrap();
+        assert!(db.relation_id("emp").is_err());
+        assert!(db.relation_id("emp_age").is_err());
+        // Name can be reused.
+        db.create_table("emp", Schema::new([("x", TypeId::INT4)]))
+            .unwrap();
+    }
+
+    #[test]
+    fn functions_registered_and_resolved() {
+        let db = Db::open_in_memory().unwrap();
+        db.functions().register("test.twice", |_s, args| {
+            Ok(Datum::Int8(args[0].as_int()? * 2))
+        });
+        db.define_function("twice", 1, TypeId::INT8, "test.twice", None)
+            .unwrap();
+        let f = db.resolve_function("twice").unwrap();
+        let mut s = db.begin().unwrap();
+        assert_eq!(f.call(&mut s, &[Datum::Int4(21)]).unwrap(), Datum::Int8(42));
+        s.abort().unwrap();
+        assert!(db.resolve_function("thrice").is_err());
+    }
+
+    #[test]
+    fn snapshot_before_creation_sees_nothing() {
+        let (db, rel) = db_with_table();
+        let t0 = db.now();
+        let mut s = db.begin().unwrap();
+        s.insert(rel, emp("later", 1)).unwrap();
+        s.commit().unwrap();
+        let mut h = db.snapshot_at(t0);
+        assert!(h.seq_scan(rel).unwrap().is_empty());
+    }
+
+    #[test]
+    fn commit_twice_is_an_error() {
+        let (db, _) = db_with_table();
+        let mut s = db.begin().unwrap();
+        s.commit().unwrap();
+        assert!(matches!(s.commit(), Err(DbError::NoTransaction)));
+        assert!(matches!(s.abort(), Err(DbError::NoTransaction)));
+    }
+}
+
+#[cfg(test)]
+mod readonly_commit_tests {
+    use super::*;
+
+    #[test]
+    fn readonly_commit_writes_no_status_record() {
+        let db = Db::open_in_memory().unwrap();
+        let rel = db
+            .create_table("t", Schema::new([("v", TypeId::INT4)]))
+            .unwrap();
+        let mut w = db.begin().unwrap();
+        w.insert(rel, vec![Datum::Int4(1)]).unwrap();
+        w.commit().unwrap();
+
+        // A read-only transaction: no flush, no log write; stays committed
+        // in memory so later snapshots behave.
+        let t0 = db.now();
+        let mut r = db.begin().unwrap();
+        assert_eq!(r.seq_scan(rel).unwrap().len(), 1);
+        r.commit().unwrap();
+        // Commit advanced the clock only by the commit-processing hair,
+        // not by device writes.
+        let elapsed = db.now().since(t0);
+        assert!(
+            elapsed < simdev::SimDuration::from_millis(1),
+            "took {elapsed}"
+        );
+    }
+
+    #[test]
+    fn flush_rel_persists_only_that_relation() {
+        let db = Db::open_in_memory().unwrap();
+        let a = db
+            .create_table("a", Schema::new([("v", TypeId::INT4)]))
+            .unwrap();
+        let b = db
+            .create_table("b", Schema::new([("v", TypeId::INT4)]))
+            .unwrap();
+        let mut s = db.begin().unwrap();
+        s.insert(a, vec![Datum::Int4(1)]).unwrap();
+        s.insert(b, vec![Datum::Int4(2)]).unwrap();
+        let before = db.buffer_stats().writebacks;
+        db.inner.pool.flush_rel(&db.inner.smgr, a).unwrap();
+        let after = db.buffer_stats().writebacks;
+        assert!(after > before, "a's dirty page written");
+        // b's page is still dirty in cache (flush_all at commit handles it).
+        s.commit().unwrap();
+        let mut r = db.begin().unwrap();
+        assert_eq!(r.seq_scan(b).unwrap().len(), 1);
+        r.commit().unwrap();
+    }
+}

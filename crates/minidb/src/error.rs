@@ -1,0 +1,102 @@
+//! Engine error types.
+
+use std::fmt;
+
+use simdev::DevError;
+
+/// Errors surfaced by the storage engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DbError {
+    /// An underlying device failed.
+    Device(DevError),
+    /// A named object (table, index, type, function, rule) does not exist.
+    NotFound(String),
+    /// An object with this name already exists.
+    AlreadyExists(String),
+    /// A tuple, key, or page was malformed.
+    Corrupt(String),
+    /// A tuple was too large to fit on one page.
+    TupleTooBig {
+        /// Encoded tuple size.
+        size: usize,
+        /// Largest size that fits.
+        max: usize,
+    },
+    /// Deadlock detected; the transaction should be aborted and retried.
+    Deadlock,
+    /// A lock wait timed out.
+    LockTimeout,
+    /// The operation requires an active transaction.
+    NoTransaction,
+    /// A transaction is already active on this session.
+    TransactionActive,
+    /// The session is read-only (historical snapshots cannot be written).
+    ReadOnly,
+    /// A query failed to parse.
+    Parse(String),
+    /// A query failed type checking or binding.
+    Bind(String),
+    /// A runtime evaluation error (division by zero, bad cast, ...).
+    Eval(String),
+    /// Catch-all for invalid API usage.
+    Invalid(String),
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::Device(e) => write!(f, "device error: {e}"),
+            DbError::NotFound(what) => write!(f, "not found: {what}"),
+            DbError::AlreadyExists(what) => write!(f, "already exists: {what}"),
+            DbError::Corrupt(what) => write!(f, "corrupt data: {what}"),
+            DbError::TupleTooBig { size, max } => {
+                write!(f, "tuple of {size} bytes exceeds page capacity {max}")
+            }
+            DbError::Deadlock => write!(f, "deadlock detected"),
+            DbError::LockTimeout => write!(f, "lock wait timed out"),
+            DbError::NoTransaction => write!(f, "no transaction in progress"),
+            DbError::TransactionActive => write!(f, "a transaction is already in progress"),
+            DbError::ReadOnly => write!(f, "historical snapshots are read-only"),
+            DbError::Parse(msg) => write!(f, "parse error: {msg}"),
+            DbError::Bind(msg) => write!(f, "bind error: {msg}"),
+            DbError::Eval(msg) => write!(f, "evaluation error: {msg}"),
+            DbError::Invalid(msg) => write!(f, "invalid operation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+impl From<DevError> for DbError {
+    fn from(e: DevError) -> Self {
+        DbError::Device(e)
+    }
+}
+
+/// Convenience alias for engine results.
+pub type DbResult<T> = Result<T, DbError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn device_errors_convert() {
+        let e: DbError = DevError::NoSpace.into();
+        assert_eq!(e, DbError::Device(DevError::NoSpace));
+        assert!(e.to_string().contains("device full"));
+    }
+
+    #[test]
+    fn display_mentions_detail() {
+        assert!(DbError::NotFound("naming".into())
+            .to_string()
+            .contains("naming"));
+        assert!(DbError::TupleTooBig {
+            size: 9000,
+            max: 8150
+        }
+        .to_string()
+        .contains("9000"));
+    }
+}

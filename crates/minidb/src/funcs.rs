@@ -1,0 +1,152 @@
+//! The in-process function implementation registry.
+//!
+//! "Users may write functions in C or in POSTQUEL ... these functions are
+//! dynamically loaded into the data manager process and executed with its
+//! permissions." The Rust analogue of dynamic loading: implementations are
+//! `Arc<dyn Fn>` values registered under an *implementation key*; the
+//! catalog persists each function's name, signature, and key
+//! ([`crate::catalog::ProcEntry`]), and calls resolve the key against this
+//! registry at run time. After a restart the same keys must be re-registered
+//! (exactly as a 1993 installation had to keep its shared objects around).
+//!
+//! Implementations receive a mutable [`crate::db::Session`], so a function
+//! invoked from the query language can itself read relations — this is what
+//! lets Inversion's `snow(file)` open and scan a file *inside* the data
+//! manager, the paper's fastest configuration.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::datum::Datum;
+use crate::db::Session;
+use crate::error::{DbError, DbResult};
+
+/// The signature of a registered function implementation.
+pub type FnImpl = Arc<dyn Fn(&mut Session, &[Datum]) -> DbResult<Datum> + Send + Sync>;
+
+/// A resolved function: catalog definition plus implementation.
+#[derive(Clone)]
+pub struct FuncDef {
+    /// The function's name as used in queries.
+    pub name: String,
+    /// Number of arguments it expects.
+    pub nargs: usize,
+    /// The callable.
+    pub imp: FnImpl,
+}
+
+impl FuncDef {
+    /// Invokes the function, checking arity.
+    pub fn call(&self, session: &mut Session, args: &[Datum]) -> DbResult<Datum> {
+        if args.len() != self.nargs {
+            return Err(DbError::Eval(format!(
+                "function {} expects {} arguments, got {}",
+                self.name,
+                self.nargs,
+                args.len()
+            )));
+        }
+        (self.imp)(session, args)
+    }
+}
+
+/// Registry mapping implementation keys to callables.
+#[derive(Default)]
+pub struct FunctionRegistry {
+    impls: RwLock<HashMap<String, FnImpl>>,
+}
+
+impl FunctionRegistry {
+    /// Creates a registry preloaded with the builtin implementations.
+    pub fn with_builtins() -> FunctionRegistry {
+        let reg = FunctionRegistry::default();
+        reg.register("builtin.length", |_s, args| {
+            Ok(Datum::Int4(args[0].as_text()?.len() as i32))
+        });
+        reg.register("builtin.abs", |_s, args| match &args[0] {
+            Datum::Int4(v) => Ok(Datum::Int4(v.abs())),
+            Datum::Int8(v) => Ok(Datum::Int8(v.abs())),
+            Datum::Float8(v) => Ok(Datum::Float8(v.abs())),
+            other => Err(DbError::Eval(format!("abs: bad argument {other:?}"))),
+        });
+        reg.register("builtin.lower", |_s, args| {
+            Ok(Datum::Text(args[0].as_text()?.to_lowercase()))
+        });
+        reg.register("builtin.upper", |_s, args| {
+            Ok(Datum::Text(args[0].as_text()?.to_uppercase()))
+        });
+        reg
+    }
+
+    /// Registers (or replaces) the implementation behind `key`.
+    pub fn register(
+        &self,
+        key: impl Into<String>,
+        f: impl Fn(&mut Session, &[Datum]) -> DbResult<Datum> + Send + Sync + 'static,
+    ) {
+        self.impls.write().insert(key.into(), Arc::new(f));
+    }
+
+    /// Resolves an implementation key.
+    pub fn resolve(&self, key: &str) -> DbResult<FnImpl> {
+        self.impls.read().get(key).cloned().ok_or_else(|| {
+            DbError::NotFound(format!(
+                "function implementation \"{key}\" (is its module loaded?)"
+            ))
+        })
+    }
+
+    /// Whether `key` has an implementation.
+    pub fn has(&self, key: &str) -> bool {
+        self.impls.read().contains_key(key)
+    }
+
+    /// Registered implementation keys, sorted.
+    pub fn keys(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.impls.read().keys().cloned().collect();
+        v.sort();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtins_are_present() {
+        let reg = FunctionRegistry::with_builtins();
+        assert!(reg.has("builtin.length"));
+        assert!(reg.has("builtin.abs"));
+        assert!(!reg.has("builtin.nope"));
+        assert!(reg.keys().len() >= 4);
+    }
+
+    #[test]
+    fn resolve_missing_is_not_found() {
+        let reg = FunctionRegistry::default();
+        assert!(matches!(reg.resolve("x"), Err(DbError::NotFound(_))));
+    }
+
+    #[test]
+    fn register_and_call_through_session() {
+        let reg = FunctionRegistry::with_builtins();
+        reg.register("test.add", |_s, args| {
+            Ok(Datum::Int8(args[0].as_int()? + args[1].as_int()?))
+        });
+        let db = crate::db::Db::open_in_memory().unwrap();
+        let mut s = db.begin().unwrap();
+        let f = FuncDef {
+            name: "add".into(),
+            nargs: 2,
+            imp: reg.resolve("test.add").unwrap(),
+        };
+        let out = f.call(&mut s, &[Datum::Int4(2), Datum::Int4(3)]).unwrap();
+        assert_eq!(out, Datum::Int8(5));
+        // Arity check.
+        assert!(f.call(&mut s, &[Datum::Int4(2)]).is_err());
+        s.abort().unwrap();
+    }
+}

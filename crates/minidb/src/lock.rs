@@ -1,0 +1,272 @@
+//! Two-phase locking.
+//!
+//! "A standard database two-phase locking protocol \[GRAY76\] allows
+//! concurrent access to files while preventing simultaneous changes from
+//! interfering with one another." Locks are relation-granularity, shared or
+//! exclusive, held until commit or abort (strict 2PL). Waiters are parked on
+//! a condition variable; a wait-for graph is checked on every block so
+//! deadlocks fail fast with [`DbError::Deadlock`] instead of hanging.
+
+use std::collections::{HashMap, HashSet};
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::error::{DbError, DbResult};
+use crate::ids::{RelId, XactId};
+
+/// Lock modes. Shared locks are compatible with each other; exclusive locks
+/// are compatible with nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockMode {
+    /// Read lock.
+    Shared,
+    /// Write lock.
+    Exclusive,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    /// Current holders per relation.
+    holders: HashMap<RelId, HashMap<XactId, LockMode>>,
+    /// Who each blocked transaction is waiting on.
+    waits_for: HashMap<XactId, HashSet<XactId>>,
+}
+
+impl Inner {
+    /// The holders that prevent `xid` from taking `mode` on `rel`.
+    fn conflicts(&self, rel: RelId, xid: XactId, mode: LockMode) -> HashSet<XactId> {
+        let Some(held) = self.holders.get(&rel) else {
+            return HashSet::new();
+        };
+        held.iter()
+            .filter(|(&h, &m)| {
+                h != xid
+                    && match mode {
+                        LockMode::Shared => m == LockMode::Exclusive,
+                        LockMode::Exclusive => true,
+                    }
+            })
+            .map(|(&h, _)| h)
+            .collect()
+    }
+
+    /// Whether `from` can reach `to` in the wait-for graph.
+    fn reaches(&self, from: XactId, to: XactId) -> bool {
+        let mut seen = HashSet::new();
+        let mut stack = vec![from];
+        while let Some(x) = stack.pop() {
+            if x == to {
+                return true;
+            }
+            if !seen.insert(x) {
+                continue;
+            }
+            if let Some(next) = self.waits_for.get(&x) {
+                stack.extend(next.iter().copied());
+            }
+        }
+        false
+    }
+}
+
+/// The lock manager.
+pub struct LockManager {
+    inner: Mutex<Inner>,
+    cv: Condvar,
+    timeout: Duration,
+}
+
+impl Default for LockManager {
+    fn default() -> Self {
+        LockManager::new()
+    }
+}
+
+impl LockManager {
+    /// Creates a lock manager with a 10-second wait timeout backstop.
+    pub fn new() -> LockManager {
+        LockManager {
+            inner: Mutex::new(Inner::default()),
+            cv: Condvar::new(),
+            timeout: Duration::from_secs(10),
+        }
+    }
+
+    /// Creates a lock manager with a custom wait timeout (tests).
+    pub fn with_timeout(timeout: Duration) -> LockManager {
+        LockManager {
+            inner: Mutex::new(Inner::default()),
+            cv: Condvar::new(),
+            timeout,
+        }
+    }
+
+    /// Acquires `mode` on `rel` for `xid`, blocking until compatible.
+    ///
+    /// Re-acquiring an already-held lock is a no-op; a shared holder that is
+    /// the only holder upgrades to exclusive in place. Detected deadlocks
+    /// return [`DbError::Deadlock`] (the caller should abort); pathological
+    /// waits return [`DbError::LockTimeout`].
+    pub fn acquire(&self, xid: XactId, rel: RelId, mode: LockMode) -> DbResult<()> {
+        let mut inner = self.inner.lock();
+        loop {
+            let already = inner.holders.get(&rel).and_then(|h| h.get(&xid)).copied();
+            match (already, mode) {
+                (Some(LockMode::Exclusive), _) | (Some(LockMode::Shared), LockMode::Shared) => {
+                    return Ok(())
+                }
+                _ => {}
+            }
+            let conflicts = inner.conflicts(rel, xid, mode);
+            if conflicts.is_empty() {
+                inner.holders.entry(rel).or_default().insert(xid, mode);
+                inner.waits_for.remove(&xid);
+                return Ok(());
+            }
+            // Would waiting close a cycle? If any conflicting holder
+            // (transitively) waits on us, abort this request instead.
+            for &other in &conflicts {
+                if inner.reaches(other, xid) {
+                    inner.waits_for.remove(&xid);
+                    return Err(DbError::Deadlock);
+                }
+            }
+            inner.waits_for.insert(xid, conflicts);
+            let timed_out = self.cv.wait_for(&mut inner, self.timeout).timed_out();
+            if timed_out {
+                inner.waits_for.remove(&xid);
+                return Err(DbError::LockTimeout);
+            }
+        }
+    }
+
+    /// Releases every lock held by `xid` (end of transaction).
+    pub fn release_all(&self, xid: XactId) {
+        let mut inner = self.inner.lock();
+        inner.holders.retain(|_, held| {
+            held.remove(&xid);
+            !held.is_empty()
+        });
+        inner.waits_for.remove(&xid);
+        self.cv.notify_all();
+    }
+
+    /// The mode `xid` holds on `rel`, if any.
+    pub fn held(&self, xid: XactId, rel: RelId) -> Option<LockMode> {
+        self.inner
+            .lock()
+            .holders
+            .get(&rel)
+            .and_then(|h| h.get(&xid))
+            .copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::Oid;
+    use std::sync::Arc;
+
+    #[test]
+    fn shared_locks_coexist() {
+        let lm = LockManager::new();
+        lm.acquire(XactId(1), Oid(5), LockMode::Shared).unwrap();
+        lm.acquire(XactId(2), Oid(5), LockMode::Shared).unwrap();
+        assert_eq!(lm.held(XactId(1), Oid(5)), Some(LockMode::Shared));
+        assert_eq!(lm.held(XactId(2), Oid(5)), Some(LockMode::Shared));
+    }
+
+    #[test]
+    fn reacquire_is_noop_and_upgrade_works_when_sole_holder() {
+        let lm = LockManager::new();
+        lm.acquire(XactId(1), Oid(5), LockMode::Shared).unwrap();
+        lm.acquire(XactId(1), Oid(5), LockMode::Shared).unwrap();
+        lm.acquire(XactId(1), Oid(5), LockMode::Exclusive).unwrap();
+        assert_eq!(lm.held(XactId(1), Oid(5)), Some(LockMode::Exclusive));
+        // Exclusive holder re-requesting shared keeps exclusive.
+        lm.acquire(XactId(1), Oid(5), LockMode::Shared).unwrap();
+        assert_eq!(lm.held(XactId(1), Oid(5)), Some(LockMode::Exclusive));
+    }
+
+    #[test]
+    fn exclusive_blocks_shared_until_release() {
+        let lm = Arc::new(LockManager::new());
+        lm.acquire(XactId(1), Oid(5), LockMode::Exclusive).unwrap();
+        let lm2 = Arc::clone(&lm);
+        let t = std::thread::spawn(move || {
+            lm2.acquire(XactId(2), Oid(5), LockMode::Shared).unwrap();
+            lm2.held(XactId(2), Oid(5))
+        });
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(lm.held(XactId(2), Oid(5)), None, "waiter must be blocked");
+        lm.release_all(XactId(1));
+        assert_eq!(t.join().unwrap(), Some(LockMode::Shared));
+    }
+
+    #[test]
+    fn deadlock_detected_not_hung() {
+        let lm = Arc::new(LockManager::new());
+        lm.acquire(XactId(1), Oid(1), LockMode::Exclusive).unwrap();
+        lm.acquire(XactId(2), Oid(2), LockMode::Exclusive).unwrap();
+        let lm2 = Arc::clone(&lm);
+        let t = std::thread::spawn(move || {
+            // X2 waits for rel 1 (held by X1).
+            lm2.acquire(XactId(2), Oid(1), LockMode::Exclusive)
+        });
+        std::thread::sleep(Duration::from_millis(50));
+        // X1 requesting rel 2 closes the cycle: one side must get Deadlock.
+        let r1 = lm.acquire(XactId(1), Oid(2), LockMode::Exclusive);
+        assert_eq!(r1, Err(DbError::Deadlock));
+        // Aborting X1 unblocks X2.
+        lm.release_all(XactId(1));
+        assert_eq!(t.join().unwrap(), Ok(()));
+    }
+
+    #[test]
+    fn timeout_backstop_fires() {
+        let lm = LockManager::with_timeout(Duration::from_millis(50));
+        lm.acquire(XactId(1), Oid(5), LockMode::Exclusive).unwrap();
+        let r = lm.acquire(XactId(2), Oid(5), LockMode::Shared);
+        assert_eq!(r, Err(DbError::LockTimeout));
+    }
+
+    #[test]
+    fn release_all_frees_every_relation() {
+        let lm = LockManager::new();
+        lm.acquire(XactId(1), Oid(1), LockMode::Exclusive).unwrap();
+        lm.acquire(XactId(1), Oid(2), LockMode::Shared).unwrap();
+        lm.release_all(XactId(1));
+        assert_eq!(lm.held(XactId(1), Oid(1)), None);
+        assert_eq!(lm.held(XactId(1), Oid(2)), None);
+        // Another transaction can take both immediately.
+        lm.acquire(XactId(2), Oid(1), LockMode::Exclusive).unwrap();
+        lm.acquire(XactId(2), Oid(2), LockMode::Exclusive).unwrap();
+    }
+
+    #[test]
+    fn writers_serialize_under_contention() {
+        let lm = Arc::new(LockManager::new());
+        let counter = Arc::new(Mutex::new(0u32));
+        let mut handles = Vec::new();
+        for i in 0..8u32 {
+            let lm = Arc::clone(&lm);
+            let counter = Arc::clone(&counter);
+            handles.push(std::thread::spawn(move || {
+                let xid = XactId(10 + i);
+                lm.acquire(xid, Oid(7), LockMode::Exclusive).unwrap();
+                {
+                    let mut g = counter.lock();
+                    *g += 1;
+                }
+                std::thread::sleep(Duration::from_millis(2));
+                lm.release_all(xid);
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*counter.lock(), 8);
+    }
+}

@@ -1,0 +1,289 @@
+//! The 8 KB slotted data page.
+//!
+//! Every relation — heaps and B-tree indices alike — is an array of these
+//! pages. Layout (all offsets little-endian `u16`):
+//!
+//! ```text
+//! +--------+-----------------+ ..free.. +------------------+---------+
+//! | header | slot array ...->|          |<-... tuple space | special |
+//! +--------+-----------------+          +------------------+---------+
+//! 0        12                lower      upper              special_off
+//! ```
+//!
+//! Items are never moved while live (tuple identifiers embed the slot
+//! number); deleting marks the slot dead, and the vacuum cleaner reclaims
+//! space by rewriting relations wholesale, as POSTGRES's did.
+
+use crate::error::{DbError, DbResult};
+
+/// Page size in bytes, equal to the device block size.
+pub const PAGE_SIZE: usize = simdev::BLOCK_SIZE;
+
+const MAGIC: u16 = 0x5047; // "PG"
+const HEADER_SIZE: usize = 12;
+const SLOT_SIZE: usize = 4;
+const DEAD_BIT: u16 = 0x8000;
+const LEN_MASK: u16 = 0x7FFF;
+
+const OFF_MAGIC: usize = 0;
+const OFF_NSLOTS: usize = 2;
+const OFF_LOWER: usize = 4;
+const OFF_UPPER: usize = 6;
+const OFF_SPECIAL: usize = 8;
+// Bytes 10..12 reserved for flags.
+
+/// The largest item that fits on an empty page with no special area.
+pub const MAX_ITEM: usize = PAGE_SIZE - HEADER_SIZE - SLOT_SIZE;
+
+fn get_u16(buf: &[u8], off: usize) -> u16 {
+    u16::from_le_bytes([buf[off], buf[off + 1]])
+}
+
+fn put_u16(buf: &mut [u8], off: usize, v: u16) {
+    buf[off..off + 2].copy_from_slice(&v.to_le_bytes());
+}
+
+/// Initializes `buf` as an empty page reserving `special_size` bytes at the end.
+///
+/// # Panics
+///
+/// Panics if `buf` is not exactly [`PAGE_SIZE`] bytes or the special area
+/// does not fit.
+pub fn init(buf: &mut [u8], special_size: usize) {
+    assert_eq!(buf.len(), PAGE_SIZE, "page buffer must be PAGE_SIZE");
+    assert!(special_size <= PAGE_SIZE - HEADER_SIZE);
+    buf.fill(0);
+    let special_off = (PAGE_SIZE - special_size) as u16;
+    put_u16(buf, OFF_MAGIC, MAGIC);
+    put_u16(buf, OFF_NSLOTS, 0);
+    put_u16(buf, OFF_LOWER, HEADER_SIZE as u16);
+    put_u16(buf, OFF_UPPER, special_off);
+    put_u16(buf, OFF_SPECIAL, special_off);
+}
+
+/// Whether `buf` has been initialized as a page.
+pub fn is_initialized(buf: &[u8]) -> bool {
+    buf.len() == PAGE_SIZE && get_u16(buf, OFF_MAGIC) == MAGIC
+}
+
+/// Number of slots on the page (live or dead).
+pub fn nslots(buf: &[u8]) -> u16 {
+    get_u16(buf, OFF_NSLOTS)
+}
+
+/// Free bytes available for one more item (including its slot entry).
+pub fn free_space(buf: &[u8]) -> usize {
+    let lower = get_u16(buf, OFF_LOWER) as usize;
+    let upper = get_u16(buf, OFF_UPPER) as usize;
+    (upper - lower).saturating_sub(SLOT_SIZE)
+}
+
+/// Whether an item of `len` bytes fits.
+pub fn fits(buf: &[u8], len: usize) -> bool {
+    free_space(buf) >= len
+}
+
+/// Inserts `item`, returning its slot number.
+pub fn insert(buf: &mut [u8], item: &[u8]) -> DbResult<u16> {
+    if item.len() > LEN_MASK as usize {
+        return Err(DbError::TupleTooBig {
+            size: item.len(),
+            max: MAX_ITEM,
+        });
+    }
+    if !fits(buf, item.len()) {
+        return Err(DbError::TupleTooBig {
+            size: item.len(),
+            max: free_space(buf),
+        });
+    }
+    let n = nslots(buf);
+    let lower = get_u16(buf, OFF_LOWER) as usize;
+    let upper = get_u16(buf, OFF_UPPER) as usize - item.len();
+    buf[upper..upper + item.len()].copy_from_slice(item);
+    put_u16(buf, lower, upper as u16);
+    put_u16(buf, lower + 2, item.len() as u16);
+    put_u16(buf, OFF_LOWER, (lower + SLOT_SIZE) as u16);
+    put_u16(buf, OFF_UPPER, upper as u16);
+    put_u16(buf, OFF_NSLOTS, n + 1);
+    Ok(n)
+}
+
+fn slot_entry(buf: &[u8], slot: u16) -> Option<(usize, usize, bool)> {
+    if slot >= nslots(buf) {
+        return None;
+    }
+    let base = HEADER_SIZE + slot as usize * SLOT_SIZE;
+    let off = get_u16(buf, base) as usize;
+    let lf = get_u16(buf, base + 2);
+    Some((off, (lf & LEN_MASK) as usize, lf & DEAD_BIT != 0))
+}
+
+/// Returns the item in `slot`, or `None` if the slot is out of range or dead.
+pub fn item(buf: &[u8], slot: u16) -> Option<&[u8]> {
+    let (off, len, dead) = slot_entry(buf, slot)?;
+    if dead {
+        None
+    } else {
+        Some(&buf[off..off + len])
+    }
+}
+
+/// Returns the item in `slot` even if marked dead (vacuum reads these).
+pub fn item_even_dead(buf: &[u8], slot: u16) -> Option<&[u8]> {
+    let (off, len, _) = slot_entry(buf, slot)?;
+    Some(&buf[off..off + len])
+}
+
+/// Mutable access to the item in `slot` (live or dead); used to stamp
+/// transaction ids into tuple headers in place.
+pub fn item_mut(buf: &mut [u8], slot: u16) -> Option<&mut [u8]> {
+    let (off, len, _) = slot_entry(buf, slot)?;
+    Some(&mut buf[off..off + len])
+}
+
+/// Marks `slot` dead. The space is reclaimed by vacuum, not here.
+pub fn set_dead(buf: &mut [u8], slot: u16) -> DbResult<()> {
+    if slot >= nslots(buf) {
+        return Err(DbError::Corrupt(format!("no slot {slot} on page")));
+    }
+    let base = HEADER_SIZE + slot as usize * SLOT_SIZE;
+    let lf = get_u16(buf, base + 2);
+    put_u16(buf, base + 2, lf | DEAD_BIT);
+    Ok(())
+}
+
+/// Whether `slot` is marked dead.
+pub fn is_dead(buf: &[u8], slot: u16) -> bool {
+    matches!(slot_entry(buf, slot), Some((_, _, true)))
+}
+
+/// The page's special area (B-tree metadata lives here).
+pub fn special(buf: &[u8]) -> &[u8] {
+    let off = get_u16(buf, OFF_SPECIAL) as usize;
+    &buf[off..]
+}
+
+/// Mutable access to the special area.
+pub fn special_mut(buf: &mut [u8]) -> &mut [u8] {
+    let off = get_u16(buf, OFF_SPECIAL) as usize;
+    &mut buf[off..]
+}
+
+/// Iterates over live items as `(slot, item)` pairs.
+pub fn iter(buf: &[u8]) -> impl Iterator<Item = (u16, &[u8])> {
+    (0..nslots(buf)).filter_map(move |s| item(buf, s).map(|i| (s, i)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn new_page() -> Vec<u8> {
+        let mut buf = vec![0u8; PAGE_SIZE];
+        init(&mut buf, 0);
+        buf
+    }
+
+    #[test]
+    fn empty_page_properties() {
+        let buf = new_page();
+        assert!(is_initialized(&buf));
+        assert_eq!(nslots(&buf), 0);
+        assert_eq!(free_space(&buf), MAX_ITEM);
+        assert!(item(&buf, 0).is_none());
+    }
+
+    #[test]
+    fn insert_and_fetch() {
+        let mut buf = new_page();
+        let s0 = insert(&mut buf, b"hello").unwrap();
+        let s1 = insert(&mut buf, b"world!").unwrap();
+        assert_eq!((s0, s1), (0, 1));
+        assert_eq!(item(&buf, 0).unwrap(), b"hello");
+        assert_eq!(item(&buf, 1).unwrap(), b"world!");
+        assert_eq!(nslots(&buf), 2);
+    }
+
+    #[test]
+    fn max_item_exactly_fits() {
+        let mut buf = new_page();
+        let big = vec![7u8; MAX_ITEM];
+        insert(&mut buf, &big).unwrap();
+        assert_eq!(item(&buf, 0).unwrap().len(), MAX_ITEM);
+        assert_eq!(free_space(&buf), 0);
+        assert!(insert(&mut buf, b"x").is_err());
+    }
+
+    #[test]
+    fn oversized_item_rejected() {
+        let mut buf = new_page();
+        let big = vec![7u8; MAX_ITEM + 1];
+        assert!(matches!(
+            insert(&mut buf, &big),
+            Err(DbError::TupleTooBig { .. })
+        ));
+    }
+
+    #[test]
+    fn fill_page_with_small_items() {
+        let mut buf = new_page();
+        let mut count = 0;
+        while fits(&buf, 100) {
+            insert(&mut buf, &[count as u8; 100]).unwrap();
+            count += 1;
+        }
+        assert!(count > 70, "should fit many 100-byte items, got {count}");
+        for s in 0..count {
+            assert_eq!(item(&buf, s as u16).unwrap(), &[s as u8; 100][..]);
+        }
+    }
+
+    #[test]
+    fn dead_slots_hidden_but_recoverable() {
+        let mut buf = new_page();
+        insert(&mut buf, b"keep").unwrap();
+        insert(&mut buf, b"kill").unwrap();
+        set_dead(&mut buf, 1).unwrap();
+        assert!(item(&buf, 1).is_none());
+        assert!(is_dead(&buf, 1));
+        assert_eq!(item_even_dead(&buf, 1).unwrap(), b"kill");
+        let live: Vec<_> = iter(&buf).collect();
+        assert_eq!(live, vec![(0, &b"keep"[..])]);
+    }
+
+    #[test]
+    fn set_dead_on_missing_slot_is_error() {
+        let mut buf = new_page();
+        assert!(set_dead(&mut buf, 3).is_err());
+    }
+
+    #[test]
+    fn item_mut_edits_in_place() {
+        let mut buf = new_page();
+        insert(&mut buf, b"abcd").unwrap();
+        item_mut(&mut buf, 0).unwrap()[0] = b'z';
+        assert_eq!(item(&buf, 0).unwrap(), b"zbcd");
+    }
+
+    #[test]
+    fn special_area_reserved_and_writable() {
+        let mut buf = vec![0u8; PAGE_SIZE];
+        init(&mut buf, 16);
+        assert_eq!(special(&buf).len(), 16);
+        special_mut(&mut buf).copy_from_slice(&[9u8; 16]);
+        // Fill the page; the special area must survive untouched.
+        while fits(&buf, 64) {
+            insert(&mut buf, &[1u8; 64]).unwrap();
+        }
+        assert_eq!(special(&buf), &[9u8; 16]);
+        // And items must not have been corrupted by special writes.
+        assert_eq!(item(&buf, 0).unwrap(), &[1u8; 64][..]);
+    }
+
+    #[test]
+    fn zeroed_buffer_is_not_initialized() {
+        let buf = vec![0u8; PAGE_SIZE];
+        assert!(!is_initialized(&buf));
+    }
+}

@@ -1,0 +1,165 @@
+//! Abstract syntax for the query language.
+
+use crate::datum::Datum;
+
+/// A scalar expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A literal value.
+    Lit(Datum),
+    /// A column reference: optional range variable plus attribute name.
+    Column {
+        /// Range variable (`e` in `e.filename`), if qualified.
+        var: Option<String>,
+        /// Attribute name.
+        attr: String,
+    },
+    /// A function call.
+    Call {
+        /// Function name.
+        name: String,
+        /// Argument expressions.
+        args: Vec<Expr>,
+    },
+    /// A binary operation.
+    Binary {
+        /// The operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// Logical negation.
+    Not(Box<Expr>),
+    /// Arithmetic negation.
+    Neg(Box<Expr>),
+}
+
+/// Binary operators, loosest first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `or`
+    Or,
+    /// `and`
+    And,
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `in` — substring / membership test (`"RISC" in keywords(file)`).
+    In,
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+}
+
+/// One entry of a `from` clause: `var in relname`, optionally with a
+/// time-travel bracket `relname[<nanos>]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FromItem {
+    /// The range variable.
+    pub var: String,
+    /// The relation name.
+    pub rel: String,
+    /// `Some(t)` to read the relation as of simulated time `t` (nanoseconds).
+    pub as_of: Option<Expr>,
+}
+
+/// One target of a `retrieve` list: optional output name plus expression.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Target {
+    /// Output column label.
+    pub name: String,
+    /// The computed expression.
+    pub expr: Expr,
+}
+
+/// A parsed statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `retrieve [into name] (targets) [from ...] [where qual] [sort by ...]`
+    Retrieve {
+        /// Materialize the result into a new table of this name.
+        into: Option<String>,
+        /// Projection list.
+        targets: Vec<Target>,
+        /// Range variables.
+        from: Vec<FromItem>,
+        /// Qualification.
+        qual: Option<Expr>,
+        /// Output ordering: `(output column name, descending)` pairs.
+        sort: Vec<(String, bool)>,
+    },
+    /// `append rel (col = expr, ...)`
+    Append {
+        /// Target relation name.
+        rel: String,
+        /// Column assignments.
+        values: Vec<(String, Expr)>,
+    },
+    /// `delete var from var in rel [where qual]` or `delete rel [where qual]`
+    Delete {
+        /// Range variable (same as relation name in the short form).
+        var: String,
+        /// Relation name.
+        rel: String,
+        /// Qualification.
+        qual: Option<Expr>,
+    },
+    /// `replace var (col = expr, ...) [from ...] [where qual]`
+    Replace {
+        /// Range variable.
+        var: String,
+        /// Relation name.
+        rel: String,
+        /// Column assignments.
+        values: Vec<(String, Expr)>,
+        /// Qualification.
+        qual: Option<Expr>,
+    },
+    /// `define type name`
+    DefineType {
+        /// The new type's name.
+        name: String,
+    },
+    /// `define function name (nargs) returns type as "impl.key" [for type]`
+    DefineFunction {
+        /// Function name.
+        name: String,
+        /// Argument count.
+        nargs: usize,
+        /// Return type name.
+        returns: String,
+        /// Implementation key in the function registry.
+        impl_key: String,
+        /// Optional file type the function operates on.
+        for_type: Option<String>,
+    },
+    /// `define rule name on access|update|periodic to rel where qual do action`
+    DefineRule {
+        /// Rule name.
+        name: String,
+        /// Event selector: `access`, `update`, or `periodic`.
+        event: String,
+        /// Watched relation.
+        rel: String,
+        /// Qualification source text.
+        qual: String,
+        /// Action source text.
+        action: String,
+    },
+}

@@ -1,0 +1,360 @@
+//! Expression evaluation.
+
+use crate::datum::{Datum, Row, Schema, TypeId};
+use crate::db::Session;
+use crate::error::{DbError, DbResult};
+
+use super::ast::{BinOp, Expr};
+
+/// Variable bindings during evaluation: each range variable with its schema
+/// and current row.
+#[derive(Default)]
+pub struct Binding<'a> {
+    /// `(var, schema, row)` triples.
+    pub vars: Vec<(&'a str, &'a Schema, &'a Row)>,
+}
+
+impl<'a> Binding<'a> {
+    /// An empty binding (expression-only evaluation).
+    pub fn empty() -> Binding<'a> {
+        Binding { vars: Vec::new() }
+    }
+
+    /// A binding over a single range variable.
+    pub fn single(var: &'a str, schema: &'a Schema, row: &'a Row) -> Binding<'a> {
+        Binding {
+            vars: vec![(var, schema, row)],
+        }
+    }
+
+    fn resolve(&self, var: Option<&str>, attr: &str) -> DbResult<Datum> {
+        match var {
+            Some(v) => {
+                for (name, schema, row) in &self.vars {
+                    if *name == v {
+                        let i = schema.column_index(attr).ok_or_else(|| {
+                            DbError::Bind(format!("no column \"{attr}\" in range of {v}"))
+                        })?;
+                        return Ok(row[i].clone());
+                    }
+                }
+                Err(DbError::Bind(format!("unknown range variable \"{v}\"")))
+            }
+            None => {
+                let mut found = None;
+                for (name, schema, row) in &self.vars {
+                    if let Some(i) = schema.column_index(attr) {
+                        if found.is_some() {
+                            return Err(DbError::Bind(format!(
+                                "ambiguous column \"{attr}\" (qualify with a range variable)"
+                            )));
+                        }
+                        found = Some((name, row[i].clone()));
+                    }
+                }
+                found
+                    .map(|(_, d)| d)
+                    .ok_or_else(|| DbError::Bind(format!("unknown column \"{attr}\"")))
+            }
+        }
+    }
+}
+
+/// Evaluates `e` under `binding`, using `session` for function calls.
+pub fn eval(session: &mut Session, binding: &Binding<'_>, e: &Expr) -> DbResult<Datum> {
+    match e {
+        Expr::Lit(d) => Ok(d.clone()),
+        Expr::Column { var, attr } => binding.resolve(var.as_deref(), attr),
+        Expr::Neg(inner) => match eval(session, binding, inner)? {
+            Datum::Int4(v) => Ok(Datum::Int4(-v)),
+            Datum::Int8(v) => Ok(Datum::Int8(-v)),
+            Datum::Float8(v) => Ok(Datum::Float8(-v)),
+            other => Err(DbError::Eval(format!("cannot negate {other:?}"))),
+        },
+        Expr::Not(inner) => Ok(Datum::Bool(!eval(session, binding, inner)?.as_bool()?)),
+        Expr::Call { name, args } => {
+            if name.eq_ignore_ascii_case("now") && args.is_empty() {
+                return Ok(Datum::Time(session.db().now().as_nanos()));
+            }
+            let f = session.db().resolve_function(name)?;
+            let mut vals = Vec::with_capacity(args.len());
+            for a in args {
+                vals.push(eval(session, binding, a)?);
+            }
+            f.call(session, &vals)
+        }
+        Expr::Binary { op, lhs, rhs } => {
+            // Short-circuit logical operators.
+            match op {
+                BinOp::And => {
+                    return Ok(Datum::Bool(
+                        eval(session, binding, lhs)?.as_bool()?
+                            && eval(session, binding, rhs)?.as_bool()?,
+                    ))
+                }
+                BinOp::Or => {
+                    return Ok(Datum::Bool(
+                        eval(session, binding, lhs)?.as_bool()?
+                            || eval(session, binding, rhs)?.as_bool()?,
+                    ))
+                }
+                _ => {}
+            }
+            let l = eval(session, binding, lhs)?;
+            let r = eval(session, binding, rhs)?;
+            binop(*op, l, r)
+        }
+    }
+}
+
+fn binop(op: BinOp, l: Datum, r: Datum) -> DbResult<Datum> {
+    use std::cmp::Ordering;
+    match op {
+        BinOp::And | BinOp::Or => unreachable!("handled in eval"),
+        BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+            // Comparisons against null are false (two-valued simplification).
+            if l == Datum::Null || r == Datum::Null {
+                return Ok(Datum::Bool(false));
+            }
+            let ord = l.cmp_total(&r);
+            Ok(Datum::Bool(match op {
+                BinOp::Eq => ord == Ordering::Equal,
+                BinOp::Ne => ord != Ordering::Equal,
+                BinOp::Lt => ord == Ordering::Less,
+                BinOp::Le => ord != Ordering::Greater,
+                BinOp::Gt => ord == Ordering::Greater,
+                BinOp::Ge => ord != Ordering::Less,
+                _ => unreachable!(),
+            }))
+        }
+        BinOp::In => match (&l, &r) {
+            // Null on either side: false, like the comparison operators.
+            (Datum::Null, _) | (_, Datum::Null) => Ok(Datum::Bool(false)),
+            // "RISC" in keywords(file): substring / word membership.
+            (Datum::Text(needle), Datum::Text(hay)) => Ok(Datum::Bool(hay.contains(needle))),
+            (Datum::Bytes(needle), Datum::Bytes(hay)) => Ok(Datum::Bool(
+                hay.windows(needle.len().max(1)).any(|w| w == &needle[..]),
+            )),
+            _ => Err(DbError::Eval(format!(
+                "bad operands for `in`: {l:?}, {r:?}"
+            ))),
+        },
+        BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div => {
+            let float = matches!(l, Datum::Float8(_)) || matches!(r, Datum::Float8(_));
+            if float {
+                let (a, b) = (l.as_float()?, r.as_float()?);
+                let v = match op {
+                    BinOp::Add => a + b,
+                    BinOp::Sub => a - b,
+                    BinOp::Mul => a * b,
+                    BinOp::Div => {
+                        if b == 0.0 {
+                            return Err(DbError::Eval("division by zero".into()));
+                        }
+                        a / b
+                    }
+                    _ => unreachable!(),
+                };
+                Ok(Datum::Float8(v))
+            } else {
+                let (a, b) = (l.as_int()?, r.as_int()?);
+                let v = match op {
+                    BinOp::Add => a.wrapping_add(b),
+                    BinOp::Sub => a.wrapping_sub(b),
+                    BinOp::Mul => a.wrapping_mul(b),
+                    BinOp::Div => {
+                        if b == 0 {
+                            return Err(DbError::Eval("division by zero".into()));
+                        }
+                        a / b
+                    }
+                    _ => unreachable!(),
+                };
+                Ok(Datum::Int8(v))
+            }
+        }
+    }
+}
+
+/// Coerces a computed datum to a column's declared type where a lossless
+/// conversion exists (integer literals are `int8` by default but columns are
+/// often `int4`, `oid`, or `time`).
+pub fn coerce(d: Datum, ty: TypeId) -> DbResult<Datum> {
+    let d2 = match (&d, ty) {
+        (Datum::Null, _) => Datum::Null,
+        (Datum::Int8(v), TypeId::INT4) => {
+            let v32 = i32::try_from(*v)
+                .map_err(|_| DbError::Eval(format!("{v} out of range for int4")))?;
+            Datum::Int4(v32)
+        }
+        (Datum::Int4(v), TypeId::INT8) => Datum::Int8(*v as i64),
+        (Datum::Int8(v), TypeId::OID) => {
+            let o = u32::try_from(*v)
+                .map_err(|_| DbError::Eval(format!("{v} out of range for oid")))?;
+            Datum::Oid(o)
+        }
+        (Datum::Int4(v), TypeId::OID) => {
+            let o = u32::try_from(*v)
+                .map_err(|_| DbError::Eval(format!("{v} out of range for oid")))?;
+            Datum::Oid(o)
+        }
+        (Datum::Oid(v), TypeId::INT8) => Datum::Int8(*v as i64),
+        (Datum::Int8(v), TypeId::TIME) => {
+            let t = u64::try_from(*v)
+                .map_err(|_| DbError::Eval(format!("{v} out of range for time")))?;
+            Datum::Time(t)
+        }
+        (Datum::Int8(v), TypeId::FLOAT8) => Datum::Float8(*v as f64),
+        (Datum::Int4(v), TypeId::FLOAT8) => Datum::Float8(*v as f64),
+        _ => d,
+    };
+    Ok(d2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::db::Db;
+    use crate::query::parser::parse_expr;
+
+    fn eval_str(src: &str) -> DbResult<Datum> {
+        let db = Db::open_in_memory().unwrap();
+        let mut s = db.begin().unwrap();
+        let e = parse_expr(src)?;
+        let out = eval(&mut s, &Binding::empty(), &e);
+        s.abort().unwrap();
+        out
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(eval_str("1 + 2 * 3").unwrap(), Datum::Int8(7));
+        assert_eq!(eval_str("10 / 4").unwrap(), Datum::Int8(2));
+        assert_eq!(eval_str("10 / 4.0").unwrap(), Datum::Float8(2.5));
+        assert_eq!(eval_str("-(3) + 1").unwrap(), Datum::Int8(-2));
+        assert!(eval_str("1 / 0").is_err());
+        assert!(eval_str("1.0 / 0").is_err());
+    }
+
+    #[test]
+    fn comparisons_and_logic() {
+        assert_eq!(eval_str("1 < 2 and 2 < 3").unwrap(), Datum::Bool(true));
+        assert_eq!(eval_str("1 > 2 or 3 >= 3").unwrap(), Datum::Bool(true));
+        assert_eq!(eval_str("not (1 = 1)").unwrap(), Datum::Bool(false));
+        assert_eq!(eval_str(r#""abc" != "abd""#).unwrap(), Datum::Bool(true));
+        assert_eq!(eval_str("null = null").unwrap(), Datum::Bool(false));
+    }
+
+    #[test]
+    fn in_operator_is_substring() {
+        assert_eq!(
+            eval_str(r#""RISC" in "RISC, pipeline, cache""#).unwrap(),
+            Datum::Bool(true)
+        );
+        assert_eq!(
+            eval_str(r#""CISC" in "RISC, pipeline""#).unwrap(),
+            Datum::Bool(false)
+        );
+        assert!(eval_str(r#"1 in "x""#).is_err());
+    }
+
+    #[test]
+    fn short_circuit_avoids_rhs_errors() {
+        assert_eq!(
+            eval_str("false and (1 / 0 = 1)").unwrap(),
+            Datum::Bool(false)
+        );
+        assert_eq!(eval_str("true or (1 / 0 = 1)").unwrap(), Datum::Bool(true));
+    }
+
+    #[test]
+    fn column_resolution() {
+        let db = Db::open_in_memory().unwrap();
+        let mut s = db.begin().unwrap();
+        let schema = Schema::new([("name", TypeId::TEXT), ("age", TypeId::INT4)]);
+        let row = vec![Datum::Text("mao".into()), Datum::Int4(29)];
+        let b = Binding::single("e", &schema, &row);
+        let e = parse_expr("e.age + 1").unwrap();
+        assert_eq!(eval(&mut s, &b, &e).unwrap(), Datum::Int8(30));
+        let e = parse_expr("age + 1").unwrap(); // Unqualified.
+        assert_eq!(eval(&mut s, &b, &e).unwrap(), Datum::Int8(30));
+        let e = parse_expr("e.salary").unwrap();
+        assert!(eval(&mut s, &b, &e).is_err());
+        let e = parse_expr("q.age").unwrap();
+        assert!(eval(&mut s, &b, &e).is_err());
+        s.abort().unwrap();
+    }
+
+    #[test]
+    fn ambiguous_unqualified_column_is_an_error() {
+        let db = Db::open_in_memory().unwrap();
+        let mut s = db.begin().unwrap();
+        let schema = Schema::new([("file", TypeId::OID)]);
+        let r1 = vec![Datum::Oid(1)];
+        let r2 = vec![Datum::Oid(2)];
+        let b = Binding {
+            vars: vec![("n", &schema, &r1), ("a", &schema, &r2)],
+        };
+        let e = parse_expr("file").unwrap();
+        assert!(matches!(eval(&mut s, &b, &e), Err(DbError::Bind(_))));
+        let e = parse_expr("n.file").unwrap();
+        assert_eq!(eval(&mut s, &b, &e).unwrap(), Datum::Oid(1));
+        s.abort().unwrap();
+    }
+
+    #[test]
+    fn now_pseudo_function() {
+        let db = Db::open_in_memory().unwrap();
+        let mut s = db.begin().unwrap();
+        let e = parse_expr("now()").unwrap();
+        let v = eval(&mut s, &Binding::empty(), &e).unwrap();
+        assert!(matches!(v, Datum::Time(_)));
+        s.abort().unwrap();
+    }
+
+    #[test]
+    fn registered_functions_callable() {
+        let db = Db::open_in_memory().unwrap();
+        db.functions()
+            .register("t.sq", |_s, a| Ok(Datum::Int8(a[0].as_int()?.pow(2))));
+        db.define_function("sq", 1, TypeId::INT8, "t.sq", None)
+            .unwrap();
+        let mut s = db.begin().unwrap();
+        let e = parse_expr("sq(7)").unwrap();
+        assert_eq!(
+            eval(&mut s, &Binding::empty(), &e).unwrap(),
+            Datum::Int8(49)
+        );
+        let e = parse_expr("missing(7)").unwrap();
+        assert!(eval(&mut s, &Binding::empty(), &e).is_err());
+        s.abort().unwrap();
+    }
+
+    #[test]
+    fn coercions() {
+        assert_eq!(
+            coerce(Datum::Int8(5), TypeId::INT4).unwrap(),
+            Datum::Int4(5)
+        );
+        assert_eq!(coerce(Datum::Int8(5), TypeId::OID).unwrap(), Datum::Oid(5));
+        assert_eq!(
+            coerce(Datum::Int8(5), TypeId::TIME).unwrap(),
+            Datum::Time(5)
+        );
+        assert_eq!(
+            coerce(Datum::Int4(5), TypeId::INT8).unwrap(),
+            Datum::Int8(5)
+        );
+        assert_eq!(
+            coerce(Datum::Int8(5), TypeId::FLOAT8).unwrap(),
+            Datum::Float8(5.0)
+        );
+        assert!(coerce(Datum::Int8(-1), TypeId::OID).is_err());
+        assert!(coerce(Datum::Int8(i64::MAX), TypeId::INT4).is_err());
+        // Unrelated types pass through unchanged.
+        assert_eq!(
+            coerce(Datum::Text("x".into()), TypeId::INT4).unwrap(),
+            Datum::Text("x".into())
+        );
+    }
+}

@@ -1,0 +1,1151 @@
+//! Statement execution: planning (seq scan vs index scan), nested-loop
+//! joins, projection, and the DDL statements.
+
+use simdev::SimInstant;
+
+use crate::catalog::RuleEvent;
+use crate::datum::{Datum, Row, Schema};
+use crate::db::Session;
+use crate::error::{DbError, DbResult};
+use crate::ids::Tid;
+use crate::xact::Snapshot;
+
+use super::ast::{BinOp, Expr, FromItem, Stmt, Target};
+use super::eval::{coerce, eval, Binding};
+use super::parser::parse;
+
+/// The outcome of executing one statement.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct QueryResult {
+    /// Output column labels (retrieve only).
+    pub columns: Vec<String>,
+    /// Result rows (retrieve only).
+    pub rows: Vec<Row>,
+    /// Rows appended / deleted / replaced (mutating statements).
+    pub affected: usize,
+}
+
+impl QueryResult {
+    /// Renders the result as an aligned text table (for the query monitor).
+    pub fn to_table(&self) -> String {
+        if self.columns.is_empty() {
+            return format!("({} rows affected)\n", self.affected);
+        }
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        let rendered: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| r.iter().map(|d| d.to_string()).collect())
+            .collect();
+        for row in &rendered {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        for (i, c) in self.columns.iter().enumerate() {
+            out.push_str(&format!("{:<w$}  ", c, w = widths[i]));
+        }
+        out.push('\n');
+        for (i, _) in self.columns.iter().enumerate() {
+            out.push_str(&"-".repeat(widths[i]));
+            out.push_str("  ");
+        }
+        out.push('\n');
+        for row in &rendered {
+            for (i, cell) in row.iter().enumerate() {
+                out.push_str(&format!("{:<w$}  ", cell, w = widths[i]));
+            }
+            out.push('\n');
+        }
+        out.push_str(&format!("({} rows)\n", self.rows.len()));
+        out
+    }
+}
+
+/// One bound range variable with its materialized candidate rows.
+struct BoundRel {
+    var: String,
+    schema: Schema,
+    rows: Vec<(Tid, Row)>,
+}
+
+impl Session {
+    /// Parses and executes one statement of the query language.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use minidb::{Db, Datum};
+    /// let db = Db::open_in_memory().unwrap();
+    /// let mut s = db.begin().unwrap();
+    /// s.query("retrieve (two = 1 + 1)").unwrap();
+    /// s.commit().unwrap();
+    /// ```
+    pub fn query(&mut self, input: &str) -> DbResult<QueryResult> {
+        let stmt = parse(input)?;
+        self.execute(stmt)
+    }
+
+    fn execute(&mut self, stmt: Stmt) -> DbResult<QueryResult> {
+        match stmt {
+            Stmt::Retrieve {
+                into,
+                targets,
+                from,
+                qual,
+                sort,
+            } => {
+                let result = self.exec_retrieve(targets, from, qual, sort)?;
+                match into {
+                    None => Ok(result),
+                    Some(name) => self.materialize_into(&name, result),
+                }
+            }
+            Stmt::Append { rel, values } => self.exec_append(&rel, values),
+            Stmt::Delete { var, rel, qual } => self.exec_delete(&var, &rel, qual),
+            Stmt::Replace {
+                var,
+                rel,
+                values,
+                qual,
+            } => self.exec_replace(&var, &rel, values, qual),
+            Stmt::DefineType { name } => {
+                self.db().define_type(&name)?;
+                Ok(QueryResult::default())
+            }
+            Stmt::DefineFunction {
+                name,
+                nargs,
+                returns,
+                impl_key,
+                for_type,
+            } => {
+                let ret = self.db().catalog().type_by_name(&returns)?;
+                let for_ty = match for_type {
+                    Some(t) => Some(self.db().catalog().type_by_name(&t)?),
+                    None => None,
+                };
+                self.db()
+                    .define_function(&name, nargs, ret, &impl_key, for_ty)?;
+                Ok(QueryResult::default())
+            }
+            Stmt::DefineRule {
+                name,
+                event,
+                rel,
+                qual,
+                action,
+            } => {
+                let event = match event.to_ascii_lowercase().as_str() {
+                    "access" => RuleEvent::OnAccess,
+                    "update" => RuleEvent::OnUpdate,
+                    "periodic" => RuleEvent::Periodic,
+                    other => return Err(DbError::Parse(format!("unknown rule event \"{other}\""))),
+                };
+                let on_rel = self.db().relation_id(&rel)?;
+                self.db().define_rule(crate::catalog::RuleEntry {
+                    name,
+                    on_rel,
+                    event,
+                    qual,
+                    action,
+                })?;
+                Ok(QueryResult::default())
+            }
+        }
+    }
+
+    /// `retrieve into name (...)`: creates a table named `name` with the
+    /// result's columns and appends every result row. Column types come
+    /// from the first non-null datum in each column (all-null columns
+    /// become text).
+    fn materialize_into(&mut self, name: &str, result: QueryResult) -> DbResult<QueryResult> {
+        let mut cols: Vec<(String, crate::datum::TypeId)> = Vec::new();
+        for (i, cname) in result.columns.iter().enumerate() {
+            let ty = result
+                .rows
+                .iter()
+                .find_map(|r| r[i].type_id())
+                .unwrap_or(crate::datum::TypeId::TEXT);
+            cols.push((cname.clone(), ty));
+        }
+        let schema = Schema {
+            columns: cols
+                .iter()
+                .map(|(n, t)| crate::datum::Column::new(n.clone(), *t))
+                .collect(),
+        };
+        let rel = self.db().create_table(name, schema)?;
+        let affected = result.rows.len();
+        for row in result.rows {
+            self.insert(rel, row)?;
+        }
+        Ok(QueryResult {
+            affected,
+            ..Default::default()
+        })
+    }
+
+    /// Materializes the candidate rows for one `from` item, using an index
+    /// when the qualification pins an indexed column to a literal.
+    fn bind_from(&mut self, item: &FromItem, qual: Option<&Expr>) -> DbResult<BoundRel> {
+        let rel = self.db().relation_id(&item.rel)?;
+        let schema = self.db().schema_of(rel)?;
+        let snap = match &item.as_of {
+            Some(e) => {
+                let t = eval(self, &Binding::empty(), e)?.as_int()?;
+                Some(Snapshot::AsOf(SimInstant::from_nanos(t.max(0) as u64)))
+            }
+            None => None,
+        };
+
+        // Index selection: look for `var.col = <literal>` conjuncts.
+        if let Some(q) = qual {
+            let mut eq_pins: Vec<(usize, Datum)> = Vec::new();
+            collect_eq_pins(q, &item.var, &schema, &mut eq_pins);
+            for (col, lit) in &eq_pins {
+                if let Some(idx) = self.db().find_index(rel, &[*col]) {
+                    let key = [coerce(lit.clone(), schema.columns[*col].ty)?];
+                    let rows = match &snap {
+                        Some(s) => self.index_scan_eq_with(idx, &key, s)?,
+                        None => self.index_scan_eq(idx, &key)?,
+                    };
+                    return Ok(BoundRel {
+                        var: item.var.clone(),
+                        schema,
+                        rows,
+                    });
+                }
+            }
+        }
+        let rows = match &snap {
+            Some(s) => self.scan_with_snapshot(rel, s)?,
+            None => self.seq_scan(rel)?,
+        };
+        Ok(BoundRel {
+            var: item.var.clone(),
+            schema,
+            rows,
+        })
+    }
+
+    fn exec_retrieve(
+        &mut self,
+        targets: Vec<Target>,
+        from: Vec<FromItem>,
+        qual: Option<Expr>,
+        sort: Vec<(String, bool)>,
+    ) -> DbResult<QueryResult> {
+        let aggregated = targets.iter().any(|t| is_aggregate(&t.expr));
+        // Mixing aggregates with plain targets groups implicitly by the
+        // plain ones (POSTQUEL's aggregate "by" semantics).
+        let grouped = aggregated && !targets.iter().all(|t| is_aggregate(&t.expr));
+
+        // Constant retrieve: no relations at all.
+        if from.is_empty() && !targets_reference_columns(&targets) && !aggregated {
+            let b = Binding::empty();
+            let mut row = Vec::with_capacity(targets.len());
+            for t in &targets {
+                row.push(eval(self, &b, &t.expr)?);
+            }
+            return Ok(QueryResult {
+                columns: targets.into_iter().map(|t| t.name).collect(),
+                rows: vec![row],
+                affected: 0,
+            });
+        }
+        if from.is_empty() {
+            return Err(DbError::Bind(
+                "column references require a from clause".into(),
+            ));
+        }
+
+        let bound: Vec<BoundRel> = from
+            .iter()
+            .map(|f| self.bind_from(f, qual.as_ref()))
+            .collect::<DbResult<_>>()?;
+
+        let mut aggs: Vec<Accumulator> = if aggregated && !grouped {
+            targets
+                .iter()
+                .map(|t| Accumulator::for_target(&t.expr))
+                .collect::<DbResult<_>>()?
+        } else {
+            Vec::new()
+        };
+        // Group mode: key bytes -> (key datums per plain target, accumulators
+        // per aggregate target), insertion-ordered.
+        let mut groups: Vec<(Vec<Datum>, Vec<Accumulator>)> = Vec::new();
+        let mut group_index: std::collections::HashMap<Vec<u8>, usize> =
+            std::collections::HashMap::new();
+
+        // Nested-loop join over the bound relations. An empty relation
+        // yields no combinations at all.
+        let mut out_rows = Vec::new();
+        if bound.iter().all(|b| !b.rows.is_empty()) {
+            let mut cursor = vec![0usize; bound.len()];
+            'outer: loop {
+                {
+                    let binding = Binding {
+                        vars: bound
+                            .iter()
+                            .zip(&cursor)
+                            .map(|(b, &i)| (b.var.as_str(), &b.schema, &b.rows[i].1))
+                            .collect(),
+                    };
+                    let keep = match &qual {
+                        Some(q) => eval(self, &binding, q)?.as_bool()?,
+                        None => true,
+                    };
+                    if keep {
+                        if grouped {
+                            // Evaluate plain targets (the group key) and
+                            // aggregate arguments under the same binding.
+                            let mut key = Vec::new();
+                            let mut arg_vals = Vec::new();
+                            for t in &targets {
+                                let binding = Binding {
+                                    vars: bound
+                                        .iter()
+                                        .zip(&cursor)
+                                        .map(|(b, &i)| (b.var.as_str(), &b.schema, &b.rows[i].1))
+                                        .collect(),
+                                };
+                                if is_aggregate(&t.expr) {
+                                    let Expr::Call { args, .. } = &t.expr else {
+                                        unreachable!()
+                                    };
+                                    let v = match args.first() {
+                                        Some(a) => eval(self, &binding, a)?,
+                                        None => Datum::Int8(1),
+                                    };
+                                    arg_vals.push(Some(v));
+                                } else {
+                                    key.push(eval(self, &binding, &t.expr)?);
+                                    arg_vals.push(None);
+                                }
+                            }
+                            let key_bytes = crate::datum::encode_row(&key);
+                            let gi = match group_index.get(&key_bytes) {
+                                Some(&gi) => gi,
+                                None => {
+                                    let accs = targets
+                                        .iter()
+                                        .filter(|t| is_aggregate(&t.expr))
+                                        .map(|t| Accumulator::for_target(&t.expr))
+                                        .collect::<DbResult<Vec<_>>>()?;
+                                    groups.push((key, accs));
+                                    group_index.insert(key_bytes, groups.len() - 1);
+                                    groups.len() - 1
+                                }
+                            };
+                            let accs = &mut groups[gi].1;
+                            for (ai, v) in arg_vals.into_iter().flatten().enumerate() {
+                                accs[ai].add(v)?;
+                            }
+                        } else if aggregated {
+                            for (acc, t) in aggs.iter_mut().zip(&targets) {
+                                let Expr::Call { args, .. } = &t.expr else {
+                                    unreachable!()
+                                };
+                                let v = match args.first() {
+                                    Some(a) => {
+                                        let binding = Binding {
+                                            vars: bound
+                                                .iter()
+                                                .zip(&cursor)
+                                                .map(|(b, &i)| {
+                                                    (b.var.as_str(), &b.schema, &b.rows[i].1)
+                                                })
+                                                .collect(),
+                                        };
+                                        eval(self, &binding, a)?
+                                    }
+                                    None => Datum::Int8(1), // count() counts rows.
+                                };
+                                acc.add(v)?;
+                            }
+                        } else {
+                            let mut row = Vec::with_capacity(targets.len());
+                            for t in &targets {
+                                let binding = Binding {
+                                    vars: bound
+                                        .iter()
+                                        .zip(&cursor)
+                                        .map(|(b, &i)| (b.var.as_str(), &b.schema, &b.rows[i].1))
+                                        .collect(),
+                                };
+                                row.push(eval(self, &binding, &t.expr)?);
+                            }
+                            out_rows.push(row);
+                        }
+                    }
+                }
+                // Odometer increment.
+                for i in (0..bound.len()).rev() {
+                    cursor[i] += 1;
+                    if cursor[i] < bound[i].rows.len() {
+                        continue 'outer;
+                    }
+                    cursor[i] = 0;
+                }
+                break;
+            }
+        }
+        if grouped {
+            for (key, accs) in groups {
+                let mut finished = accs.into_iter().map(Accumulator::finish);
+                let mut key_it = key.into_iter();
+                let row: Vec<Datum> = targets
+                    .iter()
+                    .map(|t| {
+                        if is_aggregate(&t.expr) {
+                            finished.next().expect("one accumulator per aggregate")
+                        } else {
+                            key_it.next().expect("one key datum per plain target")
+                        }
+                    })
+                    .collect();
+                out_rows.push(row);
+            }
+        } else if aggregated {
+            out_rows = vec![aggs.into_iter().map(Accumulator::finish).collect()];
+        }
+        let columns: Vec<String> = targets.into_iter().map(|t| t.name).collect();
+        sort_rows(&columns, &sort, &mut out_rows)?;
+        Ok(QueryResult {
+            columns,
+            rows: out_rows,
+            affected: 0,
+        })
+    }
+
+    fn exec_append(
+        &mut self,
+        rel_name: &str,
+        values: Vec<(String, Expr)>,
+    ) -> DbResult<QueryResult> {
+        let rel = self.db().relation_id(rel_name)?;
+        let schema = self.db().schema_of(rel)?;
+        let mut row = vec![Datum::Null; schema.len()];
+        for (col, e) in &values {
+            let i = schema
+                .column_index(col)
+                .ok_or_else(|| DbError::Bind(format!("no column \"{col}\" in {rel_name}")))?;
+            let v = eval(self, &Binding::empty(), e)?;
+            row[i] = coerce(v, schema.columns[i].ty)?;
+        }
+        self.insert(rel, row)?;
+        Ok(QueryResult {
+            affected: 1,
+            ..Default::default()
+        })
+    }
+
+    fn exec_delete(
+        &mut self,
+        var: &str,
+        rel_name: &str,
+        qual: Option<Expr>,
+    ) -> DbResult<QueryResult> {
+        let rel = self.db().relation_id(rel_name)?;
+        let schema = self.db().schema_of(rel)?;
+        let candidates = self.seq_scan(rel)?;
+        let mut victims = Vec::new();
+        for (tid, row) in &candidates {
+            let binding = Binding::single(var, &schema, row);
+            let keep = match &qual {
+                Some(q) => eval(self, &binding, q)?.as_bool()?,
+                None => true,
+            };
+            if keep {
+                victims.push(*tid);
+            }
+        }
+        let mut affected = 0;
+        for tid in victims {
+            if self.delete(rel, tid)? {
+                affected += 1;
+            }
+        }
+        Ok(QueryResult {
+            affected,
+            ..Default::default()
+        })
+    }
+
+    fn exec_replace(
+        &mut self,
+        var: &str,
+        rel_name: &str,
+        values: Vec<(String, Expr)>,
+        qual: Option<Expr>,
+    ) -> DbResult<QueryResult> {
+        let rel = self.db().relation_id(rel_name)?;
+        let schema = self.db().schema_of(rel)?;
+        let candidates = self.seq_scan(rel)?;
+        let mut updates = Vec::new();
+        for (tid, row) in &candidates {
+            let binding = Binding::single(var, &schema, row);
+            let keep = match &qual {
+                Some(q) => eval(self, &binding, q)?.as_bool()?,
+                None => true,
+            };
+            if !keep {
+                continue;
+            }
+            let mut new_row = row.clone();
+            for (col, e) in &values {
+                let i = schema
+                    .column_index(col)
+                    .ok_or_else(|| DbError::Bind(format!("no column \"{col}\" in {rel_name}")))?;
+                let v = eval(self, &binding, e)?;
+                new_row[i] = coerce(v, schema.columns[i].ty)?;
+            }
+            updates.push((*tid, new_row));
+        }
+        let affected = updates.len();
+        for (tid, new_row) in updates {
+            self.update(rel, tid, new_row)?;
+        }
+        Ok(QueryResult {
+            affected,
+            ..Default::default()
+        })
+    }
+}
+
+/// Aggregate function names reserved by the executor.
+const AGGREGATES: [&str; 5] = ["count", "sum", "avg", "min", "max"];
+
+fn is_aggregate(e: &Expr) -> bool {
+    matches!(e, Expr::Call { name, .. }
+        if AGGREGATES.iter().any(|a| name.eq_ignore_ascii_case(a)))
+}
+
+/// Running state for one aggregate target.
+enum Accumulator {
+    Count(i64),
+    Sum(f64, bool),      // (sum, any_float)
+    Avg(f64, i64, bool), // (sum, n, any_float)
+    Min(Option<Datum>),
+    Max(Option<Datum>),
+}
+
+impl Accumulator {
+    fn for_target(e: &Expr) -> DbResult<Accumulator> {
+        let Expr::Call { name, args } = e else {
+            return Err(DbError::Bind("not an aggregate".into()));
+        };
+        if args.len() > 1 {
+            return Err(DbError::Bind(format!("{name} takes at most one argument")));
+        }
+        Ok(match name.to_ascii_lowercase().as_str() {
+            "count" => Accumulator::Count(0),
+            "sum" => Accumulator::Sum(0.0, false),
+            "avg" => Accumulator::Avg(0.0, 0, false),
+            "min" => Accumulator::Min(None),
+            "max" => Accumulator::Max(None),
+            other => return Err(DbError::Bind(format!("unknown aggregate {other}"))),
+        })
+    }
+
+    fn add(&mut self, v: Datum) -> DbResult<()> {
+        if v == Datum::Null {
+            return Ok(()); // Nulls do not participate, SQL-style.
+        }
+        match self {
+            Accumulator::Count(n) => *n += 1,
+            Accumulator::Sum(sum, float) => {
+                *float |= matches!(v, Datum::Float8(_));
+                *sum += v.as_float()?;
+            }
+            Accumulator::Avg(sum, n, float) => {
+                *float |= matches!(v, Datum::Float8(_));
+                *sum += v.as_float()?;
+                *n += 1;
+            }
+            Accumulator::Min(cur) => {
+                let better = cur
+                    .as_ref()
+                    .map(|c| v.cmp_total(c) == std::cmp::Ordering::Less)
+                    .unwrap_or(true);
+                if better {
+                    *cur = Some(v);
+                }
+            }
+            Accumulator::Max(cur) => {
+                let better = cur
+                    .as_ref()
+                    .map(|c| v.cmp_total(c) == std::cmp::Ordering::Greater)
+                    .unwrap_or(true);
+                if better {
+                    *cur = Some(v);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn finish(self) -> Datum {
+        match self {
+            Accumulator::Count(n) => Datum::Int8(n),
+            Accumulator::Sum(sum, true) => Datum::Float8(sum),
+            Accumulator::Sum(sum, false) => Datum::Int8(sum as i64),
+            Accumulator::Avg(_, 0, _) => Datum::Null,
+            Accumulator::Avg(sum, n, _) => Datum::Float8(sum / n as f64),
+            Accumulator::Min(v) | Accumulator::Max(v) => v.unwrap_or(Datum::Null),
+        }
+    }
+}
+
+/// Sorts result rows by the named output columns.
+fn sort_rows(columns: &[String], sort: &[(String, bool)], rows: &mut [Row]) -> DbResult<()> {
+    if sort.is_empty() {
+        return Ok(());
+    }
+    let mut keys = Vec::with_capacity(sort.len());
+    for (name, desc) in sort {
+        let i = columns
+            .iter()
+            .position(|c| c == name)
+            .ok_or_else(|| DbError::Bind(format!("sort by unknown column \"{name}\"")))?;
+        keys.push((i, *desc));
+    }
+    rows.sort_by(|a, b| {
+        for &(i, desc) in &keys {
+            let ord = a[i].cmp_total(&b[i]);
+            let ord = if desc { ord.reverse() } else { ord };
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    Ok(())
+}
+
+/// Collects `var.col = literal` (or `literal = var.col`) conjuncts usable
+/// for index selection.
+fn collect_eq_pins(e: &Expr, var: &str, schema: &Schema, out: &mut Vec<(usize, Datum)>) {
+    match e {
+        Expr::Binary {
+            op: BinOp::And,
+            lhs,
+            rhs,
+        } => {
+            collect_eq_pins(lhs, var, schema, out);
+            collect_eq_pins(rhs, var, schema, out);
+        }
+        Expr::Binary {
+            op: BinOp::Eq,
+            lhs,
+            rhs,
+        } => {
+            let sides = [(lhs, rhs), (rhs, lhs)];
+            for (col_side, lit_side) in sides {
+                if let (Expr::Column { var: v, attr }, Expr::Lit(d)) =
+                    (col_side.as_ref(), lit_side.as_ref())
+                {
+                    let applies = match v {
+                        Some(v) => v == var,
+                        None => true,
+                    };
+                    if applies {
+                        if let Some(i) = schema.column_index(attr) {
+                            out.push((i, d.clone()));
+                            return;
+                        }
+                    }
+                }
+            }
+        }
+        _ => {}
+    }
+}
+
+fn targets_reference_columns(targets: &[Target]) -> bool {
+    fn walk(e: &Expr) -> bool {
+        match e {
+            Expr::Column { .. } => true,
+            Expr::Lit(_) => false,
+            Expr::Call { args, .. } => args.iter().any(walk),
+            Expr::Binary { lhs, rhs, .. } => walk(lhs) || walk(rhs),
+            Expr::Not(e) | Expr::Neg(e) => walk(e),
+        }
+    }
+    targets.iter().any(|t| walk(&t.expr))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datum::TypeId;
+    use crate::db::Db;
+
+    fn setup() -> Db {
+        let db = Db::open_in_memory().unwrap();
+        db.create_table(
+            "emp",
+            Schema::new([
+                ("name", TypeId::TEXT),
+                ("age", TypeId::INT4),
+                ("dept", TypeId::TEXT),
+            ]),
+        )
+        .unwrap();
+        let mut s = db.begin().unwrap();
+        for (n, a, d) in [
+            ("mao", 29, "db"),
+            ("mike", 45, "db"),
+            ("margo", 35, "fs"),
+            ("randy", 40, "arch"),
+        ] {
+            s.query(&format!(
+                r#"append emp (name = "{n}", age = {a}, dept = "{d}")"#
+            ))
+            .unwrap();
+        }
+        s.commit().unwrap();
+        db
+    }
+
+    #[test]
+    fn retrieve_constant() {
+        let db = Db::open_in_memory().unwrap();
+        let mut s = db.begin().unwrap();
+        let r = s
+            .query("retrieve (two = 1 + 1, greeting = \"hi\")")
+            .unwrap();
+        assert_eq!(r.columns, vec!["two", "greeting"]);
+        assert_eq!(r.rows, vec![vec![Datum::Int8(2), Datum::Text("hi".into())]]);
+        s.commit().unwrap();
+    }
+
+    #[test]
+    fn retrieve_with_qual() {
+        let db = setup();
+        let mut s = db.begin().unwrap();
+        let r = s
+            .query(r#"retrieve (e.name) from e in emp where e.age > 34 and e.dept = "db""#)
+            .unwrap();
+        assert_eq!(r.rows, vec![vec![Datum::Text("mike".into())]]);
+        s.commit().unwrap();
+    }
+
+    #[test]
+    fn retrieve_unqualified_single_rel() {
+        let db = setup();
+        let mut s = db.begin().unwrap();
+        let r = s
+            .query(r#"retrieve (name, age) from e in emp where age < 30"#)
+            .unwrap();
+        assert_eq!(r.rows.len(), 1);
+        assert_eq!(r.rows[0][0], Datum::Text("mao".into()));
+        s.commit().unwrap();
+    }
+
+    #[test]
+    fn join_two_relations() {
+        let db = setup();
+        db.create_table(
+            "dept",
+            Schema::new([("dname", TypeId::TEXT), ("floor", TypeId::INT4)]),
+        )
+        .unwrap();
+        let mut s = db.begin().unwrap();
+        s.query(r#"append dept (dname = "db", floor = 4)"#).unwrap();
+        s.query(r#"append dept (dname = "fs", floor = 5)"#).unwrap();
+        let r = s
+            .query(
+                "retrieve (e.name, d.floor) from e in emp, d in dept \
+                 where e.dept = d.dname and d.floor = 4",
+            )
+            .unwrap();
+        let mut names: Vec<String> = r
+            .rows
+            .iter()
+            .map(|row| row[0].as_text().unwrap().to_string())
+            .collect();
+        names.sort();
+        assert_eq!(names, vec!["mao", "mike"]);
+        s.commit().unwrap();
+    }
+
+    #[test]
+    fn index_used_for_equality_pin() {
+        let db = setup();
+        let rel = db.relation_id("emp").unwrap();
+        db.create_index("emp_name", rel, &["name"]).unwrap();
+        let before = db.buffer_stats();
+        let mut s = db.begin().unwrap();
+        let r = s
+            .query(r#"retrieve (e.age) from e in emp where e.name = "randy""#)
+            .unwrap();
+        assert_eq!(r.rows, vec![vec![Datum::Int4(40)]]);
+        s.commit().unwrap();
+        // Weak but real signal that we did not scan every heap page: the
+        // index path touches the btree meta+root and one heap page.
+        let after = db.buffer_stats();
+        assert!(after.hits + after.misses > before.hits + before.misses);
+    }
+
+    #[test]
+    fn delete_and_replace() {
+        let db = setup();
+        let mut s = db.begin().unwrap();
+        let r = s
+            .query(r#"delete e from e in emp where e.age >= 40"#)
+            .unwrap();
+        assert_eq!(r.affected, 2);
+        let r = s
+            .query(r#"replace e (age = e.age + 1) from e in emp where e.dept = "db""#)
+            .unwrap();
+        assert_eq!(r.affected, 1); // Only mao remains in db.
+        let r = s.query("retrieve (e.name, e.age) from e in emp").unwrap();
+        assert_eq!(r.rows.len(), 2);
+        s.commit().unwrap();
+
+        let mut s = db.begin().unwrap();
+        let r = s
+            .query(r#"retrieve (e.age) from e in emp where e.name = "mao""#)
+            .unwrap();
+        assert_eq!(r.rows, vec![vec![Datum::Int4(30)]]);
+        s.commit().unwrap();
+    }
+
+    #[test]
+    fn time_travel_bracket_in_from() {
+        let db = setup();
+        let t0 = db.now().as_nanos();
+        let mut s = db.begin().unwrap();
+        s.query(r#"delete e from e in emp"#).unwrap();
+        s.commit().unwrap();
+
+        let mut s = db.begin().unwrap();
+        let r = s.query("retrieve (e.name) from e in emp").unwrap();
+        assert!(r.rows.is_empty());
+        let r = s
+            .query(&format!("retrieve (e.name) from e in emp[{t0}]"))
+            .unwrap();
+        assert_eq!(r.rows.len(), 4, "historical scan sees the old rows");
+        s.commit().unwrap();
+    }
+
+    #[test]
+    fn define_statements() {
+        let db = setup();
+        let mut s = db.begin().unwrap();
+        s.query("define type tm").unwrap();
+        db.functions()
+            .register("t.const", |_s, _a| Ok(Datum::Int8(7)));
+        s.query(r#"define function seven (0) returns int8 as "t.const""#)
+            .unwrap();
+        let r = s.query("retrieve (x = seven())").unwrap();
+        assert_eq!(r.rows[0][0], Datum::Int8(7));
+        s.query(r#"define rule cold on periodic to emp where age > 100 do seven()"#)
+            .unwrap();
+        s.commit().unwrap();
+        assert_eq!(db.catalog().rules().len(), 1);
+    }
+
+    #[test]
+    fn append_missing_column_defaults_null() {
+        let db = setup();
+        let mut s = db.begin().unwrap();
+        s.query(r#"append emp (name = "ghost")"#).unwrap();
+        let r = s
+            .query(r#"retrieve (e.age) from e in emp where e.name = "ghost""#)
+            .unwrap();
+        assert_eq!(r.rows, vec![vec![Datum::Null]]);
+        s.commit().unwrap();
+    }
+
+    #[test]
+    fn errors_reported() {
+        let db = setup();
+        let mut s = db.begin().unwrap();
+        assert!(matches!(
+            s.query("retrieve (x.y) from x in nope"),
+            Err(DbError::NotFound(_))
+        ));
+        assert!(matches!(
+            s.query("append emp (salary = 1)"),
+            Err(DbError::Bind(_))
+        ));
+        assert!(matches!(s.query("retrieve (zzz)"), Err(DbError::Bind(_))));
+        s.abort().unwrap();
+    }
+
+    #[test]
+    fn result_table_rendering() {
+        let db = setup();
+        let mut s = db.begin().unwrap();
+        let r = s
+            .query(r#"retrieve (e.name, e.age) from e in emp where e.age = 29"#)
+            .unwrap();
+        let table = r.to_table();
+        assert!(table.contains("name"));
+        assert!(table.contains("mao"));
+        assert!(table.contains("(1 rows)"));
+        let r = s
+            .query(r#"delete e from e in emp where e.age = 29"#)
+            .unwrap();
+        assert!(r.to_table().contains("(1 rows affected)"));
+        s.commit().unwrap();
+    }
+}
+
+#[cfg(test)]
+mod agg_tests {
+    use super::*;
+    use crate::datum::TypeId;
+    use crate::db::Db;
+
+    fn setup() -> Db {
+        let db = Db::open_in_memory().unwrap();
+        db.create_table(
+            "emp",
+            Schema::new([
+                ("name", TypeId::TEXT),
+                ("age", TypeId::INT4),
+                ("dept", TypeId::TEXT),
+            ]),
+        )
+        .unwrap();
+        let mut s = db.begin().unwrap();
+        for (n, a, d) in [
+            ("mao", 29, "db"),
+            ("mike", 45, "db"),
+            ("margo", 35, "fs"),
+            ("randy", 40, "arch"),
+            ("wei", 31, "db"),
+        ] {
+            s.query(&format!(
+                r#"append emp (name = "{n}", age = {a}, dept = "{d}")"#
+            ))
+            .unwrap();
+        }
+        s.commit().unwrap();
+        db
+    }
+
+    #[test]
+    fn count_sum_avg_min_max() {
+        let db = setup();
+        let mut s = db.begin().unwrap();
+        let r = s
+            .query("retrieve (n = count(), s = sum(e.age), a = avg(e.age), lo = min(e.age), hi = max(e.age)) from e in emp")
+            .unwrap();
+        assert_eq!(
+            r.rows,
+            vec![vec![
+                Datum::Int8(5),
+                Datum::Int8(180),
+                Datum::Float8(36.0),
+                Datum::Int4(29),
+                Datum::Int4(45),
+            ]]
+        );
+        s.commit().unwrap();
+    }
+
+    #[test]
+    fn aggregates_respect_quals() {
+        let db = setup();
+        let mut s = db.begin().unwrap();
+        let r = s
+            .query(r#"retrieve (n = count(), a = avg(e.age)) from e in emp where e.dept = "db""#)
+            .unwrap();
+        assert_eq!(r.rows[0][0], Datum::Int8(3));
+        assert_eq!(r.rows[0][1], Datum::Float8(35.0));
+        s.commit().unwrap();
+    }
+
+    #[test]
+    fn aggregates_over_empty_set() {
+        let db = setup();
+        let mut s = db.begin().unwrap();
+        let r = s
+            .query("retrieve (n = count(), a = avg(e.age), lo = min(e.age)) from e in emp where e.age > 100")
+            .unwrap();
+        assert_eq!(r.rows, vec![vec![Datum::Int8(0), Datum::Null, Datum::Null]]);
+        s.commit().unwrap();
+    }
+
+    #[test]
+    fn mixing_aggregates_and_columns_groups_implicitly() {
+        let db = setup();
+        let mut s = db.begin().unwrap();
+        let r = s
+            .query("retrieve (e.dept, n = count(), a = avg(e.age)) from e in emp sort by dept")
+            .unwrap();
+        assert_eq!(
+            r.rows,
+            vec![
+                vec![
+                    Datum::Text("arch".into()),
+                    Datum::Int8(1),
+                    Datum::Float8(40.0)
+                ],
+                vec![
+                    Datum::Text("db".into()),
+                    Datum::Int8(3),
+                    Datum::Float8(35.0)
+                ],
+                vec![
+                    Datum::Text("fs".into()),
+                    Datum::Int8(1),
+                    Datum::Float8(35.0)
+                ],
+            ]
+        );
+        // Aggregate-before-key column order works too.
+        let r = s
+            .query("retrieve (hi = max(e.age), e.dept) from e in emp sort by dept")
+            .unwrap();
+        assert_eq!(r.rows[1], vec![Datum::Int4(45), Datum::Text("db".into())]);
+        // A group over an empty qualification yields no rows.
+        let r = s
+            .query("retrieve (e.dept, n = count()) from e in emp where e.age > 100")
+            .unwrap();
+        assert!(r.rows.is_empty());
+        s.abort().unwrap();
+    }
+
+    #[test]
+    fn sort_by_orders_output() {
+        let db = setup();
+        let mut s = db.begin().unwrap();
+        let r = s
+            .query("retrieve (e.name, e.age) from e in emp sort by age")
+            .unwrap();
+        let ages: Vec<i64> = r.rows.iter().map(|row| row[1].as_int().unwrap()).collect();
+        assert_eq!(ages, vec![29, 31, 35, 40, 45]);
+        let r = s
+            .query("retrieve (e.name, e.age) from e in emp sort by age desc")
+            .unwrap();
+        assert_eq!(r.rows[0][0], Datum::Text("mike".into()));
+        s.commit().unwrap();
+    }
+
+    #[test]
+    fn sort_by_multiple_keys_and_errors() {
+        let db = setup();
+        let mut s = db.begin().unwrap();
+        let r = s
+            .query("retrieve (e.dept, e.name) from e in emp sort by dept asc, name desc")
+            .unwrap();
+        let pairs: Vec<(String, String)> = r
+            .rows
+            .iter()
+            .map(|row| {
+                (
+                    row[0].as_text().unwrap().to_string(),
+                    row[1].as_text().unwrap().to_string(),
+                )
+            })
+            .collect();
+        assert_eq!(pairs[0].0, "arch");
+        // Within "db", names descend.
+        let db_names: Vec<&str> = pairs
+            .iter()
+            .filter(|(d, _)| d == "db")
+            .map(|(_, n)| n.as_str())
+            .collect();
+        assert_eq!(db_names, vec!["wei", "mike", "mao"]);
+        assert!(matches!(
+            s.query("retrieve (e.name) from e in emp sort by salary"),
+            Err(DbError::Bind(_))
+        ));
+        s.commit().unwrap();
+    }
+
+    #[test]
+    fn count_with_argument_skips_nulls() {
+        let db = setup();
+        let mut s = db.begin().unwrap();
+        s.query(r#"append emp (name = "ghost")"#).unwrap(); // age is null
+        let r = s
+            .query("retrieve (n = count(e.age)) from e in emp")
+            .unwrap();
+        assert_eq!(r.rows[0][0], Datum::Int8(5));
+        let r = s.query("retrieve (n = count()) from e in emp").unwrap();
+        assert_eq!(r.rows[0][0], Datum::Int8(6));
+        s.commit().unwrap();
+    }
+}
+
+#[cfg(test)]
+mod into_tests {
+    use super::*;
+    use crate::datum::TypeId;
+    use crate::db::Db;
+
+    #[test]
+    fn retrieve_into_materializes_a_table() {
+        let db = Db::open_in_memory().unwrap();
+        db.create_table(
+            "emp",
+            Schema::new([("name", TypeId::TEXT), ("age", TypeId::INT4)]),
+        )
+        .unwrap();
+        let mut s = db.begin().unwrap();
+        for (n, a) in [("mao", 29), ("mike", 45), ("margo", 35)] {
+            s.query(&format!(r#"append emp (name = "{n}", age = {a})"#))
+                .unwrap();
+        }
+        let r = s
+            .query(r#"retrieve into elders (e.name, e.age) from e in emp where e.age > 30 sort by age"#)
+            .unwrap();
+        assert_eq!(r.affected, 2);
+        let rows = s
+            .query("retrieve (x.name) from x in elders sort by name")
+            .unwrap();
+        assert_eq!(
+            rows.rows,
+            vec![
+                vec![Datum::Text("margo".into())],
+                vec![Datum::Text("mike".into())]
+            ]
+        );
+        s.commit().unwrap();
+        // The new table is a first-class relation with the right schema.
+        let rel = db.relation_id("elders").unwrap();
+        let schema = db.schema_of(rel).unwrap();
+        assert_eq!(schema.columns[1].ty, TypeId::INT4);
+    }
+
+    #[test]
+    fn retrieve_into_existing_name_fails() {
+        let db = Db::open_in_memory().unwrap();
+        db.create_table("t", Schema::new([("v", TypeId::INT4)]))
+            .unwrap();
+        let mut s = db.begin().unwrap();
+        s.query("append t (v = 1)").unwrap();
+        assert!(matches!(
+            s.query("retrieve into t (e.v) from e in t"),
+            Err(DbError::AlreadyExists(_))
+        ));
+        s.abort().unwrap();
+    }
+
+    #[test]
+    fn retrieve_into_with_aggregates() {
+        let db = Db::open_in_memory().unwrap();
+        db.create_table("t", Schema::new([("v", TypeId::INT4)]))
+            .unwrap();
+        let mut s = db.begin().unwrap();
+        for v in [1, 2, 3] {
+            s.query(&format!("append t (v = {v})")).unwrap();
+        }
+        s.query("retrieve into summary (n = count(), total = sum(e.v)) from e in t")
+            .unwrap();
+        let r = s
+            .query("retrieve (x.n, x.total) from x in summary")
+            .unwrap();
+        assert_eq!(r.rows, vec![vec![Datum::Int8(3), Datum::Int8(6)]]);
+        s.commit().unwrap();
+    }
+}

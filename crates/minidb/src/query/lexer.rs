@@ -1,0 +1,261 @@
+//! Tokenizer for the POSTQUEL-flavoured query language.
+
+use crate::error::{DbError, DbResult};
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Identifier or keyword (keywords are recognized by the parser).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Double-quoted string literal.
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// End of input.
+    Eof,
+}
+
+/// Tokenizes `input`.
+pub fn lex(input: &str) -> DbResult<Vec<Token>> {
+    let mut out = Vec::new();
+    let bytes: Vec<char> = input.chars().collect();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '(' => {
+                out.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Token::RParen);
+                i += 1;
+            }
+            '[' => {
+                out.push(Token::LBracket);
+                i += 1;
+            }
+            ']' => {
+                out.push(Token::RBracket);
+                i += 1;
+            }
+            ',' => {
+                out.push(Token::Comma);
+                i += 1;
+            }
+            '.' => {
+                out.push(Token::Dot);
+                i += 1;
+            }
+            '+' => {
+                out.push(Token::Plus);
+                i += 1;
+            }
+            '-' => {
+                out.push(Token::Minus);
+                i += 1;
+            }
+            '*' => {
+                out.push(Token::Star);
+                i += 1;
+            }
+            '/' => {
+                out.push(Token::Slash);
+                i += 1;
+            }
+            '=' => {
+                out.push(Token::Eq);
+                i += 1;
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&'=') {
+                    out.push(Token::Ne);
+                    i += 2;
+                } else {
+                    return Err(DbError::Parse("stray '!'".into()));
+                }
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&'=') {
+                    out.push(Token::Le);
+                    i += 2;
+                } else {
+                    out.push(Token::Lt);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&'=') {
+                    out.push(Token::Ge);
+                    i += 2;
+                } else {
+                    out.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '"' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match bytes.get(i) {
+                        None => return Err(DbError::Parse("unterminated string".into())),
+                        Some('"') => {
+                            i += 1;
+                            break;
+                        }
+                        Some('\\') => {
+                            match bytes.get(i + 1) {
+                                Some('"') => s.push('"'),
+                                Some('\\') => s.push('\\'),
+                                Some('n') => s.push('\n'),
+                                other => {
+                                    return Err(DbError::Parse(format!(
+                                        "bad escape {other:?} in string"
+                                    )))
+                                }
+                            }
+                            i += 2;
+                        }
+                        Some(&c) => {
+                            s.push(c);
+                            i += 1;
+                        }
+                    }
+                }
+                out.push(Token::Str(s));
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let mut is_float = false;
+                if i + 1 < bytes.len() && bytes[i] == '.' && bytes[i + 1].is_ascii_digit() {
+                    is_float = true;
+                    i += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                let text: String = bytes[start..i].iter().collect();
+                if is_float {
+                    out.push(Token::Float(text.parse().map_err(|_| {
+                        DbError::Parse(format!("bad float literal {text}"))
+                    })?));
+                } else {
+                    out.push(Token::Int(text.parse().map_err(|_| {
+                        DbError::Parse(format!("bad integer literal {text}"))
+                    })?));
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_alphanumeric() || bytes[i] == '_') {
+                    i += 1;
+                }
+                out.push(Token::Ident(bytes[start..i].iter().collect()));
+            }
+            other => return Err(DbError::Parse(format!("unexpected character '{other}'"))),
+        }
+    }
+    out.push(Token::Eof);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_the_paper_query() {
+        let toks = lex(r#"retrieve (filename) where "RISC" in keywords(file)"#).unwrap();
+        assert_eq!(toks[0], Token::Ident("retrieve".into()));
+        assert!(toks.contains(&Token::Str("RISC".into())));
+        assert!(toks.contains(&Token::Ident("keywords".into())));
+        assert_eq!(*toks.last().unwrap(), Token::Eof);
+    }
+
+    #[test]
+    fn lexes_operators() {
+        let toks = lex("a >= 1 and b != 2.5 or c <= -3").unwrap();
+        assert!(toks.contains(&Token::Ge));
+        assert!(toks.contains(&Token::Ne));
+        assert!(toks.contains(&Token::Le));
+        assert!(toks.contains(&Token::Float(2.5)));
+        assert!(toks.contains(&Token::Minus));
+    }
+
+    #[test]
+    fn lexes_qualified_names_and_calls() {
+        let toks = lex("e.filename = dir(file)").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("e".into()),
+                Token::Dot,
+                Token::Ident("filename".into()),
+                Token::Eq,
+                Token::Ident("dir".into()),
+                Token::LParen,
+                Token::Ident("file".into()),
+                Token::RParen,
+                Token::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn string_escapes() {
+        let toks = lex(r#""a\"b\\c\nd""#).unwrap();
+        assert_eq!(toks[0], Token::Str("a\"b\\c\nd".into()));
+    }
+
+    #[test]
+    fn errors_are_clean() {
+        assert!(lex("\"unterminated").is_err());
+        assert!(lex("a ! b").is_err());
+        assert!(lex("§").is_err());
+    }
+
+    #[test]
+    fn brackets_for_time_travel() {
+        let toks = lex("from e in emp[42]").unwrap();
+        assert!(toks.contains(&Token::LBracket));
+        assert!(toks.contains(&Token::RBracket));
+    }
+}

@@ -1,0 +1,35 @@
+//! The POSTQUEL-flavoured query language.
+//!
+//! "Instead of mastering the use of many different programs, the user may
+//! examine the file system's structure and contents by formulating simple
+//! POSTQUEL queries." Supported statements:
+//!
+//! * `retrieve (targets) [from var in rel[, ...]] [where qual]` — with
+//!   optional per-relation time travel: `from e in naming[<nanos>]`.
+//! * `append rel (col = expr, ...)`
+//! * `delete var from var in rel [where qual]` (or the short form
+//!   `delete rel [where qual]`)
+//! * `replace var (col = expr, ...) [from ...] [where qual]`
+//! * `define type name`
+//! * `define function name (nargs) returns type as "impl.key" [for type]`
+//! * `define rule name on access|update|periodic to rel where qual do action`
+//!
+//! Function calls in any expression position dispatch through the catalog to
+//! registered Rust implementations, which run inside the data manager — the
+//! mechanism behind the paper's `snow(file)` example and its fastest
+//! benchmark configuration.
+//!
+//! The planner is deliberately simple: an equality qualification against an
+//! indexed column becomes an index scan; everything else is a sequential
+//! scan; multiple range variables nest loops.
+
+pub mod ast;
+pub mod eval;
+pub mod exec;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::{BinOp, Expr, FromItem, Stmt, Target};
+pub use eval::{coerce, eval, Binding};
+pub use exec::QueryResult;
+pub use parser::{expr_to_source, parse, parse_expr};

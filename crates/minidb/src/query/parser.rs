@@ -1,0 +1,803 @@
+//! Recursive-descent parser for the POSTQUEL-flavoured language.
+
+use crate::datum::Datum;
+use crate::error::{DbError, DbResult};
+
+use super::ast::{BinOp, Expr, FromItem, Stmt, Target};
+use super::lexer::{lex, Token};
+
+struct Parser {
+    toks: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.toks[self.pos]
+    }
+
+    fn next(&mut self) -> Token {
+        let t = self.toks[self.pos].clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, tok: &Token) -> DbResult<()> {
+        if self.peek() == tok {
+            self.next();
+            Ok(())
+        } else {
+            Err(DbError::Parse(format!(
+                "expected {tok:?}, found {:?}",
+                self.peek()
+            )))
+        }
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> DbResult<()> {
+        match self.peek() {
+            Token::Ident(s) if s.eq_ignore_ascii_case(kw) => {
+                self.next();
+                Ok(())
+            }
+            other => Err(DbError::Parse(format!("expected '{kw}', found {other:?}"))),
+        }
+    }
+
+    fn at_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Token::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+
+    fn ident(&mut self) -> DbResult<String> {
+        match self.next() {
+            Token::Ident(s) => Ok(s),
+            other => Err(DbError::Parse(format!(
+                "expected identifier, found {other:?}"
+            ))),
+        }
+    }
+
+    // ---- expressions -------------------------------------------------
+
+    fn expr(&mut self) -> DbResult<Expr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> DbResult<Expr> {
+        let mut lhs = self.and_expr()?;
+        while self.at_kw("or") {
+            self.next();
+            let rhs = self.and_expr()?;
+            lhs = Expr::Binary {
+                op: BinOp::Or,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> DbResult<Expr> {
+        let mut lhs = self.not_expr()?;
+        while self.at_kw("and") {
+            self.next();
+            let rhs = self.not_expr()?;
+            lhs = Expr::Binary {
+                op: BinOp::And,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn not_expr(&mut self) -> DbResult<Expr> {
+        if self.at_kw("not") {
+            self.next();
+            return Ok(Expr::Not(Box::new(self.not_expr()?)));
+        }
+        self.cmp_expr()
+    }
+
+    fn cmp_expr(&mut self) -> DbResult<Expr> {
+        let lhs = self.add_expr()?;
+        let op = match self.peek() {
+            Token::Eq => BinOp::Eq,
+            Token::Ne => BinOp::Ne,
+            Token::Lt => BinOp::Lt,
+            Token::Le => BinOp::Le,
+            Token::Gt => BinOp::Gt,
+            Token::Ge => BinOp::Ge,
+            Token::Ident(s) if s.eq_ignore_ascii_case("in") => BinOp::In,
+            _ => return Ok(lhs),
+        };
+        self.next();
+        let rhs = self.add_expr()?;
+        Ok(Expr::Binary {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        })
+    }
+
+    fn add_expr(&mut self) -> DbResult<Expr> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                Token::Plus => BinOp::Add,
+                Token::Minus => BinOp::Sub,
+                _ => return Ok(lhs),
+            };
+            self.next();
+            let rhs = self.mul_expr()?;
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+    }
+
+    fn mul_expr(&mut self) -> DbResult<Expr> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                Token::Star => BinOp::Mul,
+                Token::Slash => BinOp::Div,
+                _ => return Ok(lhs),
+            };
+            self.next();
+            let rhs = self.unary_expr()?;
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+    }
+
+    fn unary_expr(&mut self) -> DbResult<Expr> {
+        if matches!(self.peek(), Token::Minus) {
+            self.next();
+            return Ok(Expr::Neg(Box::new(self.unary_expr()?)));
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> DbResult<Expr> {
+        match self.next() {
+            Token::Int(v) => Ok(Expr::Lit(Datum::Int8(v))),
+            Token::Float(v) => Ok(Expr::Lit(Datum::Float8(v))),
+            Token::Str(s) => Ok(Expr::Lit(Datum::Text(s))),
+            Token::LParen => {
+                let e = self.expr()?;
+                self.eat(&Token::RParen)?;
+                Ok(e)
+            }
+            Token::Ident(name) => {
+                if name.eq_ignore_ascii_case("true") {
+                    return Ok(Expr::Lit(Datum::Bool(true)));
+                }
+                if name.eq_ignore_ascii_case("false") {
+                    return Ok(Expr::Lit(Datum::Bool(false)));
+                }
+                if name.eq_ignore_ascii_case("null") {
+                    return Ok(Expr::Lit(Datum::Null));
+                }
+                match self.peek() {
+                    Token::LParen => {
+                        self.next();
+                        let mut args = Vec::new();
+                        if *self.peek() != Token::RParen {
+                            loop {
+                                args.push(self.expr()?);
+                                if *self.peek() == Token::Comma {
+                                    self.next();
+                                } else {
+                                    break;
+                                }
+                            }
+                        }
+                        self.eat(&Token::RParen)?;
+                        Ok(Expr::Call { name, args })
+                    }
+                    Token::Dot => {
+                        self.next();
+                        let attr = self.ident()?;
+                        Ok(Expr::Column {
+                            var: Some(name),
+                            attr,
+                        })
+                    }
+                    _ => Ok(Expr::Column {
+                        var: None,
+                        attr: name,
+                    }),
+                }
+            }
+            other => Err(DbError::Parse(format!("unexpected token {other:?}"))),
+        }
+    }
+
+    // ---- statements --------------------------------------------------
+
+    fn parse_from_clause(&mut self) -> DbResult<Vec<FromItem>> {
+        let mut items = Vec::new();
+        if !self.at_kw("from") {
+            return Ok(items);
+        }
+        self.next();
+        loop {
+            let var = self.ident()?;
+            self.eat_kw("in")?;
+            let rel = self.ident()?;
+            let as_of = if *self.peek() == Token::LBracket {
+                self.next();
+                let e = self.expr()?;
+                self.eat(&Token::RBracket)?;
+                Some(e)
+            } else {
+                None
+            };
+            items.push(FromItem { var, rel, as_of });
+            if *self.peek() == Token::Comma {
+                self.next();
+            } else {
+                break;
+            }
+        }
+        Ok(items)
+    }
+
+    fn where_clause(&mut self) -> DbResult<Option<Expr>> {
+        if self.at_kw("where") {
+            self.next();
+            Ok(Some(self.expr()?))
+        } else {
+            Ok(None)
+        }
+    }
+
+    fn assignments(&mut self) -> DbResult<Vec<(String, Expr)>> {
+        self.eat(&Token::LParen)?;
+        let mut out = Vec::new();
+        loop {
+            let col = self.ident()?;
+            self.eat(&Token::Eq)?;
+            let e = self.expr()?;
+            out.push((col, e));
+            if *self.peek() == Token::Comma {
+                self.next();
+            } else {
+                break;
+            }
+        }
+        self.eat(&Token::RParen)?;
+        Ok(out)
+    }
+
+    fn retrieve(&mut self) -> DbResult<Stmt> {
+        let into = if self.at_kw("into") {
+            self.next();
+            Some(self.ident()?)
+        } else {
+            None
+        };
+        self.eat(&Token::LParen)?;
+        let mut targets = Vec::new();
+        loop {
+            // `name = expr` or bare `expr`.
+            let save = self.pos;
+            let name = if let Token::Ident(n) = self.peek().clone() {
+                self.next();
+                if *self.peek() == Token::Eq {
+                    self.next();
+                    Some(n)
+                } else {
+                    self.pos = save;
+                    None
+                }
+            } else {
+                None
+            };
+            let expr = self.expr()?;
+            let name = name.unwrap_or_else(|| default_target_name(&expr, targets.len()));
+            targets.push(Target { name, expr });
+            if *self.peek() == Token::Comma {
+                self.next();
+            } else {
+                break;
+            }
+        }
+        self.eat(&Token::RParen)?;
+        let from = self.parse_from_clause()?;
+        let qual = self.where_clause()?;
+        let sort = self.sort_clause()?;
+        Ok(Stmt::Retrieve {
+            into,
+            targets,
+            from,
+            qual,
+            sort,
+        })
+    }
+
+    fn sort_clause(&mut self) -> DbResult<Vec<(String, bool)>> {
+        let mut out = Vec::new();
+        if !self.at_kw("sort") {
+            return Ok(out);
+        }
+        self.next();
+        self.eat_kw("by")?;
+        loop {
+            let col = self.ident()?;
+            let mut desc = false;
+            if self.at_kw("desc") {
+                self.next();
+                desc = true;
+            } else if self.at_kw("asc") {
+                self.next();
+            }
+            out.push((col, desc));
+            if *self.peek() == Token::Comma {
+                self.next();
+            } else {
+                break;
+            }
+        }
+        Ok(out)
+    }
+
+    fn append(&mut self) -> DbResult<Stmt> {
+        let rel = self.ident()?;
+        let values = self.assignments()?;
+        Ok(Stmt::Append { rel, values })
+    }
+
+    fn delete(&mut self) -> DbResult<Stmt> {
+        let var = self.ident()?;
+        let (var, rel) = if self.at_kw("from") {
+            let from = self.parse_from_clause()?;
+            let item = from
+                .into_iter()
+                .find(|f| f.var == var)
+                .ok_or_else(|| DbError::Parse(format!("range variable {var} not in from")))?;
+            (item.var, item.rel)
+        } else {
+            (var.clone(), var)
+        };
+        let qual = self.where_clause()?;
+        Ok(Stmt::Delete { var, rel, qual })
+    }
+
+    fn replace(&mut self) -> DbResult<Stmt> {
+        let var = self.ident()?;
+        let values = self.assignments()?;
+        let (var, rel) = if self.at_kw("from") {
+            let from = self.parse_from_clause()?;
+            let item = from
+                .into_iter()
+                .find(|f| f.var == var)
+                .ok_or_else(|| DbError::Parse(format!("range variable {var} not in from")))?;
+            (item.var, item.rel)
+        } else {
+            (var.clone(), var)
+        };
+        let qual = self.where_clause()?;
+        Ok(Stmt::Replace {
+            var,
+            rel,
+            values,
+            qual,
+        })
+    }
+
+    fn define(&mut self) -> DbResult<Stmt> {
+        let what = self.ident()?;
+        match what.to_ascii_lowercase().as_str() {
+            "type" => Ok(Stmt::DefineType {
+                name: self.ident()?,
+            }),
+            "function" => {
+                let name = self.ident()?;
+                self.eat(&Token::LParen)?;
+                let nargs = match self.next() {
+                    Token::Int(n) if n >= 0 => n as usize,
+                    other => {
+                        return Err(DbError::Parse(format!(
+                            "expected argument count, found {other:?}"
+                        )))
+                    }
+                };
+                self.eat(&Token::RParen)?;
+                self.eat_kw("returns")?;
+                let returns = self.ident()?;
+                self.eat_kw("as")?;
+                let impl_key = match self.next() {
+                    Token::Str(s) => s,
+                    other => {
+                        return Err(DbError::Parse(format!(
+                            "expected implementation key string, found {other:?}"
+                        )))
+                    }
+                };
+                let for_type = if self.at_kw("for") {
+                    self.next();
+                    Some(self.ident()?)
+                } else {
+                    None
+                };
+                Ok(Stmt::DefineFunction {
+                    name,
+                    nargs,
+                    returns,
+                    impl_key,
+                    for_type,
+                })
+            }
+            "rule" => {
+                let name = self.ident()?;
+                self.eat_kw("on")?;
+                let event = self.ident()?;
+                self.eat_kw("to")?;
+                let rel = self.ident()?;
+                self.eat_kw("where")?;
+                let qual = self.expr()?;
+                self.eat_kw("do")?;
+                let action = self.expr()?;
+                Ok(Stmt::DefineRule {
+                    name,
+                    event,
+                    rel,
+                    qual: expr_to_source(&qual),
+                    action: expr_to_source(&action),
+                })
+            }
+            other => Err(DbError::Parse(format!("cannot define \"{other}\""))),
+        }
+    }
+}
+
+fn default_target_name(e: &Expr, i: usize) -> String {
+    match e {
+        Expr::Column { attr, .. } => attr.clone(),
+        Expr::Call { name, .. } => name.clone(),
+        _ => format!("col{i}"),
+    }
+}
+
+/// Renders an expression back to parseable source text (used to persist
+/// rule qualifications and actions in the catalog).
+pub fn expr_to_source(e: &Expr) -> String {
+    match e {
+        Expr::Lit(Datum::Text(s)) => {
+            format!("\"{}\"", s.replace('\\', "\\\\").replace('"', "\\\""))
+        }
+        Expr::Lit(Datum::Null) => "null".into(),
+        Expr::Lit(d) => format!("{d}"),
+        Expr::Column { var: Some(v), attr } => format!("{v}.{attr}"),
+        Expr::Column { var: None, attr } => attr.clone(),
+        Expr::Call { name, args } => {
+            let args: Vec<String> = args.iter().map(expr_to_source).collect();
+            format!("{name}({})", args.join(", "))
+        }
+        Expr::Binary { op, lhs, rhs } => {
+            let op = match op {
+                BinOp::Or => "or",
+                BinOp::And => "and",
+                BinOp::Eq => "=",
+                BinOp::Ne => "!=",
+                BinOp::Lt => "<",
+                BinOp::Le => "<=",
+                BinOp::Gt => ">",
+                BinOp::Ge => ">=",
+                BinOp::In => "in",
+                BinOp::Add => "+",
+                BinOp::Sub => "-",
+                BinOp::Mul => "*",
+                BinOp::Div => "/",
+            };
+            format!("({} {op} {})", expr_to_source(lhs), expr_to_source(rhs))
+        }
+        Expr::Not(e) => format!("(not {})", expr_to_source(e)),
+        Expr::Neg(e) => format!("(-{})", expr_to_source(e)),
+    }
+}
+
+/// Parses one statement.
+pub fn parse(input: &str) -> DbResult<Stmt> {
+    let mut p = Parser {
+        toks: lex(input)?,
+        pos: 0,
+    };
+    let verb = p.ident()?;
+    let stmt = match verb.to_ascii_lowercase().as_str() {
+        "retrieve" => p.retrieve()?,
+        "append" => p.append()?,
+        "delete" => p.delete()?,
+        "replace" => p.replace()?,
+        "define" => p.define()?,
+        other => return Err(DbError::Parse(format!("unknown command \"{other}\""))),
+    };
+    if *p.peek() != Token::Eof {
+        return Err(DbError::Parse(format!("trailing input: {:?}", p.peek())));
+    }
+    Ok(stmt)
+}
+
+/// Parses a bare expression (rule qualifications and actions).
+pub fn parse_expr(input: &str) -> DbResult<Expr> {
+    let mut p = Parser {
+        toks: lex(input)?,
+        pos: 0,
+    };
+    let e = p.expr()?;
+    if *p.peek() != Token::Eof {
+        return Err(DbError::Parse(format!("trailing input: {:?}", p.peek())));
+    }
+    Ok(e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_retrieve() {
+        let s = parse(r#"retrieve (filename) where owner = "mao""#).unwrap();
+        let Stmt::Retrieve {
+            targets,
+            from,
+            qual,
+            ..
+        } = s
+        else {
+            panic!()
+        };
+        assert_eq!(targets.len(), 1);
+        assert_eq!(targets[0].name, "filename");
+        assert!(from.is_empty());
+        assert!(qual.is_some());
+    }
+
+    #[test]
+    fn parses_paper_snow_query() {
+        // The AVHRR query from the paper (lightly normalized).
+        let s = parse(
+            r#"retrieve (snow(file), filename)
+               where filetype(file) = "tm" and snow(file) / size(file) > 0.5
+                 and month_of(file) = "April""#,
+        )
+        .unwrap();
+        let Stmt::Retrieve { targets, qual, .. } = s else {
+            panic!()
+        };
+        assert_eq!(targets.len(), 2);
+        assert_eq!(targets[0].name, "snow");
+        let q = qual.unwrap();
+        // Top level is an `and` chain.
+        assert!(matches!(q, Expr::Binary { op: BinOp::And, .. }));
+    }
+
+    #[test]
+    fn parses_range_variables_and_join() {
+        let s = parse(
+            "retrieve (n.filename, a.size) from n in naming, a in fileatt \
+             where n.file = a.file",
+        )
+        .unwrap();
+        let Stmt::Retrieve { from, .. } = s else {
+            panic!()
+        };
+        assert_eq!(from.len(), 2);
+        assert_eq!(from[0].var, "n");
+        assert_eq!(from[1].rel, "fileatt");
+    }
+
+    #[test]
+    fn parses_time_travel_bracket() {
+        let s = parse("retrieve (e.filename) from e in naming[123456]").unwrap();
+        let Stmt::Retrieve { from, .. } = s else {
+            panic!()
+        };
+        assert_eq!(from[0].as_of, Some(Expr::Lit(Datum::Int8(123456))));
+    }
+
+    #[test]
+    fn parses_append_delete_replace() {
+        let s = parse(r#"append naming (filename = "etc", parentid = 0)"#).unwrap();
+        assert!(
+            matches!(s, Stmt::Append { ref rel, ref values } if rel == "naming" && values.len() == 2)
+        );
+
+        let s = parse(r#"delete naming where filename = "etc""#).unwrap();
+        assert!(
+            matches!(s, Stmt::Delete { ref rel, ref qual, .. } if rel == "naming" && qual.is_some())
+        );
+
+        let s = parse(r#"delete p from p in emp where p.age > 90"#).unwrap();
+        assert!(matches!(s, Stmt::Delete { ref var, ref rel, .. } if var == "p" && rel == "emp"));
+
+        let s = parse(r#"replace p (age = p.age + 1) from p in emp where p.name = "mao""#).unwrap();
+        let Stmt::Replace {
+            var,
+            rel,
+            values,
+            qual,
+        } = s
+        else {
+            panic!()
+        };
+        assert_eq!((var.as_str(), rel.as_str()), ("p", "emp"));
+        assert_eq!(values[0].0, "age");
+        assert!(qual.is_some());
+    }
+
+    #[test]
+    fn parses_defines() {
+        let s = parse("define type tm").unwrap();
+        assert_eq!(s, Stmt::DefineType { name: "tm".into() });
+
+        let s =
+            parse(r#"define function snow (1) returns int8 as "inversion.snow" for tm"#).unwrap();
+        let Stmt::DefineFunction {
+            name,
+            nargs,
+            returns,
+            impl_key,
+            for_type,
+        } = s
+        else {
+            panic!()
+        };
+        assert_eq!(name, "snow");
+        assert_eq!(nargs, 1);
+        assert_eq!(returns, "int8");
+        assert_eq!(impl_key, "inversion.snow");
+        assert_eq!(for_type.as_deref(), Some("tm"));
+
+        let s = parse(
+            r#"define rule cold on periodic to fileatt where atime < 100 do migrate(file, 1)"#,
+        )
+        .unwrap();
+        let Stmt::DefineRule {
+            name,
+            event,
+            rel,
+            qual,
+            action,
+        } = s
+        else {
+            panic!()
+        };
+        assert_eq!(name, "cold");
+        assert_eq!(event, "periodic");
+        assert_eq!(rel, "fileatt");
+        // Round-trippable source.
+        assert!(parse_expr(&qual).is_ok());
+        assert!(parse_expr(&action).is_ok());
+    }
+
+    #[test]
+    fn precedence_and_parens() {
+        let e = parse_expr("1 + 2 * 3").unwrap();
+        let Expr::Binary {
+            op: BinOp::Add,
+            rhs,
+            ..
+        } = e
+        else {
+            panic!()
+        };
+        assert!(matches!(*rhs, Expr::Binary { op: BinOp::Mul, .. }));
+
+        let e = parse_expr("(1 + 2) * 3").unwrap();
+        assert!(matches!(e, Expr::Binary { op: BinOp::Mul, .. }));
+
+        let e = parse_expr("a = 1 or b = 2 and c = 3").unwrap();
+        // `and` binds tighter than `or`.
+        assert!(matches!(e, Expr::Binary { op: BinOp::Or, .. }));
+    }
+
+    #[test]
+    fn expr_source_roundtrips() {
+        for src in [
+            r#"(a.size > 100)"#,
+            r#"("RISC" in keywords(file))"#,
+            r#"((not (a = 1)) and (b != "x"))"#,
+            r#"(-(3) + f(1, 2))"#,
+        ] {
+            let e = parse_expr(src).unwrap();
+            let rendered = expr_to_source(&e);
+            let re = parse_expr(&rendered).unwrap();
+            assert_eq!(e, re, "{src} -> {rendered}");
+        }
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(parse("frobnicate (x)").is_err());
+        assert!(parse("retrieve (").is_err());
+        assert!(parse("retrieve (a) where").is_err());
+        assert!(parse("append t").is_err());
+        assert!(parse("define gadget x").is_err());
+        assert!(parse("retrieve (a) extra").is_err());
+    }
+}
+
+#[cfg(test)]
+mod robustness_tests {
+    use super::*;
+
+    /// The parser must reject garbage with errors, never panic.
+    #[test]
+    fn parser_never_panics_on_fragments() {
+        let srcs = [
+            "retrieve",
+            "retrieve (",
+            "retrieve ()",
+            "retrieve (a from",
+            "retrieve (a) from x",
+            "retrieve (a) from x in",
+            "append",
+            "append t (",
+            "append t (a =)",
+            "delete",
+            "replace t",
+            "replace t (a = 1) from",
+            "define",
+            "define function f",
+            "define rule r on",
+            "sort by",
+            "retrieve (a) sort",
+            "retrieve (a) from e in t sort by",
+            "retrieve into (a)",
+            "retrieve (count(1,2,3)) from e in t",
+            "((((((((((",
+            "\"",
+            "1 + + 2",
+            "a . . b",
+            "[[[",
+        ];
+        for src in srcs {
+            let _ = parse(src);
+            let _ = parse_expr(src);
+        }
+    }
+
+    #[test]
+    fn parses_into_and_sort() {
+        let s =
+            parse("retrieve into young (e.name) from e in emp where e.age < 30 sort by name desc")
+                .unwrap();
+        let Stmt::Retrieve { into, sort, .. } = s else {
+            panic!()
+        };
+        assert_eq!(into.as_deref(), Some("young"));
+        assert_eq!(sort, vec![("name".to_string(), true)]);
+
+        let s = parse("retrieve (e.a) from e in t sort by a, b asc, c desc").unwrap();
+        let Stmt::Retrieve { sort, .. } = s else {
+            panic!()
+        };
+        assert_eq!(
+            sort,
+            vec![
+                ("a".to_string(), false),
+                ("b".to_string(), false),
+                ("c".to_string(), true)
+            ]
+        );
+    }
+
+    #[test]
+    fn deeply_nested_expressions_parse() {
+        let mut src = String::from("1");
+        for _ in 0..200 {
+            src = format!("({src} + 1)");
+        }
+        assert!(parse_expr(&src).is_ok());
+    }
+}

@@ -1,0 +1,1052 @@
+//! The storage manager and its device manager switch.
+//!
+//! "Based on the bdevsw switch in UNIX, the POSTGRES device manager switch
+//! registers the devices that are available to the database system."
+//! Relations are created on a device and addressed by *logical* block number
+//! thereafter; the per-device manager maps logical blocks to physical ones,
+//! so higher layers are completely location-transparent.
+//!
+//! Two managers are provided:
+//!
+//! * [`GenericManager`] — magnetic disk, NVRAM, tape: a block map plus a
+//!   bump allocator, with its own metadata persisted in a reserved region of
+//!   the device.
+//! * [`JukeboxManager`] — the Sony WORM autochanger: allocation in *extents*
+//!   of physically contiguous pages, a magnetic-disk staging cache in front
+//!   of the robot (10 MB by default, like the paper's), and write-once
+//!   handling: a logical block whose platter copy was already burned gets
+//!   *remapped* to a fresh physical block on rewrite.
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+use simdev::{BlockDevice, DevError};
+
+use crate::error::{DbError, DbResult};
+use crate::ids::{DeviceId, Oid, RelId};
+
+/// A device shared between managers, the transaction log, and tests.
+pub type SharedDevice = Arc<Mutex<dyn BlockDevice>>;
+
+/// Wraps a concrete device into a [`SharedDevice`].
+pub fn shared_device(dev: impl BlockDevice + 'static) -> SharedDevice {
+    Arc::new(Mutex::new(dev))
+}
+
+/// Per-device relation storage operations, the rows of the switch table.
+pub trait DeviceManager: Send {
+    /// Human-readable name of the managed device.
+    fn device_name(&self) -> String;
+
+    /// Registers a new, empty relation.
+    fn create_rel(&mut self, rel: RelId) -> DbResult<()>;
+
+    /// Forgets a relation. Physical blocks are not reclaimed (the vacuum
+    /// cleaner handles space, and WORM media cannot reclaim at all).
+    fn drop_rel(&mut self, rel: RelId) -> DbResult<()>;
+
+    /// Whether `rel` exists on this device.
+    fn has_rel(&self, rel: RelId) -> bool;
+
+    /// Number of logical blocks currently allocated to `rel`.
+    fn nblocks(&self, rel: RelId) -> DbResult<u64>;
+
+    /// Appends a new logical block containing `page`, returning its number.
+    fn extend(&mut self, rel: RelId, page: &[u8]) -> DbResult<u64>;
+
+    /// Appends a new logical block without transferring any data; its
+    /// contents are undefined until the first [`DeviceManager::write`]. The
+    /// buffer cache uses this so that freshly allocated pages cost one device
+    /// write (at flush), not two.
+    fn extend_blank(&mut self, rel: RelId) -> DbResult<u64> {
+        let page = vec![0u8; simdev::BLOCK_SIZE];
+        self.extend(rel, &page)
+    }
+
+    /// Reads logical block `blkno` of `rel`.
+    fn read(&mut self, rel: RelId, blkno: u64, buf: &mut [u8]) -> DbResult<()>;
+
+    /// Writes logical block `blkno` of `rel`.
+    fn write(&mut self, rel: RelId, blkno: u64, buf: &[u8]) -> DbResult<()>;
+
+    /// Drops every block of `rel`, leaving it registered but empty. The
+    /// vacuum cleaner uses this before rewriting a relation compactly.
+    /// Freed physical blocks are not reused (no-overwrite media may not
+    /// allow it); space accounting is the archive's problem.
+    fn truncate(&mut self, rel: RelId) -> DbResult<()>;
+
+    /// Flushes manager metadata and device caches to stable storage.
+    fn sync(&mut self) -> DbResult<()>;
+
+    /// All relations on this device.
+    fn relations(&self) -> Vec<RelId>;
+}
+
+/// Blocks reserved at the front of a device for manager metadata.
+const META_BLOCKS: u64 = 64;
+const META_MAGIC: u32 = 0x534D_4752; // "SMGR"
+
+#[derive(Debug, Default, Clone)]
+struct RelMap {
+    next_free: u64,
+    rels: HashMap<RelId, Vec<u64>>,
+}
+
+impl RelMap {
+    /// Block lists are stored run-length encoded: the bump allocator hands
+    /// out mostly-contiguous runs, so a 25 MB relation costs a handful of
+    /// `(start, len)` pairs instead of thousands of raw block numbers —
+    /// keeping the per-commit metadata write to a block or two.
+    fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&META_MAGIC.to_le_bytes());
+        out.extend_from_slice(&self.next_free.to_le_bytes());
+        out.extend_from_slice(&(self.rels.len() as u32).to_le_bytes());
+        let mut rels: Vec<_> = self.rels.iter().collect();
+        rels.sort_by_key(|(r, _)| r.0);
+        for (rel, blocks) in rels {
+            out.extend_from_slice(&rel.0.to_le_bytes());
+            out.extend_from_slice(&(blocks.len() as u64).to_le_bytes());
+            let mut runs: Vec<(u64, u64)> = Vec::new();
+            for &b in blocks {
+                match runs.last_mut() {
+                    Some((start, len)) if *start + *len == b => *len += 1,
+                    _ => runs.push((b, 1)),
+                }
+            }
+            out.extend_from_slice(&(runs.len() as u64).to_le_bytes());
+            for (start, len) in runs {
+                out.extend_from_slice(&start.to_le_bytes());
+                out.extend_from_slice(&len.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    fn decode(buf: &[u8]) -> DbResult<RelMap> {
+        let corrupt = || DbError::Corrupt("truncated device metadata".into());
+        let mut pos = 0usize;
+        let mut take = |n: usize| -> DbResult<&[u8]> {
+            let s = buf.get(pos..pos + n).ok_or_else(corrupt)?;
+            pos += n;
+            Ok(s)
+        };
+        let magic = u32::from_le_bytes(take(4)?.try_into().unwrap());
+        if magic != META_MAGIC {
+            return Err(DbError::Corrupt("bad device metadata magic".into()));
+        }
+        let next_free = u64::from_le_bytes(take(8)?.try_into().unwrap());
+        let nrels = u32::from_le_bytes(take(4)?.try_into().unwrap());
+        let mut rels = HashMap::new();
+        for _ in 0..nrels {
+            let rel = Oid(u32::from_le_bytes(take(4)?.try_into().unwrap()));
+            let n = u64::from_le_bytes(take(8)?.try_into().unwrap()) as usize;
+            let nruns = u64::from_le_bytes(take(8)?.try_into().unwrap());
+            let mut blocks = Vec::with_capacity(n);
+            for _ in 0..nruns {
+                let start = u64::from_le_bytes(take(8)?.try_into().unwrap());
+                let len = u64::from_le_bytes(take(8)?.try_into().unwrap());
+                for b in start..start.checked_add(len).ok_or_else(corrupt)? {
+                    blocks.push(b);
+                }
+            }
+            if blocks.len() != n {
+                return Err(DbError::Corrupt("relmap run lengths disagree".into()));
+            }
+            rels.insert(rel, blocks);
+        }
+        Ok(RelMap { next_free, rels })
+    }
+}
+
+/// Writes a metadata byte string into a device's reserved region
+/// (used by device managers for block maps and by [`crate::db::Db`] for the
+/// catalog).
+pub fn write_meta(dev: &SharedDevice, first_block: u64, meta: &[u8]) -> DbResult<()> {
+    let mut d = dev.lock();
+    let bs = d.block_size();
+    let capacity = (META_BLOCKS as usize - 1) * bs;
+    if meta.len() > capacity {
+        return Err(DbError::Device(DevError::NoSpace));
+    }
+    let mut hdr = vec![0u8; bs];
+    hdr[..8].copy_from_slice(&(meta.len() as u64).to_le_bytes());
+    d.write_block(first_block, &hdr)?;
+    for (i, chunk) in meta.chunks(bs).enumerate() {
+        let mut blk = vec![0u8; bs];
+        blk[..chunk.len()].copy_from_slice(chunk);
+        d.write_block(first_block + 1 + i as u64, &blk)?;
+    }
+    Ok(())
+}
+
+/// Reads back a metadata byte string written by [`write_meta`], or `None`
+/// if never written.
+pub fn read_meta(dev: &SharedDevice, first_block: u64) -> DbResult<Option<Vec<u8>>> {
+    let mut d = dev.lock();
+    let bs = d.block_size();
+    let mut hdr = vec![0u8; bs];
+    d.read_block(first_block, &mut hdr)?;
+    let len = u64::from_le_bytes(hdr[..8].try_into().unwrap()) as usize;
+    if len == 0 {
+        return Ok(None);
+    }
+    if len > (META_BLOCKS as usize - 1) * bs {
+        return Err(DbError::Corrupt("metadata length out of range".into()));
+    }
+    let mut out = vec![0u8; len];
+    let mut blk = vec![0u8; bs];
+    for (i, chunk) in out.chunks_mut(bs).enumerate() {
+        d.read_block(first_block + 1 + i as u64, &mut blk)?;
+        chunk.copy_from_slice(&blk[..chunk.len()]);
+    }
+    Ok(Some(out))
+}
+
+/// The standard manager for rewritable random-access media.
+pub struct GenericManager {
+    dev: SharedDevice,
+    map: RelMap,
+    meta_dirty: bool,
+}
+
+impl GenericManager {
+    /// Formats `dev` (reserving the metadata region) and returns a manager.
+    pub fn format(dev: SharedDevice) -> DbResult<GenericManager> {
+        let map = RelMap {
+            next_free: META_BLOCKS,
+            rels: HashMap::new(),
+        };
+        let mut mgr = GenericManager {
+            dev,
+            map,
+            meta_dirty: true,
+        };
+        mgr.sync()?;
+        Ok(mgr)
+    }
+
+    /// Re-attaches to a previously formatted device, reloading its metadata.
+    pub fn attach(dev: SharedDevice) -> DbResult<GenericManager> {
+        let meta = read_meta(&dev, 0)?
+            .ok_or_else(|| DbError::Corrupt("device was never formatted".into()))?;
+        let map = RelMap::decode(&meta)?;
+        Ok(GenericManager {
+            dev,
+            map,
+            meta_dirty: false,
+        })
+    }
+
+    fn physical(&self, rel: RelId, blkno: u64) -> DbResult<u64> {
+        let blocks = self.map.rels.get(&rel).ok_or_else(|| {
+            DbError::NotFound(format!("relation {rel} on {}", self.device_name()))
+        })?;
+        blocks
+            .get(blkno as usize)
+            .copied()
+            .ok_or(DbError::Device(DevError::OutOfRange {
+                blkno,
+                nblocks: blocks.len() as u64,
+            }))
+    }
+}
+
+impl DeviceManager for GenericManager {
+    fn device_name(&self) -> String {
+        self.dev.lock().name().to_string()
+    }
+
+    fn create_rel(&mut self, rel: RelId) -> DbResult<()> {
+        if self.map.rels.contains_key(&rel) {
+            return Err(DbError::AlreadyExists(format!("relation {rel}")));
+        }
+        self.map.rels.insert(rel, Vec::new());
+        self.meta_dirty = true;
+        Ok(())
+    }
+
+    fn drop_rel(&mut self, rel: RelId) -> DbResult<()> {
+        self.map
+            .rels
+            .remove(&rel)
+            .ok_or_else(|| DbError::NotFound(format!("relation {rel}")))?;
+        self.meta_dirty = true;
+        Ok(())
+    }
+
+    fn has_rel(&self, rel: RelId) -> bool {
+        self.map.rels.contains_key(&rel)
+    }
+
+    fn nblocks(&self, rel: RelId) -> DbResult<u64> {
+        Ok(self
+            .map
+            .rels
+            .get(&rel)
+            .ok_or_else(|| DbError::NotFound(format!("relation {rel}")))?
+            .len() as u64)
+    }
+
+    fn extend(&mut self, rel: RelId, page: &[u8]) -> DbResult<u64> {
+        let phys = self.map.next_free;
+        {
+            let mut d = self.dev.lock();
+            if phys >= d.nblocks() {
+                return Err(DbError::Device(DevError::NoSpace));
+            }
+            d.write_block(phys, page)?;
+        }
+        self.map.next_free += 1;
+        let blocks = self
+            .map
+            .rels
+            .get_mut(&rel)
+            .ok_or_else(|| DbError::NotFound(format!("relation {rel}")))?;
+        blocks.push(phys);
+        self.meta_dirty = true;
+        Ok(blocks.len() as u64 - 1)
+    }
+
+    fn extend_blank(&mut self, rel: RelId) -> DbResult<u64> {
+        let phys = self.map.next_free;
+        if phys >= self.dev.lock().nblocks() {
+            return Err(DbError::Device(DevError::NoSpace));
+        }
+        self.map.next_free += 1;
+        let blocks = self
+            .map
+            .rels
+            .get_mut(&rel)
+            .ok_or_else(|| DbError::NotFound(format!("relation {rel}")))?;
+        blocks.push(phys);
+        self.meta_dirty = true;
+        Ok(blocks.len() as u64 - 1)
+    }
+
+    fn read(&mut self, rel: RelId, blkno: u64, buf: &mut [u8]) -> DbResult<()> {
+        let phys = self.physical(rel, blkno)?;
+        self.dev.lock().read_block(phys, buf)?;
+        Ok(())
+    }
+
+    fn write(&mut self, rel: RelId, blkno: u64, buf: &[u8]) -> DbResult<()> {
+        let phys = self.physical(rel, blkno)?;
+        self.dev.lock().write_block(phys, buf)?;
+        Ok(())
+    }
+
+    fn truncate(&mut self, rel: RelId) -> DbResult<()> {
+        let blocks = self
+            .map
+            .rels
+            .get_mut(&rel)
+            .ok_or_else(|| DbError::NotFound(format!("relation {rel}")))?;
+        blocks.clear();
+        self.meta_dirty = true;
+        Ok(())
+    }
+
+    fn sync(&mut self) -> DbResult<()> {
+        if self.meta_dirty {
+            write_meta(&self.dev, 0, &self.map.encode())?;
+            self.meta_dirty = false;
+        }
+        self.dev.lock().sync()?;
+        Ok(())
+    }
+
+    fn relations(&self) -> Vec<RelId> {
+        self.map.rels.keys().copied().collect()
+    }
+}
+
+/// Configuration for a [`JukeboxManager`].
+#[derive(Debug, Clone)]
+pub struct JukeboxConfig {
+    /// Pages per extent of physically contiguous platter space. "The extent
+    /// size is tunable when POSTGRES is installed, but defaults to 16 pages."
+    pub extent_pages: u64,
+    /// Staging cache capacity in blocks on the magnetic disk. "The size of
+    /// this cache is tunable, and defaults to 10 MBytes."
+    pub cache_blocks: u64,
+}
+
+impl Default for JukeboxConfig {
+    fn default() -> Self {
+        JukeboxConfig {
+            extent_pages: 16,
+            cache_blocks: (10 << 20) / simdev::BLOCK_SIZE as u64,
+        }
+    }
+}
+
+/// Cache entry state for one jukebox logical block staged on magnetic disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StageState {
+    Clean,
+    /// Never burned to a platter (or superseding a burned copy).
+    Dirty,
+}
+
+/// The Sony WORM jukebox manager: extent allocation, staging cache,
+/// write-once remapping.
+pub struct JukeboxManager {
+    jukebox: SharedDevice,
+    staging: SharedDevice,
+    config: JukeboxConfig,
+    map: RelMap,
+    /// Physical platter blocks that have been burned (write-once consumed).
+    burned: std::collections::HashSet<u64>,
+    /// physical jukebox block -> (staging disk block, state), plus LRU order.
+    cache: HashMap<u64, (u64, StageState)>,
+    lru: std::collections::VecDeque<u64>,
+    free_staging: Vec<u64>,
+    meta_dirty: bool,
+    /// Next unallocated extent number.
+    next_extent: u64,
+    /// Partially filled extent per relation: (first physical block, used).
+    open_extents: HashMap<RelId, (u64, u64)>,
+}
+
+impl JukeboxManager {
+    /// Creates a manager over a fresh jukebox with `staging` as its cache
+    /// disk. Manager metadata lives on the staging disk (platters are
+    /// write-once and unsuitable for mutable metadata).
+    pub fn format(
+        jukebox: SharedDevice,
+        staging: SharedDevice,
+        config: JukeboxConfig,
+    ) -> DbResult<JukeboxManager> {
+        let free_staging = (META_BLOCKS..META_BLOCKS + config.cache_blocks)
+            .rev()
+            .collect();
+        let mut mgr = JukeboxManager {
+            jukebox,
+            staging,
+            config,
+            map: RelMap::default(),
+            burned: std::collections::HashSet::new(),
+            cache: HashMap::new(),
+            lru: std::collections::VecDeque::new(),
+            free_staging,
+            meta_dirty: true,
+            next_extent: 0,
+            open_extents: HashMap::new(),
+        };
+        mgr.sync()?;
+        Ok(mgr)
+    }
+
+    /// Re-attaches after a restart, reloading metadata from the staging disk.
+    ///
+    /// The staging cache itself is volatile across restarts in this model:
+    /// `sync` burns all dirty staged blocks, so a synced manager loses only
+    /// clean cached copies.
+    pub fn attach(
+        jukebox: SharedDevice,
+        staging: SharedDevice,
+        config: JukeboxConfig,
+    ) -> DbResult<JukeboxManager> {
+        let meta = read_meta(&staging, 0)?
+            .ok_or_else(|| DbError::Corrupt("jukebox staging disk was never formatted".into()))?;
+        let (map, burned, next_extent) = Self::decode_meta(&meta)?;
+        let free_staging = (META_BLOCKS..META_BLOCKS + config.cache_blocks)
+            .rev()
+            .collect();
+        Ok(JukeboxManager {
+            jukebox,
+            staging,
+            config,
+            map,
+            burned,
+            cache: HashMap::new(),
+            lru: std::collections::VecDeque::new(),
+            free_staging,
+            meta_dirty: false,
+            next_extent,
+            open_extents: HashMap::new(),
+        })
+    }
+
+    fn encode_meta(&self) -> Vec<u8> {
+        let mut out = self.map.encode();
+        out.extend_from_slice(&self.next_extent.to_le_bytes());
+        out.extend_from_slice(&(self.burned.len() as u64).to_le_bytes());
+        let mut burned: Vec<_> = self.burned.iter().copied().collect();
+        burned.sort_unstable();
+        for b in burned {
+            out.extend_from_slice(&b.to_le_bytes());
+        }
+        out
+    }
+
+    fn decode_meta(buf: &[u8]) -> DbResult<(RelMap, std::collections::HashSet<u64>, u64)> {
+        let map = RelMap::decode(buf)?;
+        // Re-encode to find where the RelMap ended.
+        let map_len = map.encode().len();
+        let corrupt = || DbError::Corrupt("truncated jukebox metadata".into());
+        let rest = buf.get(map_len..).ok_or_else(corrupt)?;
+        if rest.len() < 16 {
+            return Err(corrupt());
+        }
+        let next_extent = u64::from_le_bytes(rest[..8].try_into().unwrap());
+        let n = u64::from_le_bytes(rest[8..16].try_into().unwrap()) as usize;
+        let mut burned = std::collections::HashSet::with_capacity(n);
+        let mut pos = 16;
+        for _ in 0..n {
+            let b = rest.get(pos..pos + 8).ok_or_else(corrupt)?;
+            burned.insert(u64::from_le_bytes(b.try_into().unwrap()));
+            pos += 8;
+        }
+        Ok((map, burned, next_extent))
+    }
+
+    /// Allocates a fresh physical platter block for `rel`, extent-wise.
+    fn alloc_physical(&mut self, rel: RelId) -> DbResult<u64> {
+        let extent_pages = self.config.extent_pages;
+        if let Some((first, used)) = self.open_extents.get_mut(&rel) {
+            if *used < extent_pages {
+                let phys = *first + *used;
+                *used += 1;
+                return Ok(phys);
+            }
+        }
+        let first = self.next_extent * extent_pages;
+        if first + extent_pages > self.jukebox.lock().nblocks() {
+            return Err(DbError::Device(DevError::NoSpace));
+        }
+        self.next_extent += 1;
+        self.open_extents.insert(rel, (first, 1));
+        Ok(first)
+    }
+
+    fn touch_lru(&mut self, phys: u64) {
+        if let Some(pos) = self.lru.iter().position(|&p| p == phys) {
+            self.lru.remove(pos);
+        }
+        self.lru.push_back(phys);
+    }
+
+    /// Ensures there is a free staging slot, evicting (and burning) the LRU
+    /// staged block if necessary. Returns a free staging block number.
+    fn grab_staging_slot(&mut self) -> DbResult<u64> {
+        if let Some(slot) = self.free_staging.pop() {
+            return Ok(slot);
+        }
+        let victim = self
+            .lru
+            .pop_front()
+            .ok_or_else(|| DbError::Invalid("staging cache empty but no free slots".into()))?;
+        let (slot, state) = self
+            .cache
+            .remove(&victim)
+            .expect("lru entry must be cached");
+        if state == StageState::Dirty {
+            self.burn(victim, slot)?;
+        }
+        Ok(slot)
+    }
+
+    /// Writes a staged block to its platter location (consuming write-once
+    /// budget for that physical block).
+    fn burn(&mut self, phys: u64, staging_slot: u64) -> DbResult<()> {
+        let bs = self.jukebox.lock().block_size();
+        let mut buf = vec![0u8; bs];
+        self.staging.lock().read_block(staging_slot, &mut buf)?;
+        self.jukebox.lock().write_block(phys, &buf)?;
+        self.burned.insert(phys);
+        self.meta_dirty = true;
+        Ok(())
+    }
+
+    /// Fraction of staging-cache lookups served without touching the robot.
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
+    }
+}
+
+impl DeviceManager for JukeboxManager {
+    fn device_name(&self) -> String {
+        self.jukebox.lock().name().to_string()
+    }
+
+    fn create_rel(&mut self, rel: RelId) -> DbResult<()> {
+        if self.map.rels.contains_key(&rel) {
+            return Err(DbError::AlreadyExists(format!("relation {rel}")));
+        }
+        self.map.rels.insert(rel, Vec::new());
+        self.meta_dirty = true;
+        Ok(())
+    }
+
+    fn drop_rel(&mut self, rel: RelId) -> DbResult<()> {
+        self.map
+            .rels
+            .remove(&rel)
+            .ok_or_else(|| DbError::NotFound(format!("relation {rel}")))?;
+        self.open_extents.remove(&rel);
+        self.meta_dirty = true;
+        Ok(())
+    }
+
+    fn has_rel(&self, rel: RelId) -> bool {
+        self.map.rels.contains_key(&rel)
+    }
+
+    fn nblocks(&self, rel: RelId) -> DbResult<u64> {
+        Ok(self
+            .map
+            .rels
+            .get(&rel)
+            .ok_or_else(|| DbError::NotFound(format!("relation {rel}")))?
+            .len() as u64)
+    }
+
+    fn extend(&mut self, rel: RelId, page: &[u8]) -> DbResult<u64> {
+        if !self.map.rels.contains_key(&rel) {
+            return Err(DbError::NotFound(format!("relation {rel}")));
+        }
+        let phys = self.alloc_physical(rel)?;
+        let slot = self.grab_staging_slot()?;
+        self.staging.lock().write_block(slot, page)?;
+        self.cache.insert(phys, (slot, StageState::Dirty));
+        self.touch_lru(phys);
+        let blocks = self.map.rels.get_mut(&rel).expect("checked above");
+        blocks.push(phys);
+        self.meta_dirty = true;
+        Ok(blocks.len() as u64 - 1)
+    }
+
+    fn read(&mut self, rel: RelId, blkno: u64, buf: &mut [u8]) -> DbResult<()> {
+        let blocks = self
+            .map
+            .rels
+            .get(&rel)
+            .ok_or_else(|| DbError::NotFound(format!("relation {rel}")))?;
+        let phys = *blocks
+            .get(blkno as usize)
+            .ok_or(DbError::Device(DevError::OutOfRange {
+                blkno,
+                nblocks: blocks.len() as u64,
+            }))?;
+        if let Some(&(slot, _)) = self.cache.get(&phys) {
+            self.staging.lock().read_block(slot, buf)?;
+            self.touch_lru(phys);
+            return Ok(());
+        }
+        // Miss: fetch from the robot, then stage for future accesses.
+        self.jukebox.lock().read_block(phys, buf)?;
+        let slot = self.grab_staging_slot()?;
+        self.staging.lock().write_block(slot, buf)?;
+        self.cache.insert(phys, (slot, StageState::Clean));
+        self.touch_lru(phys);
+        Ok(())
+    }
+
+    fn write(&mut self, rel: RelId, blkno: u64, buf: &[u8]) -> DbResult<()> {
+        let blocks = self
+            .map
+            .rels
+            .get(&rel)
+            .ok_or_else(|| DbError::NotFound(format!("relation {rel}")))?;
+        let phys = *blocks
+            .get(blkno as usize)
+            .ok_or(DbError::Device(DevError::OutOfRange {
+                blkno,
+                nblocks: blocks.len() as u64,
+            }))?;
+        if self.burned.contains(&phys) && !self.cache.contains_key(&phys) {
+            // Write-once medium: remap the logical block to fresh platter
+            // space; the old copy remains burned forever (and remains
+            // reachable by any as-of reader holding the old map — the vacuum
+            // archiver is the intended writer here, so in practice this path
+            // handles metadata-style rewrites).
+            let new_phys = self.alloc_physical(rel)?;
+            let blocks = self.map.rels.get_mut(&rel).expect("checked above");
+            blocks[blkno as usize] = new_phys;
+            let slot = self.grab_staging_slot()?;
+            self.staging.lock().write_block(slot, buf)?;
+            self.cache.insert(new_phys, (slot, StageState::Dirty));
+            self.touch_lru(new_phys);
+            self.meta_dirty = true;
+            return Ok(());
+        }
+        match self.cache.get(&phys).copied() {
+            Some((slot, _)) => {
+                self.staging.lock().write_block(slot, buf)?;
+                self.cache.insert(phys, (slot, StageState::Dirty));
+                self.touch_lru(phys);
+            }
+            None => {
+                let slot = self.grab_staging_slot()?;
+                self.staging.lock().write_block(slot, buf)?;
+                self.cache.insert(phys, (slot, StageState::Dirty));
+                self.touch_lru(phys);
+            }
+        }
+        Ok(())
+    }
+
+    fn truncate(&mut self, rel: RelId) -> DbResult<()> {
+        let blocks = self
+            .map
+            .rels
+            .get_mut(&rel)
+            .ok_or_else(|| DbError::NotFound(format!("relation {rel}")))?;
+        let dropped: Vec<u64> = std::mem::take(blocks);
+        for phys in dropped {
+            if let Some((slot, _)) = self.cache.remove(&phys) {
+                self.free_staging.push(slot);
+                if let Some(pos) = self.lru.iter().position(|&p| p == phys) {
+                    self.lru.remove(pos);
+                }
+            }
+        }
+        self.open_extents.remove(&rel);
+        self.meta_dirty = true;
+        Ok(())
+    }
+
+    fn sync(&mut self) -> DbResult<()> {
+        // Burn every dirty staged block so committed data reaches stable,
+        // robot-managed media.
+        let dirty: Vec<(u64, u64)> = self
+            .cache
+            .iter()
+            .filter(|(_, (_, st))| *st == StageState::Dirty)
+            .map(|(&phys, &(slot, _))| (phys, slot))
+            .collect();
+        for (phys, slot) in dirty {
+            // A remapped block may have a stale burned copy; burning again
+            // would violate write-once, so remap first.
+            if self.burned.contains(&phys) {
+                continue; // Already durable under a previous burn.
+            }
+            self.burn(phys, slot)?;
+            if let Some(e) = self.cache.get_mut(&phys) {
+                e.1 = StageState::Clean;
+            }
+        }
+        if self.meta_dirty {
+            write_meta(&self.staging, 0, &self.encode_meta())?;
+            self.meta_dirty = false;
+        }
+        self.staging.lock().sync()?;
+        self.jukebox.lock().sync()?;
+        Ok(())
+    }
+
+    fn relations(&self) -> Vec<RelId> {
+        self.map.rels.keys().copied().collect()
+    }
+}
+
+/// The device manager switch: routes relation I/O to the device's manager.
+pub struct Smgr {
+    mgrs: HashMap<DeviceId, Mutex<Box<dyn DeviceManager>>>,
+}
+
+impl Smgr {
+    /// Creates an empty switch.
+    pub fn new() -> Smgr {
+        Smgr {
+            mgrs: HashMap::new(),
+        }
+    }
+
+    /// Registers `mgr` as device `id`.
+    pub fn register(&mut self, id: DeviceId, mgr: Box<dyn DeviceManager>) -> DbResult<()> {
+        if self.mgrs.contains_key(&id) {
+            return Err(DbError::AlreadyExists(format!("{id}")));
+        }
+        self.mgrs.insert(id, Mutex::new(mgr));
+        Ok(())
+    }
+
+    /// The registered device ids.
+    pub fn devices(&self) -> Vec<DeviceId> {
+        let mut v: Vec<_> = self.mgrs.keys().copied().collect();
+        v.sort();
+        v
+    }
+
+    /// Runs `f` with the manager for `dev`.
+    pub fn with<T>(
+        &self,
+        dev: DeviceId,
+        f: impl FnOnce(&mut dyn DeviceManager) -> DbResult<T>,
+    ) -> DbResult<T> {
+        let mgr = self
+            .mgrs
+            .get(&dev)
+            .ok_or_else(|| DbError::NotFound(format!("{dev}")))?;
+        let mut g = mgr.lock();
+        f(g.as_mut())
+    }
+
+    /// Syncs every registered device.
+    pub fn sync_all(&self) -> DbResult<()> {
+        for mgr in self.mgrs.values() {
+            mgr.lock().sync()?;
+        }
+        Ok(())
+    }
+}
+
+impl Default for Smgr {
+    fn default() -> Self {
+        Smgr::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simdev::{DiskProfile, JukeboxProfile, MagneticDisk, OpticalJukebox, SimClock};
+
+    fn disk_mgr() -> GenericManager {
+        let clock = SimClock::new();
+        let dev = shared_device(MagneticDisk::new(
+            "d",
+            clock,
+            DiskProfile::tiny_for_tests(4096),
+        ));
+        GenericManager::format(dev).unwrap()
+    }
+
+    fn page_of(byte: u8) -> Vec<u8> {
+        vec![byte; simdev::BLOCK_SIZE]
+    }
+
+    #[test]
+    fn create_extend_read_write() {
+        let mut m = disk_mgr();
+        let rel = Oid(100);
+        m.create_rel(rel).unwrap();
+        assert_eq!(m.nblocks(rel).unwrap(), 0);
+        assert_eq!(m.extend(rel, &page_of(1)).unwrap(), 0);
+        assert_eq!(m.extend(rel, &page_of(2)).unwrap(), 1);
+        assert_eq!(m.nblocks(rel).unwrap(), 2);
+        let mut buf = page_of(0);
+        m.read(rel, 1, &mut buf).unwrap();
+        assert_eq!(buf, page_of(2));
+        m.write(rel, 0, &page_of(9)).unwrap();
+        m.read(rel, 0, &mut buf).unwrap();
+        assert_eq!(buf, page_of(9));
+    }
+
+    #[test]
+    fn double_create_rejected() {
+        let mut m = disk_mgr();
+        m.create_rel(Oid(5)).unwrap();
+        assert!(matches!(
+            m.create_rel(Oid(5)),
+            Err(DbError::AlreadyExists(_))
+        ));
+    }
+
+    #[test]
+    fn read_beyond_end_rejected() {
+        let mut m = disk_mgr();
+        m.create_rel(Oid(5)).unwrap();
+        let mut buf = page_of(0);
+        assert!(m.read(Oid(5), 0, &mut buf).is_err());
+    }
+
+    #[test]
+    fn unknown_rel_rejected() {
+        let mut m = disk_mgr();
+        let mut buf = page_of(0);
+        assert!(matches!(
+            m.read(Oid(77), 0, &mut buf),
+            Err(DbError::NotFound(_))
+        ));
+        assert!(m.nblocks(Oid(77)).is_err());
+        assert!(m.drop_rel(Oid(77)).is_err());
+    }
+
+    #[test]
+    fn metadata_survives_reattach() {
+        let clock = SimClock::new();
+        let dev = shared_device(MagneticDisk::new(
+            "d",
+            clock,
+            DiskProfile::tiny_for_tests(4096),
+        ));
+        {
+            let mut m = GenericManager::format(dev.clone()).unwrap();
+            m.create_rel(Oid(42)).unwrap();
+            m.extend(Oid(42), &page_of(7)).unwrap();
+            m.sync().unwrap();
+        }
+        let mut m = GenericManager::attach(dev).unwrap();
+        assert!(m.has_rel(Oid(42)));
+        assert_eq!(m.nblocks(Oid(42)).unwrap(), 1);
+        let mut buf = page_of(0);
+        m.read(Oid(42), 0, &mut buf).unwrap();
+        assert_eq!(buf, page_of(7));
+    }
+
+    #[test]
+    fn attach_unformatted_fails() {
+        let clock = SimClock::new();
+        let dev = shared_device(MagneticDisk::new(
+            "d",
+            clock,
+            DiskProfile::tiny_for_tests(256),
+        ));
+        assert!(GenericManager::attach(dev).is_err());
+    }
+
+    #[test]
+    fn two_relations_are_isolated() {
+        let mut m = disk_mgr();
+        m.create_rel(Oid(1)).unwrap();
+        m.create_rel(Oid(2)).unwrap();
+        m.extend(Oid(1), &page_of(1)).unwrap();
+        m.extend(Oid(2), &page_of(2)).unwrap();
+        m.write(Oid(1), 0, &page_of(11)).unwrap();
+        let mut buf = page_of(0);
+        m.read(Oid(2), 0, &mut buf).unwrap();
+        assert_eq!(buf, page_of(2));
+    }
+
+    fn jukebox_mgr(cache_blocks: u64) -> JukeboxManager {
+        let clock = SimClock::new();
+        let jb = shared_device(OpticalJukebox::new(
+            "jb",
+            clock.clone(),
+            JukeboxProfile::tiny_for_tests(),
+        ));
+        let st = shared_device(MagneticDisk::new(
+            "st",
+            clock,
+            DiskProfile::tiny_for_tests(4096),
+        ));
+        JukeboxManager::format(
+            jb,
+            st,
+            JukeboxConfig {
+                extent_pages: 4,
+                cache_blocks,
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn jukebox_roundtrip_through_staging() {
+        let mut m = jukebox_mgr(8);
+        let rel = Oid(9);
+        m.create_rel(rel).unwrap();
+        for i in 0..3 {
+            m.extend(rel, &page_of(i)).unwrap();
+        }
+        let mut buf = page_of(0);
+        for i in 0..3u8 {
+            m.read(rel, i as u64, &mut buf).unwrap();
+            assert_eq!(buf, page_of(i), "block {i}");
+        }
+    }
+
+    #[test]
+    fn jukebox_eviction_burns_and_rereads() {
+        // Cache of 2 blocks forces eviction to the platter.
+        let mut m = jukebox_mgr(2);
+        let rel = Oid(9);
+        m.create_rel(rel).unwrap();
+        for i in 0..5 {
+            m.extend(rel, &page_of(i)).unwrap();
+        }
+        let mut buf = page_of(0);
+        for i in 0..5u8 {
+            m.read(rel, i as u64, &mut buf).unwrap();
+            assert_eq!(buf, page_of(i), "block {i}");
+        }
+    }
+
+    #[test]
+    fn jukebox_rewrite_of_burned_block_remaps() {
+        let mut m = jukebox_mgr(2);
+        let rel = Oid(9);
+        m.create_rel(rel).unwrap();
+        m.extend(rel, &page_of(1)).unwrap();
+        m.sync().unwrap(); // burn block 0
+                           // Evict it from staging by filling the cache.
+        for i in 0..4 {
+            m.extend(rel, &page_of(10 + i)).unwrap();
+        }
+        // Rewrite logical block 0: must remap, not violate write-once.
+        m.write(rel, 0, &page_of(99)).unwrap();
+        let mut buf = page_of(0);
+        m.read(rel, 0, &mut buf).unwrap();
+        assert_eq!(buf, page_of(99));
+        m.sync().unwrap();
+        m.read(rel, 0, &mut buf).unwrap();
+        assert_eq!(buf, page_of(99));
+    }
+
+    #[test]
+    fn jukebox_metadata_survives_reattach() {
+        let clock = SimClock::new();
+        let jb = shared_device(OpticalJukebox::new(
+            "jb",
+            clock.clone(),
+            JukeboxProfile::tiny_for_tests(),
+        ));
+        let st = shared_device(MagneticDisk::new(
+            "st",
+            clock,
+            DiskProfile::tiny_for_tests(4096),
+        ));
+        let cfg = JukeboxConfig {
+            extent_pages: 4,
+            cache_blocks: 8,
+        };
+        {
+            let mut m = JukeboxManager::format(jb.clone(), st.clone(), cfg.clone()).unwrap();
+            m.create_rel(Oid(3)).unwrap();
+            m.extend(Oid(3), &page_of(5)).unwrap();
+            m.sync().unwrap();
+        }
+        let mut m = JukeboxManager::attach(jb, st, cfg).unwrap();
+        assert_eq!(m.nblocks(Oid(3)).unwrap(), 1);
+        let mut buf = page_of(0);
+        m.read(Oid(3), 0, &mut buf).unwrap();
+        assert_eq!(buf, page_of(5));
+    }
+
+    #[test]
+    fn switch_routes_by_device() {
+        let mut smgr = Smgr::new();
+        smgr.register(DeviceId(0), Box::new(disk_mgr())).unwrap();
+        smgr.register(DeviceId(1), Box::new(jukebox_mgr(8)))
+            .unwrap();
+        assert_eq!(smgr.devices(), vec![DeviceId(0), DeviceId(1)]);
+        smgr.with(DeviceId(0), |m| m.create_rel(Oid(1))).unwrap();
+        smgr.with(DeviceId(1), |m| m.create_rel(Oid(1))).unwrap();
+        assert!(smgr.with(DeviceId(2), |m| m.create_rel(Oid(1))).is_err());
+        assert!(matches!(
+            smgr.register(DeviceId(0), Box::new(disk_mgr())),
+            Err(DbError::AlreadyExists(_))
+        ));
+        smgr.sync_all().unwrap();
+    }
+
+    #[test]
+    fn relmap_encoding_roundtrips() {
+        let mut map = RelMap {
+            next_free: 99,
+            rels: HashMap::new(),
+        };
+        map.rels.insert(Oid(1), vec![64, 65, 70]);
+        map.rels.insert(Oid(2), vec![]);
+        let dec = RelMap::decode(&map.encode()).unwrap();
+        assert_eq!(dec.next_free, 99);
+        assert_eq!(dec.rels, map.rels);
+        assert!(RelMap::decode(&[1, 2, 3]).is_err());
+    }
+}

@@ -1,0 +1,547 @@
+//! Transactions: the status file, snapshots, and tuple visibility.
+//!
+//! POSTGRES's no-overwrite storage manager needs no write-ahead log: "only
+//! the start time and commit state of a transaction must be recorded in the
+//! status file, no special log processing is required at crash recovery
+//! time". This module is that status file plus the visibility rules that
+//! make both ordinary reads and *time travel* work.
+//!
+//! A transaction that crashes before committing simply never gets a
+//! `Committed` entry; its tuples are invisible to everyone forever. That is
+//! the whole recovery story, and why the paper calls recovery "essentially
+//! instantaneous".
+
+use std::collections::HashSet;
+
+use parking_lot::Mutex;
+use simdev::SimInstant;
+
+use crate::error::{DbError, DbResult};
+use crate::ids::XactId;
+use crate::smgr::SharedDevice;
+
+/// Commit state of one transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum XactState {
+    /// Never started (or started and crashed before commit — equivalent).
+    Unknown,
+    /// Running right now (volatile; never persisted).
+    InProgress,
+    /// Committed at the given instant.
+    Committed(SimInstant),
+    /// Explicitly aborted.
+    Aborted,
+}
+
+const ENTRY_SIZE: usize = 9; // 1 status byte + 8 commit-time bytes.
+const ENTRIES_PER_BLOCK: usize = simdev::BLOCK_SIZE / ENTRY_SIZE;
+
+const ST_UNKNOWN: u8 = 0;
+const ST_COMMITTED: u8 = 2;
+const ST_ABORTED: u8 = 3;
+
+struct LogInner {
+    /// Entry `i` describes `XactId(i)`; index 0 is the invalid xid.
+    entries: Vec<XactState>,
+}
+
+/// The transaction status file.
+///
+/// Persistent entries live on a dedicated device (`pg_log` in POSTGRES);
+/// commit and abort write through synchronously, which *is* the commit
+/// point. In-progress state is memory-only, so a crash leaves those
+/// transactions `Unknown` — i.e. aborted.
+pub struct XactLog {
+    dev: SharedDevice,
+    inner: Mutex<LogInner>,
+}
+
+impl XactLog {
+    /// Creates a fresh log on `dev`, with [`XactId::FROZEN`] pre-committed at
+    /// the epoch (bootstrap tuples are stamped with it).
+    pub fn create(dev: SharedDevice) -> DbResult<XactLog> {
+        let log = XactLog {
+            dev,
+            inner: Mutex::new(LogInner {
+                entries: vec![XactState::Unknown, XactState::Committed(SimInstant::EPOCH)],
+            }),
+        };
+        log.persist_entry(XactId::FROZEN)?;
+        Ok(log)
+    }
+
+    /// Reloads the log from `dev` after a crash or restart.
+    ///
+    /// Any transaction that was in progress at the crash has no persistent
+    /// entry and is reported [`XactState::Unknown`], making its updates
+    /// permanently invisible — this is the entirety of crash recovery.
+    pub fn recover(dev: SharedDevice) -> DbResult<XactLog> {
+        let mut entries = vec![XactState::Unknown];
+        let mut blk = vec![0u8; simdev::BLOCK_SIZE];
+        let mut blkno = 0u64;
+        'outer: loop {
+            {
+                let mut d = dev.lock();
+                if blkno >= d.nblocks() {
+                    break;
+                }
+                d.read_block(blkno, &mut blk)?;
+            }
+            let first = blkno as usize * ENTRIES_PER_BLOCK;
+            for i in 0..ENTRIES_PER_BLOCK {
+                let xid = first + i;
+                if xid == 0 {
+                    continue;
+                }
+                let off = i * ENTRY_SIZE;
+                let status = blk[off];
+                match status {
+                    ST_COMMITTED => {
+                        let t = u64::from_le_bytes(blk[off + 1..off + 9].try_into().unwrap());
+                        while entries.len() <= xid {
+                            entries.push(XactState::Unknown);
+                        }
+                        entries[xid] = XactState::Committed(SimInstant::from_nanos(t));
+                    }
+                    ST_ABORTED => {
+                        while entries.len() <= xid {
+                            entries.push(XactState::Unknown);
+                        }
+                        entries[xid] = XactState::Aborted;
+                    }
+                    ST_UNKNOWN => {
+                        // The first all-unknown tail ends the log; since xids
+                        // are allocated densely and commit/abort both persist,
+                        // a long run of unknowns means we are past the end.
+                        if entries.len() <= xid {
+                            break 'outer;
+                        }
+                    }
+                    other => {
+                        return Err(DbError::Corrupt(format!(
+                            "bad status byte {other} for xid {xid}"
+                        )))
+                    }
+                }
+            }
+            blkno += 1;
+        }
+        if entries.len() < 2 {
+            entries.resize(2, XactState::Unknown);
+        }
+        entries[1] = XactState::Committed(SimInstant::EPOCH);
+        Ok(XactLog {
+            dev,
+            inner: Mutex::new(LogInner { entries }),
+        })
+    }
+
+    /// Allocates a new transaction id, marked in-progress (volatile).
+    pub fn start(&self) -> XactId {
+        let mut g = self.inner.lock();
+        let xid = XactId(g.entries.len() as u32);
+        g.entries.push(XactState::InProgress);
+        xid
+    }
+
+    /// The current state of `xid`.
+    pub fn state(&self, xid: XactId) -> XactState {
+        let g = self.inner.lock();
+        g.entries
+            .get(xid.0 as usize)
+            .copied()
+            .unwrap_or(XactState::Unknown)
+    }
+
+    /// Marks `xid` committed at `now` and persists the fact. This write is
+    /// the commit point; data pages must already be on stable storage.
+    pub fn commit(&self, xid: XactId, now: SimInstant) -> DbResult<()> {
+        {
+            let mut g = self.inner.lock();
+            let slot = g
+                .entries
+                .get_mut(xid.0 as usize)
+                .ok_or_else(|| DbError::Invalid(format!("commit of unknown {xid}")))?;
+            if !matches!(slot, XactState::InProgress) {
+                return Err(DbError::Invalid(format!("commit of non-running {xid}")));
+            }
+            *slot = XactState::Committed(now);
+        }
+        self.persist_entry(xid)
+    }
+
+    /// Marks `xid` committed at `now` *without* a persistent record — legal
+    /// only for transactions that wrote nothing, which need no durability.
+    /// After a crash such a transaction reads as `Unknown`, which is
+    /// indistinguishable because it had no effects.
+    pub fn commit_readonly(&self, xid: XactId, now: SimInstant) -> DbResult<()> {
+        let mut g = self.inner.lock();
+        let slot = g
+            .entries
+            .get_mut(xid.0 as usize)
+            .ok_or_else(|| DbError::Invalid(format!("commit of unknown {xid}")))?;
+        if !matches!(slot, XactState::InProgress) {
+            return Err(DbError::Invalid(format!("commit of non-running {xid}")));
+        }
+        *slot = XactState::Committed(now);
+        Ok(())
+    }
+
+    /// Marks `xid` aborted and persists the fact.
+    pub fn abort(&self, xid: XactId) -> DbResult<()> {
+        {
+            let mut g = self.inner.lock();
+            let slot = g
+                .entries
+                .get_mut(xid.0 as usize)
+                .ok_or_else(|| DbError::Invalid(format!("abort of unknown {xid}")))?;
+            if !matches!(slot, XactState::InProgress) {
+                return Err(DbError::Invalid(format!("abort of non-running {xid}")));
+            }
+            *slot = XactState::Aborted;
+        }
+        self.persist_entry(xid)
+    }
+
+    /// The set of transaction ids currently in progress.
+    pub fn active_set(&self) -> HashSet<XactId> {
+        let g = self.inner.lock();
+        g.entries
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| matches!(s, XactState::InProgress))
+            .map(|(i, _)| XactId(i as u32))
+            .collect()
+    }
+
+    /// The commit time of `xid`, if committed.
+    pub fn commit_time(&self, xid: XactId) -> Option<SimInstant> {
+        match self.state(xid) {
+            XactState::Committed(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Rewrites the status block containing `xid` on the log device.
+    fn persist_entry(&self, xid: XactId) -> DbResult<()> {
+        let blkno = xid.0 as usize / ENTRIES_PER_BLOCK;
+        let first = blkno * ENTRIES_PER_BLOCK;
+        let mut blk = vec![0u8; simdev::BLOCK_SIZE];
+        {
+            let g = self.inner.lock();
+            for i in 0..ENTRIES_PER_BLOCK {
+                let x = first + i;
+                let off = i * ENTRY_SIZE;
+                match g.entries.get(x).copied().unwrap_or(XactState::Unknown) {
+                    XactState::Committed(t) => {
+                        blk[off] = ST_COMMITTED;
+                        blk[off + 1..off + 9].copy_from_slice(&t.as_nanos().to_le_bytes());
+                    }
+                    XactState::Aborted => blk[off] = ST_ABORTED,
+                    // In-progress is deliberately not persisted.
+                    XactState::InProgress | XactState::Unknown => blk[off] = ST_UNKNOWN,
+                }
+            }
+        }
+        let mut d = self.dev.lock();
+        d.write_block(blkno as u64, &blk)?;
+        d.sync()?;
+        Ok(())
+    }
+}
+
+/// A tuple header as stored on-page: the inserting and deleting transactions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TupleHeader {
+    /// The transaction that created this version.
+    pub xmin: XactId,
+    /// The transaction that deleted/superseded it (INVALID if none).
+    pub xmax: XactId,
+}
+
+impl TupleHeader {
+    /// On-page size of the header.
+    pub const SIZE: usize = 8;
+
+    /// Encodes into the first [`TupleHeader::SIZE`] bytes of a tuple.
+    pub fn encode(self) -> [u8; 8] {
+        let mut out = [0u8; 8];
+        out[..4].copy_from_slice(&self.xmin.0.to_le_bytes());
+        out[4..].copy_from_slice(&self.xmax.0.to_le_bytes());
+        out
+    }
+
+    /// Decodes from the start of a tuple.
+    pub fn decode(buf: &[u8]) -> DbResult<TupleHeader> {
+        if buf.len() < 8 {
+            return Err(DbError::Corrupt("tuple shorter than header".into()));
+        }
+        Ok(TupleHeader {
+            xmin: XactId(u32::from_le_bytes(buf[..4].try_into().unwrap())),
+            xmax: XactId(u32::from_le_bytes(buf[4..8].try_into().unwrap())),
+        })
+    }
+}
+
+/// What a reader is allowed to see.
+#[derive(Debug, Clone)]
+pub enum Snapshot {
+    /// The view of a running transaction: its own updates plus everything
+    /// committed before it started.
+    Current {
+        /// The reading transaction.
+        xid: XactId,
+        /// Transactions in progress when the snapshot was taken.
+        active: HashSet<XactId>,
+    },
+    /// Time travel: the transaction-consistent state at a past instant.
+    AsOf(SimInstant),
+    /// Every tuple version regardless of state (vacuum, debugging).
+    Dirty,
+}
+
+impl Snapshot {
+    /// Whether this snapshot permits writes.
+    pub fn is_writable(&self) -> bool {
+        matches!(self, Snapshot::Current { .. })
+    }
+
+    /// Decides visibility of a tuple under this snapshot.
+    pub fn visible(&self, hdr: TupleHeader, log: &XactLog) -> bool {
+        match self {
+            Snapshot::Dirty => true,
+            Snapshot::Current { xid, active } => {
+                let ins_visible = if hdr.xmin == *xid {
+                    true
+                } else {
+                    matches!(log.state(hdr.xmin), XactState::Committed(_))
+                        && !active.contains(&hdr.xmin)
+                };
+                if !ins_visible {
+                    return false;
+                }
+                if !hdr.xmax.is_valid() {
+                    return true;
+                }
+                if hdr.xmax == *xid {
+                    return false; // We deleted it ourselves.
+                }
+                // Deleted by someone else: gone only if that commit is in
+                // our past.
+                !matches!(log.state(hdr.xmax), XactState::Committed(_))
+                    || active.contains(&hdr.xmax)
+            }
+            Snapshot::AsOf(t) => {
+                let committed_by = |x: XactId| match log.state(x) {
+                    XactState::Committed(ct) => ct <= *t,
+                    _ => false,
+                };
+                if !committed_by(hdr.xmin) {
+                    return false;
+                }
+                !(hdr.xmax.is_valid() && committed_by(hdr.xmax))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::smgr::shared_device;
+    use simdev::{DiskProfile, MagneticDisk, SimClock};
+
+    fn log_device() -> SharedDevice {
+        let clock = SimClock::new();
+        shared_device(MagneticDisk::new(
+            "log",
+            clock,
+            DiskProfile::tiny_for_tests(1024),
+        ))
+    }
+
+    #[test]
+    fn frozen_is_committed_at_epoch() {
+        let log = XactLog::create(log_device()).unwrap();
+        assert_eq!(
+            log.state(XactId::FROZEN),
+            XactState::Committed(SimInstant::EPOCH)
+        );
+    }
+
+    #[test]
+    fn lifecycle_start_commit() {
+        let log = XactLog::create(log_device()).unwrap();
+        let x = log.start();
+        assert_eq!(log.state(x), XactState::InProgress);
+        assert!(log.active_set().contains(&x));
+        log.commit(x, SimInstant::from_nanos(100)).unwrap();
+        assert_eq!(
+            log.state(x),
+            XactState::Committed(SimInstant::from_nanos(100))
+        );
+        assert!(!log.active_set().contains(&x));
+        assert_eq!(log.commit_time(x), Some(SimInstant::from_nanos(100)));
+    }
+
+    #[test]
+    fn lifecycle_start_abort() {
+        let log = XactLog::create(log_device()).unwrap();
+        let x = log.start();
+        log.abort(x).unwrap();
+        assert_eq!(log.state(x), XactState::Aborted);
+        assert!(log.commit_time(x).is_none());
+    }
+
+    #[test]
+    fn double_commit_rejected() {
+        let log = XactLog::create(log_device()).unwrap();
+        let x = log.start();
+        log.commit(x, SimInstant::EPOCH).unwrap();
+        assert!(log.commit(x, SimInstant::EPOCH).is_err());
+        assert!(log.abort(x).is_err());
+    }
+
+    #[test]
+    fn recovery_loses_in_progress_keeps_committed() {
+        let dev = log_device();
+        let committed;
+        let aborted;
+        let in_progress;
+        {
+            let log = XactLog::create(dev.clone()).unwrap();
+            committed = log.start();
+            aborted = log.start();
+            in_progress = log.start();
+            log.commit(committed, SimInstant::from_nanos(7)).unwrap();
+            log.abort(aborted).unwrap();
+            // `in_progress` crashes here: no persistent record.
+        }
+        let log = XactLog::recover(dev).unwrap();
+        assert_eq!(
+            log.state(committed),
+            XactState::Committed(SimInstant::from_nanos(7))
+        );
+        assert_eq!(log.state(aborted), XactState::Aborted);
+        assert_eq!(log.state(in_progress), XactState::Unknown);
+    }
+
+    #[test]
+    fn recovered_log_allocates_fresh_xids() {
+        let dev = log_device();
+        let old;
+        {
+            let log = XactLog::create(dev.clone()).unwrap();
+            old = log.start();
+            log.commit(old, SimInstant::from_nanos(1)).unwrap();
+        }
+        let log = XactLog::recover(dev).unwrap();
+        let new = log.start();
+        assert!(new.0 > old.0, "new xid {new} must not reuse {old}");
+    }
+
+    #[test]
+    fn header_roundtrips() {
+        let h = TupleHeader {
+            xmin: XactId(3),
+            xmax: XactId(9),
+        };
+        assert_eq!(TupleHeader::decode(&h.encode()).unwrap(), h);
+        assert!(TupleHeader::decode(&[0u8; 4]).is_err());
+    }
+
+    fn hdr(xmin: u32, xmax: u32) -> TupleHeader {
+        TupleHeader {
+            xmin: XactId(xmin),
+            xmax: XactId(xmax),
+        }
+    }
+
+    #[test]
+    fn current_snapshot_sees_own_and_committed() {
+        let log = XactLog::create(log_device()).unwrap();
+        let committed = log.start();
+        log.commit(committed, SimInstant::from_nanos(5)).unwrap();
+        let other_active = log.start();
+        let me = log.start();
+        let snap = Snapshot::Current {
+            xid: me,
+            active: log.active_set(),
+        };
+
+        // Own insert visible; own delete invisible.
+        assert!(snap.visible(hdr(me.0, 0), &log));
+        assert!(!snap.visible(hdr(me.0, me.0), &log));
+        // Committed insert visible.
+        assert!(snap.visible(hdr(committed.0, 0), &log));
+        // Concurrent (active) insert invisible.
+        assert!(!snap.visible(hdr(other_active.0, 0), &log));
+        // Aborted/unknown insert invisible.
+        assert!(!snap.visible(hdr(9999, 0), &log));
+        // Delete by a concurrent active transaction doesn't hide it from us.
+        assert!(snap.visible(hdr(committed.0, other_active.0), &log));
+    }
+
+    #[test]
+    fn concurrent_commit_after_snapshot_stays_invisible() {
+        let log = XactLog::create(log_device()).unwrap();
+        let other = log.start();
+        let me = log.start();
+        let snap = Snapshot::Current {
+            xid: me,
+            active: log.active_set(),
+        };
+        log.commit(other, SimInstant::from_nanos(50)).unwrap();
+        // `other` committed *after* our snapshot: still invisible.
+        assert!(!snap.visible(hdr(other.0, 0), &log));
+    }
+
+    #[test]
+    fn as_of_snapshot_is_a_consistent_past() {
+        let log = XactLog::create(log_device()).unwrap();
+        let early = log.start();
+        log.commit(early, SimInstant::from_nanos(10)).unwrap();
+        let late = log.start();
+        log.commit(late, SimInstant::from_nanos(100)).unwrap();
+
+        let t50 = Snapshot::AsOf(SimInstant::from_nanos(50));
+        // Inserted early: visible at t=50. Inserted late: not yet.
+        assert!(t50.visible(hdr(early.0, 0), &log));
+        assert!(!t50.visible(hdr(late.0, 0), &log));
+        // Deleted late: still visible at t=50 (the delete hadn't happened).
+        assert!(t50.visible(hdr(early.0, late.0), &log));
+        // At t=100 the delete has landed.
+        let t100 = Snapshot::AsOf(SimInstant::from_nanos(100));
+        assert!(!t100.visible(hdr(early.0, late.0), &log));
+    }
+
+    #[test]
+    fn as_of_ignores_aborted_and_running() {
+        let log = XactLog::create(log_device()).unwrap();
+        let ab = log.start();
+        log.abort(ab).unwrap();
+        let run = log.start();
+        let snap = Snapshot::AsOf(SimInstant::from_nanos(1_000_000));
+        assert!(!snap.visible(hdr(ab.0, 0), &log));
+        assert!(!snap.visible(hdr(run.0, 0), &log));
+        // Delete by an aborted transaction never takes effect.
+        assert!(snap.visible(hdr(1, ab.0), &log));
+    }
+
+    #[test]
+    fn dirty_sees_everything() {
+        let log = XactLog::create(log_device()).unwrap();
+        assert!(Snapshot::Dirty.visible(hdr(424242, 999), &log));
+    }
+
+    #[test]
+    fn snapshot_writability() {
+        assert!(Snapshot::Current {
+            xid: XactId(2),
+            active: HashSet::new()
+        }
+        .is_writable());
+        assert!(!Snapshot::AsOf(SimInstant::EPOCH).is_writable());
+        assert!(!Snapshot::Dirty.is_writable());
+    }
+}

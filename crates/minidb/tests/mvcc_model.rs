@@ -1,0 +1,215 @@
+//! Model-based checking of the no-overwrite storage manager's core claim:
+//! after any sequence of transactions (committed and aborted), the database
+//! state visible *now* and at *every past checkpoint* equals what a trivial
+//! reference model says it should be.
+
+use std::collections::BTreeMap;
+
+use minidb::{Datum, Db, Schema, Tid, TypeId};
+use proptest::prelude::*;
+use simdev::SimInstant;
+
+/// One step of a transaction script.
+#[derive(Debug, Clone)]
+enum Step {
+    /// Insert a row with this value.
+    Insert(i32),
+    /// Delete the k-th currently-live row (modulo live count).
+    Delete(usize),
+    /// Update the k-th currently-live row to a new value.
+    Update(usize, i32),
+}
+
+/// A whole transaction: steps plus whether it commits.
+#[derive(Debug, Clone)]
+struct Txn {
+    steps: Vec<Step>,
+    commit: bool,
+}
+
+fn txn_strategy() -> impl Strategy<Value = Txn> {
+    (
+        prop::collection::vec(
+            prop_oneof![
+                (0..1000i32).prop_map(Step::Insert),
+                (0..64usize).prop_map(Step::Delete),
+                (0..64usize, 0..1000i32).prop_map(|(k, v)| Step::Update(k, v)),
+            ],
+            1..8,
+        ),
+        prop::bool::ANY,
+    )
+        .prop_map(|(steps, commit)| Txn { steps, commit })
+}
+
+/// Multiset of values visible in the reference model.
+type ModelState = BTreeMap<i32, usize>;
+
+fn add(m: &mut ModelState, v: i32) {
+    *m.entry(v).or_insert(0) += 1;
+}
+
+fn remove(m: &mut ModelState, v: i32) {
+    if let Some(n) = m.get_mut(&v) {
+        *n -= 1;
+        if *n == 0 {
+            m.remove(&v);
+        }
+    }
+}
+
+fn observed(db: &Db, rel: minidb::RelId, at: Option<SimInstant>) -> ModelState {
+    let rows = match at {
+        Some(t) => db.snapshot_at(t).seq_scan(rel).unwrap(),
+        None => {
+            let mut s = db.begin().unwrap();
+            let rows = s.seq_scan(rel).unwrap();
+            s.commit().unwrap();
+            rows
+        }
+    };
+    let mut m = ModelState::new();
+    for (_, row) in rows {
+        add(&mut m, row[0].as_int().unwrap() as i32);
+    }
+    m
+}
+
+fn run_script(txns: Vec<Txn>) {
+    let db = Db::open_in_memory().unwrap();
+    let rel = db
+        .create_table("t", Schema::new([("v", TypeId::INT4)]))
+        .unwrap();
+
+    // Model state and live tids mirror *committed* reality; per-transaction
+    // scratch copies absorb the steps and are adopted only on commit.
+    let mut committed: ModelState = ModelState::new();
+    let mut committed_tids: Vec<(Tid, i32)> = Vec::new();
+    let mut checkpoints: Vec<(SimInstant, ModelState)> = vec![(db.now(), committed.clone())];
+
+    for txn in txns {
+        let mut s = db.begin().unwrap();
+        let mut scratch = committed.clone();
+        let mut scratch_tids = committed_tids.clone();
+        for step in txn.steps {
+            match step {
+                Step::Insert(v) => {
+                    let tid = s.insert(rel, vec![Datum::Int4(v)]).unwrap();
+                    add(&mut scratch, v);
+                    scratch_tids.push((tid, v));
+                }
+                Step::Delete(k) => {
+                    if scratch_tids.is_empty() {
+                        continue;
+                    }
+                    let (tid, v) = scratch_tids.remove(k % scratch_tids.len());
+                    assert!(s.delete(rel, tid).unwrap());
+                    remove(&mut scratch, v);
+                }
+                Step::Update(k, nv) => {
+                    if scratch_tids.is_empty() {
+                        continue;
+                    }
+                    let i = k % scratch_tids.len();
+                    let (tid, old) = scratch_tids[i];
+                    let new_tid = s.update(rel, tid, vec![Datum::Int4(nv)]).unwrap();
+                    scratch_tids[i] = (new_tid, nv);
+                    remove(&mut scratch, old);
+                    add(&mut scratch, nv);
+                }
+            }
+        }
+        if txn.commit {
+            s.commit().unwrap();
+            committed = scratch;
+            committed_tids = scratch_tids;
+        } else {
+            s.abort().unwrap();
+        }
+        // Checkpoint after every transaction boundary.
+        checkpoints.push((db.now(), committed.clone()));
+        // The present always matches the model.
+        assert_eq!(
+            observed(&db, rel, None),
+            committed,
+            "current state diverged"
+        );
+    }
+
+    // Every checkpoint in history still reads exactly as recorded.
+    for (i, (t, expect)) in checkpoints.iter().enumerate() {
+        assert_eq!(
+            &observed(&db, rel, Some(*t)),
+            expect,
+            "checkpoint {i} at {t} diverged"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn mvcc_matches_reference_model(txns in prop::collection::vec(txn_strategy(), 1..12)) {
+        run_script(txns);
+    }
+}
+
+#[test]
+fn mvcc_model_hand_picked_scenarios() {
+    // Abort-heavy and delete-heavy scripts that regressions like stale-xmax
+    // handling would trip over.
+    run_script(vec![
+        Txn {
+            steps: vec![Step::Insert(1), Step::Insert(2)],
+            commit: true,
+        },
+        Txn {
+            steps: vec![Step::Delete(0), Step::Update(0, 9)],
+            commit: false,
+        },
+        Txn {
+            steps: vec![Step::Delete(0)],
+            commit: true,
+        },
+        Txn {
+            steps: vec![Step::Update(0, 7), Step::Delete(0)],
+            commit: true,
+        },
+        Txn {
+            steps: vec![Step::Insert(5)],
+            commit: false,
+        },
+        Txn {
+            steps: vec![Step::Insert(6)],
+            commit: true,
+        },
+    ]);
+}
+
+#[test]
+fn mvcc_model_after_vacuum_history_still_matches() {
+    // Same invariant, but run the vacuum cleaner midway: checkpoints before
+    // the vacuum must still read correctly (from the archive).
+    let db = Db::open_in_memory().unwrap();
+    let rel = db
+        .create_table("t", Schema::new([("v", TypeId::INT4)]))
+        .unwrap();
+    let mut s = db.begin().unwrap();
+    let t1 = s.insert(rel, vec![Datum::Int4(1)]).unwrap();
+    s.insert(rel, vec![Datum::Int4(2)]).unwrap();
+    s.commit().unwrap();
+    let cp1 = db.now();
+
+    let mut s = db.begin().unwrap();
+    s.update(rel, t1, vec![Datum::Int4(10)]).unwrap();
+    s.commit().unwrap();
+    let cp2 = db.now();
+
+    minidb::vacuum::vacuum(&db, rel, minidb::DeviceId::DEFAULT).unwrap();
+
+    let m1 = observed(&db, rel, Some(cp1));
+    assert_eq!(m1, BTreeMap::from([(1, 1), (2, 1)]));
+    let m2 = observed(&db, rel, Some(cp2));
+    assert_eq!(m2, BTreeMap::from([(10, 1), (2, 1)]));
+}

@@ -1,0 +1,33 @@
+//! The ULTRIX NFS baseline the paper benchmarks Inversion against.
+//!
+//! "Inversion is compared to NFS running on identical hardware. ... The NFS
+//! implementation on the DECsystem 5900 used a service called PRESTOserve to
+//! speed up writes. To guarantee that NFS servers remain stateless, NFS must
+//! force every write to stable storage synchronously. PRESTOserve consists
+//! of a board containing 1 MByte of battery-backed RAM and driver software
+//! to cache NFS writes in non-volatile memory."
+//!
+//! Four layers, composable exactly like the 1993 stack:
+//!
+//! * [`ffs`] — an FFS-style local file system (inodes, direct + indirect +
+//!   double-indirect blocks, hierarchical directories, a UNIX-style buffer
+//!   cache) over any [`simdev::BlockDevice`]. Data blocks are laid out
+//!   sequentially, which is the layout advantage the paper credits NFS with
+//!   on file creation.
+//! * [`presto`] — the PRESTOserve board as a block-device wrapper: writes
+//!   land in battery-backed RAM (stable!) and drain to disk lazily, so
+//!   "synchronous" NFS writes cost microseconds until the 1 MB fills.
+//! * [`nfs`] — a stateless NFS-v2-flavoured server: every write reaches
+//!   stable storage before the reply.
+//! * [`client`] — a remote client issuing one UDP RPC per 8 KB operation
+//!   over the simulated Ethernet.
+
+pub mod client;
+pub mod ffs;
+pub mod nfs;
+pub mod presto;
+
+pub use client::NfsClient;
+pub use ffs::{Ffs, FfsConfig, FfsError, FfsResult, InodeNo};
+pub use nfs::NfsServer;
+pub use presto::PrestoDisk;

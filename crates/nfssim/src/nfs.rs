@@ -1,0 +1,159 @@
+//! A stateless NFS-v2-flavoured server.
+//!
+//! "To guarantee that NFS servers remain stateless, NFS must force every
+//! write to stable storage synchronously." Every mutating operation
+//! therefore syncs the underlying [`Ffs`] before replying. File handles are
+//! just inode numbers — the server keeps no per-client state at all, which
+//! is the point.
+
+use crate::ffs::{Ffs, FfsResult, InodeNo};
+
+/// File attributes returned by `getattr`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NfsAttr {
+    /// The file handle.
+    pub ino: InodeNo,
+    /// Size in bytes.
+    pub size: u64,
+    /// Whether this is a directory.
+    pub is_dir: bool,
+}
+
+/// The server: stateless operations over an [`Ffs`].
+pub struct NfsServer {
+    fs: Ffs,
+}
+
+impl NfsServer {
+    /// Serves `fs`. The caller should have formatted it with
+    /// `sync_writes: true` (a stateless server cannot rely on a volatile
+    /// cache), typically over a [`crate::PrestoDisk`].
+    pub fn new(fs: Ffs) -> NfsServer {
+        NfsServer { fs }
+    }
+
+    /// Access to the underlying file system (benchmark cache flushes).
+    pub fn fs_mut(&mut self) -> &mut Ffs {
+        &mut self.fs
+    }
+
+    /// LOOKUP: path to file handle.
+    pub fn lookup(&mut self, path: &str) -> FfsResult<NfsAttr> {
+        let ino = self.fs.lookup(path)?;
+        self.getattr(ino)
+    }
+
+    /// GETATTR.
+    pub fn getattr(&mut self, ino: InodeNo) -> FfsResult<NfsAttr> {
+        Ok(NfsAttr {
+            ino,
+            size: self.fs.size_of(ino)?,
+            is_dir: self.fs.is_dir(ino)?,
+        })
+    }
+
+    /// CREATE: the new file is durable before the reply.
+    pub fn create(&mut self, path: &str) -> FfsResult<NfsAttr> {
+        let ino = self.fs.create(path)?;
+        self.fs.sync()?;
+        self.getattr(ino)
+    }
+
+    /// MKDIR.
+    pub fn mkdir(&mut self, path: &str) -> FfsResult<NfsAttr> {
+        let ino = self.fs.mkdir(path)?;
+        self.fs.sync()?;
+        self.getattr(ino)
+    }
+
+    /// READ.
+    pub fn read(&mut self, ino: InodeNo, offset: u64, buf: &mut [u8]) -> FfsResult<usize> {
+        self.fs.read(ino, offset, buf)
+    }
+
+    /// WRITE: forced to stable storage before the reply (the sync that
+    /// PRESTOserve exists to absorb).
+    pub fn write(&mut self, ino: InodeNo, offset: u64, data: &[u8]) -> FfsResult<usize> {
+        let n = self.fs.write(ino, offset, data)?;
+        self.fs.sync()?;
+        Ok(n)
+    }
+
+    /// REMOVE.
+    pub fn remove(&mut self, path: &str) -> FfsResult<()> {
+        self.fs.unlink(path)?;
+        self.fs.sync()
+    }
+
+    /// READDIR.
+    pub fn readdir(&mut self, path: &str) -> FfsResult<Vec<(String, InodeNo)>> {
+        self.fs.readdir(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ffs::FfsConfig;
+    use simdev::{BlockDevice, DiskProfile, MagneticDisk, SimClock};
+    use std::sync::Arc;
+
+    fn server() -> NfsServer {
+        let clock = SimClock::new();
+        let dev: Arc<parking_lot::Mutex<dyn BlockDevice>> = Arc::new(parking_lot::Mutex::new(
+            MagneticDisk::new("d", clock, DiskProfile::tiny_for_tests(1 << 14)),
+        ));
+        let fs = Ffs::format(
+            dev,
+            FfsConfig {
+                max_inodes: 256,
+                cache_blocks: 32,
+                sync_writes: true,
+            },
+        )
+        .unwrap();
+        NfsServer::new(fs)
+    }
+
+    #[test]
+    fn create_write_read_lookup() {
+        let mut srv = server();
+        let attr = srv.create("/f").unwrap();
+        assert!(!attr.is_dir);
+        srv.write(attr.ino, 0, b"nfs data").unwrap();
+        let mut buf = [0u8; 8];
+        assert_eq!(srv.read(attr.ino, 0, &mut buf).unwrap(), 8);
+        assert_eq!(&buf, b"nfs data");
+        let found = srv.lookup("/f").unwrap();
+        assert_eq!(found.ino, attr.ino);
+        assert_eq!(found.size, 8);
+    }
+
+    #[test]
+    fn statelessness_every_write_durable() {
+        let mut srv = server();
+        let attr = srv.create("/durable").unwrap();
+        srv.write(attr.ino, 0, &vec![9u8; 8192]).unwrap();
+        // Drop all volatile cache state; data must still be on the device.
+        srv.fs_mut().flush_caches().unwrap();
+        let mut buf = vec![0u8; 8192];
+        srv.read(attr.ino, 0, &mut buf).unwrap();
+        assert_eq!(buf, vec![9u8; 8192]);
+    }
+
+    #[test]
+    fn dirs_and_remove() {
+        let mut srv = server();
+        srv.mkdir("/home").unwrap();
+        srv.create("/home/f").unwrap();
+        let names: Vec<String> = srv
+            .readdir("/home")
+            .unwrap()
+            .into_iter()
+            .map(|(n, _)| n)
+            .collect();
+        assert_eq!(names, vec!["f"]);
+        srv.remove("/home/f").unwrap();
+        assert!(srv.lookup("/home/f").is_err());
+    }
+}

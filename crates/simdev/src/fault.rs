@@ -1,0 +1,141 @@
+//! Fault injection for crash-recovery and media-failure tests.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::error::{DevError, DevResult};
+
+#[derive(Debug, Default)]
+struct Inner {
+    offline: bool,
+    fail_after_writes: Option<u64>,
+    writes_seen: u64,
+    corrupt_blocks: HashSet<u64>,
+}
+
+/// A shared, cloneable fault-injection plan attached to a device model.
+///
+/// The plan is consulted on every device operation; tests use it to take a
+/// device offline mid-transaction, to kill power after a fixed number of
+/// writes, or to corrupt individual blocks (exercising the paper's
+/// "self-identifying blocks" discussion).
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl FaultPlan {
+    /// Creates a plan with no faults armed.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Takes the device offline (all subsequent operations fail) or back online.
+    pub fn set_offline(&self, offline: bool) {
+        self.inner.lock().offline = offline;
+    }
+
+    /// Arms a fault that fails every write after `n` more writes succeed.
+    pub fn fail_after_writes(&self, n: u64) {
+        let mut g = self.inner.lock();
+        g.fail_after_writes = Some(n);
+        g.writes_seen = 0;
+    }
+
+    /// Disarms the write-failure fault.
+    pub fn clear_write_fault(&self) {
+        self.inner.lock().fail_after_writes = None;
+    }
+
+    /// Marks `blkno` as corrupted: reads of it yield garbage (see device impls).
+    pub fn corrupt_block(&self, blkno: u64) {
+        self.inner.lock().corrupt_blocks.insert(blkno);
+    }
+
+    /// Whether `blkno` is marked corrupted.
+    pub fn is_corrupt(&self, blkno: u64) -> bool {
+        self.inner.lock().corrupt_blocks.contains(&blkno)
+    }
+
+    /// Gate for device read paths.
+    pub fn check_read(&self) -> DevResult<()> {
+        if self.inner.lock().offline {
+            return Err(DevError::Offline);
+        }
+        Ok(())
+    }
+
+    /// Gate for device write paths; counts writes against an armed fault.
+    pub fn check_write(&self) -> DevResult<()> {
+        let mut g = self.inner.lock();
+        if g.offline {
+            return Err(DevError::Offline);
+        }
+        if let Some(n) = g.fail_after_writes {
+            if g.writes_seen >= n {
+                return Err(DevError::InjectedFault {
+                    what: format!("write failure armed after {n} writes"),
+                });
+            }
+            g.writes_seen += 1;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_is_transparent() {
+        let p = FaultPlan::none();
+        assert!(p.check_read().is_ok());
+        for _ in 0..100 {
+            assert!(p.check_write().is_ok());
+        }
+    }
+
+    #[test]
+    fn offline_fails_everything() {
+        let p = FaultPlan::none();
+        p.set_offline(true);
+        assert_eq!(p.check_read(), Err(DevError::Offline));
+        assert_eq!(p.check_write(), Err(DevError::Offline));
+        p.set_offline(false);
+        assert!(p.check_read().is_ok());
+    }
+
+    #[test]
+    fn fail_after_n_writes() {
+        let p = FaultPlan::none();
+        p.fail_after_writes(3);
+        assert!(p.check_write().is_ok());
+        assert!(p.check_write().is_ok());
+        assert!(p.check_write().is_ok());
+        assert!(matches!(
+            p.check_write(),
+            Err(DevError::InjectedFault { .. })
+        ));
+        p.clear_write_fault();
+        assert!(p.check_write().is_ok());
+    }
+
+    #[test]
+    fn corrupt_blocks_tracked() {
+        let p = FaultPlan::none();
+        assert!(!p.is_corrupt(7));
+        p.corrupt_block(7);
+        assert!(p.is_corrupt(7));
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let p = FaultPlan::none();
+        let q = p.clone();
+        q.set_offline(true);
+        assert!(p.check_read().is_err());
+    }
+}

@@ -1,0 +1,119 @@
+//! Battery-backed RAM (the PRESTOserve board's medium).
+//!
+//! PRESTOserve was "a board containing 1 MByte of battery-backed RAM and
+//! driver software to cache NFS writes in non-volatile memory". The medium
+//! itself is modeled here: memory-speed access, stable across power failure.
+//! The *write-cache policy* lives in `nfssim::presto`.
+
+use crate::block::{BlockDevice, MemBlockStore};
+use crate::clock::{SimClock, SimDuration};
+use crate::error::DevResult;
+use crate::fault::FaultPlan;
+
+/// A non-volatile RAM block device with memory-speed access.
+pub struct Nvram {
+    name: String,
+    clock: SimClock,
+    store: MemBlockStore,
+    access_cost: SimDuration,
+    faults: FaultPlan,
+}
+
+impl Nvram {
+    /// Creates an NVRAM device of `nblocks` 8 KB blocks.
+    ///
+    /// Access cost models a bus copy: ~25 µs per 8 KB block (tens of MB/s
+    /// across an early-90s I/O bus).
+    pub fn new(name: impl Into<String>, clock: SimClock, nblocks: u64) -> Self {
+        Nvram {
+            name: name.into(),
+            clock,
+            store: MemBlockStore::new(crate::BLOCK_SIZE, nblocks),
+            access_cost: SimDuration::from_micros(25),
+            faults: FaultPlan::none(),
+        }
+    }
+
+    /// Creates the 1 MB PRESTOserve board (128 blocks of 8 KB).
+    pub fn prestoserve(clock: SimClock) -> Self {
+        Nvram::new("prestoserve", clock, 128)
+    }
+
+    /// The fault-injection plan attached to this device.
+    pub fn fault_plan(&self) -> FaultPlan {
+        self.faults.clone()
+    }
+}
+
+impl BlockDevice for Nvram {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn block_size(&self) -> usize {
+        self.store.block_size()
+    }
+
+    fn nblocks(&self) -> u64 {
+        self.store.nblocks()
+    }
+
+    fn read_block(&mut self, blkno: u64, buf: &mut [u8]) -> DevResult<()> {
+        self.faults.check_read()?;
+        self.clock.advance(self.access_cost);
+        self.store.read(blkno, buf)
+    }
+
+    fn write_block(&mut self, blkno: u64, buf: &[u8]) -> DevResult<()> {
+        self.faults.check_write()?;
+        self.clock.advance(self.access_cost);
+        self.store.write(blkno, buf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::{DiskProfile, MagneticDisk};
+
+    #[test]
+    fn prestoserve_is_one_megabyte() {
+        let nv = Nvram::prestoserve(SimClock::new());
+        assert_eq!(nv.nblocks() * nv.block_size() as u64, 1 << 20);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let mut nv = Nvram::new("nv", SimClock::new(), 8);
+        let buf = vec![3u8; nv.block_size()];
+        nv.write_block(3, &buf).unwrap();
+        let mut out = vec![0u8; nv.block_size()];
+        nv.read_block(3, &mut out).unwrap();
+        assert_eq!(out, buf);
+    }
+
+    #[test]
+    fn much_faster_than_disk() {
+        let clock = SimClock::new();
+        let mut nv = Nvram::new("nv", clock.clone(), 8);
+        let mut dk = MagneticDisk::new("dk", clock.clone(), DiskProfile::rz58());
+        let buf = vec![0u8; 8192];
+
+        let t0 = clock.now();
+        nv.write_block(0, &buf).unwrap();
+        let nv_cost = clock.now().since(t0);
+
+        let t1 = clock.now();
+        dk.write_block(500_000 % dk.nblocks(), &buf).unwrap();
+        let dk_cost = clock.now().since(t1);
+
+        assert!(dk_cost.as_nanos() > nv_cost.as_nanos() * 50);
+    }
+
+    #[test]
+    fn nvram_is_stable() {
+        let nv = Nvram::prestoserve(SimClock::new());
+        assert!(nv.is_stable());
+        assert!(!nv.is_write_once());
+    }
+}

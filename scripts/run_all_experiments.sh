@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Regenerates every table and figure of the paper into results/.
+# Usage: scripts/run_all_experiments.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+mkdir -p results
+for bin in table1_naming table2_types fig3_create fig4_random_byte \
+           fig5_reads fig6_writes table3_full ston93_local ablations; do
+    echo "== $bin =="
+    cargo run --release -p bench --bin "$bin" | tee "results/$bin.txt"
+done
+echo "All experiment outputs written to results/."

@@ -1,0 +1,11 @@
+//! Reproduction of the Inversion file system (Olson, USENIX 1993).
+//!
+//! This is the workspace facade crate; the substance lives in the member
+//! crates re-exported below. See the README and DESIGN.md at the repository
+//! root.
+
+pub use ::bench as benchmarks;
+pub use inversion;
+pub use minidb;
+pub use nfssim;
+pub use simdev;

@@ -1,0 +1,195 @@
+//! Property-based tests: the Inversion file API against an in-memory model,
+//! plus invariants on the codec and chunk layers.
+
+mod common;
+
+use common::Devices;
+use inversion::{compress, CreateMode, InversionFs, OpenMode, SeekWhence, CHUNK_SIZE};
+use proptest::prelude::*;
+
+/// Operations the model understands.
+#[derive(Debug, Clone)]
+enum Op {
+    Write { offset: u64, data: Vec<u8> },
+    Read { offset: u64, len: usize },
+    Seal, // Commit and reopen the file.
+}
+
+fn op_strategy(max_file: u64) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..max_file, prop::collection::vec(any::<u8>(), 1..2000))
+            .prop_map(|(offset, data)| Op::Write { offset, data }),
+        (0..max_file, 1..3000usize).prop_map(|(offset, len)| Op::Read { offset, len }),
+        Just(Op::Seal),
+    ]
+}
+
+/// A trivial reference model: a growable byte vector.
+#[derive(Default)]
+struct Model {
+    bytes: Vec<u8>,
+}
+
+impl Model {
+    fn write(&mut self, offset: u64, data: &[u8]) {
+        let end = offset as usize + data.len();
+        if self.bytes.len() < end {
+            self.bytes.resize(end, 0);
+        }
+        self.bytes[offset as usize..end].copy_from_slice(data);
+    }
+
+    fn read(&self, offset: u64, len: usize) -> Vec<u8> {
+        let off = offset as usize;
+        if off >= self.bytes.len() {
+            return Vec::new();
+        }
+        self.bytes[off..(off + len).min(self.bytes.len())].to_vec()
+    }
+}
+
+fn run_ops_against_model(ops: Vec<Op>, compressed: bool) {
+    let fs = InversionFs::format(Devices::new().format()).unwrap();
+    let mut c = fs.client();
+    let mode = if compressed {
+        CreateMode::default().compressed()
+    } else {
+        CreateMode::default()
+    };
+    c.p_begin().unwrap();
+    let mut fd = c.p_creat("/model", mode).unwrap();
+    let mut model = Model::default();
+
+    for op in ops {
+        match op {
+            Op::Write { offset, data } => {
+                c.p_lseek(fd, offset as i64, SeekWhence::Set).unwrap();
+                c.p_write(fd, &data).unwrap();
+                model.write(offset, &data);
+            }
+            Op::Read { offset, len } => {
+                c.p_lseek(fd, offset as i64, SeekWhence::Set).unwrap();
+                let mut buf = vec![0u8; len];
+                let n = c.p_read(fd, &mut buf).unwrap();
+                assert_eq!(
+                    &buf[..n],
+                    &model.read(offset, len)[..],
+                    "read at {offset}+{len}"
+                );
+            }
+            Op::Seal => {
+                c.p_close(fd).unwrap();
+                c.p_commit().unwrap();
+                c.p_begin().unwrap();
+                fd = c.p_open("/model", OpenMode::ReadWrite, None).unwrap();
+            }
+        }
+    }
+    // Final full-file comparison after commit.
+    c.p_close(fd).unwrap();
+    c.p_commit().unwrap();
+    let all = c.read_to_vec("/model", None).unwrap();
+    assert_eq!(all, model.bytes);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn file_api_matches_byte_vector_model(
+        ops in prop::collection::vec(op_strategy(3 * CHUNK_SIZE as u64), 1..25)
+    ) {
+        run_ops_against_model(ops, false);
+    }
+
+    #[test]
+    fn compressed_files_match_model_too(
+        ops in prop::collection::vec(op_strategy(2 * CHUNK_SIZE as u64), 1..15)
+    ) {
+        run_ops_against_model(ops, true);
+    }
+
+    #[test]
+    fn compression_roundtrips_arbitrary_bytes(data in prop::collection::vec(any::<u8>(), 0..9000)) {
+        let c = compress::compress(&data);
+        let d = compress::decompress(&c);
+        prop_assert_eq!(d.as_deref(), Some(&data[..]));
+    }
+
+    #[test]
+    fn decompress_never_panics_on_garbage(data in prop::collection::vec(any::<u8>(), 0..4000)) {
+        let _ = compress::decompress(&data);
+    }
+
+    #[test]
+    fn split_range_partitions_exactly(offset in 0u64..10_000_000, len in 0usize..100_000) {
+        let parts = inversion::chunk::split_range(offset, len);
+        // Lengths sum to the request.
+        prop_assert_eq!(parts.iter().map(|p| p.2).sum::<usize>(), len);
+        // Pieces are contiguous and in order.
+        let mut pos = offset;
+        for (chunkno, start, take) in parts {
+            prop_assert_eq!(inversion::chunk::chunk_start(chunkno) + start as u64, pos);
+            prop_assert!(start + take <= CHUNK_SIZE);
+            pos += take as u64;
+        }
+    }
+
+    #[test]
+    fn row_codec_roundtrips(
+        ints in prop::collection::vec(any::<i64>(), 0..6),
+        text in ".{0,80}",
+        blob in prop::collection::vec(any::<u8>(), 0..500),
+    ) {
+        let mut row: Vec<minidb::Datum> = ints.into_iter().map(minidb::Datum::Int8).collect();
+        row.push(minidb::Datum::Text(text));
+        row.push(minidb::Datum::Bytes(blob));
+        row.push(minidb::Datum::Null);
+        let enc = minidb::encode_row(&row);
+        prop_assert_eq!(minidb::decode_row(&enc).unwrap(), row);
+    }
+
+    #[test]
+    fn btree_agrees_with_sorted_map(keys in prop::collection::vec(0i32..500, 1..120)) {
+        let db = minidb::Db::open_in_memory().unwrap();
+        let rel = db.create_table(
+            "t",
+            minidb::Schema::new([("k", minidb::TypeId::INT4)]),
+        ).unwrap();
+        let idx = db.create_index("t_k", rel, &["k"]).unwrap();
+        let mut s = db.begin().unwrap();
+        let mut counts = std::collections::BTreeMap::new();
+        for k in &keys {
+            s.insert(rel, vec![minidb::Datum::Int4(*k)]).unwrap();
+            *counts.entry(*k).or_insert(0usize) += 1;
+        }
+        for (k, n) in counts {
+            let hits = s.index_scan_eq(idx, &[minidb::Datum::Int4(k)]).unwrap();
+            prop_assert_eq!(hits.len(), n, "key {}", k);
+        }
+        s.commit().unwrap();
+    }
+}
+
+#[test]
+fn coalescer_equivalence_small_vs_large_writes() {
+    // Writing N bytes as many small sequential writes must produce exactly
+    // the same file as one large write.
+    let sizes = [1usize, 7, 64, 255, 1000];
+    let total = CHUNK_SIZE + 777;
+    let data: Vec<u8> = (0..total).map(|i| (i % 249) as u8).collect();
+    let fs = InversionFs::format(Devices::new().format()).unwrap();
+    let mut c = fs.client();
+    c.write_all("/whole", CreateMode::default(), &data).unwrap();
+    for (i, sz) in sizes.iter().enumerate() {
+        let path = format!("/pieces{i}");
+        c.p_begin().unwrap();
+        let fd = c.p_creat(&path, CreateMode::default()).unwrap();
+        for chunk in data.chunks(*sz) {
+            c.p_write(fd, chunk).unwrap();
+        }
+        c.p_close(fd).unwrap();
+        c.p_commit().unwrap();
+        assert_eq!(c.read_to_vec(&path, None).unwrap(), data, "piece size {sz}");
+    }
+}

@@ -1,0 +1,182 @@
+//! Crash matrices and fault injection: the paper's "fast recovery" claims
+//! under hostile conditions.
+
+mod common;
+
+use common::Devices;
+use inversion::{CreateMode, InversionFs, OpenMode};
+use minidb::{Datum, Schema, TypeId};
+
+#[test]
+fn repeated_crash_recover_cycles_are_stable() {
+    let devices = Devices::new();
+    {
+        let db = devices.format();
+        let fs = InversionFs::format(db).unwrap();
+        let mut c = fs.client();
+        c.write_all("/gen0", CreateMode::default(), b"0").unwrap();
+    }
+    for generation in 1..=5u8 {
+        let db = devices.recover();
+        let fs = InversionFs::attach(db).unwrap();
+        let mut c = fs.client();
+        // Everything from previous generations is intact.
+        for g in 0..generation {
+            assert_eq!(
+                c.read_to_vec(&format!("/gen{g}"), None).unwrap(),
+                format!("{g}").as_bytes(),
+                "generation {g} lost after {generation} crashes"
+            );
+        }
+        // Write one more committed file and one uncommitted one, then crash.
+        c.write_all(
+            &format!("/gen{generation}"),
+            CreateMode::default(),
+            format!("{generation}").as_bytes(),
+        )
+        .unwrap();
+        c.p_begin().unwrap();
+        let fd = c
+            .p_creat(&format!("/doomed{generation}"), CreateMode::default())
+            .unwrap();
+        c.p_write(fd, b"never").unwrap();
+        std::mem::forget(c);
+    }
+    let db = devices.recover();
+    let fs = InversionFs::attach(db).unwrap();
+    let mut c = fs.client();
+    for g in 1..=5u8 {
+        assert!(c.p_stat(&format!("/doomed{g}"), None).is_err());
+    }
+    assert_eq!(c.p_readdir("/", None).unwrap().len(), 6);
+}
+
+#[test]
+fn recovery_needs_no_scan_of_data() {
+    // "File system recovery is essentially instantaneous": recovery reads
+    // device metadata, the catalog, and the status file — not the data.
+    // Write a large file, then compare recovery cost to a data scan.
+    let devices = Devices::new();
+    let data_len = 2 << 20; // 2 MB.
+    {
+        let db = devices.format();
+        let fs = InversionFs::format(db).unwrap();
+        let mut c = fs.client();
+        c.write_all("/big", CreateMode::default(), &vec![7u8; data_len])
+            .unwrap();
+    }
+    let t0 = devices.clock.now();
+    let db = devices.recover();
+    let fs = InversionFs::attach(db).unwrap();
+    let recovery_cost = devices.clock.now().since(t0);
+
+    let t0 = devices.clock.now();
+    let mut c = fs.client();
+    c.read_to_vec("/big", None).unwrap();
+    let scan_cost = devices.clock.now().since(t0);
+    assert!(
+        recovery_cost.as_nanos() * 4 < scan_cost.as_nanos(),
+        "recovery ({recovery_cost}) should be far cheaper than reading the data ({scan_cost})"
+    );
+}
+
+#[test]
+fn abort_after_failed_commit_write() {
+    // Inject a device failure so the commit's flush fails; the transaction
+    // must abort cleanly and the system stay usable once the device heals.
+    let clock = simdev::SimClock::new();
+    let disk = simdev::MagneticDisk::new(
+        "d",
+        clock.clone(),
+        simdev::DiskProfile::tiny_for_tests(1 << 14),
+    );
+    let faults = disk.fault_plan();
+    let data = minidb::shared_device(disk);
+    let log = minidb::shared_device(simdev::MagneticDisk::new(
+        "log",
+        clock.clone(),
+        simdev::DiskProfile::tiny_for_tests(1 << 10),
+    ));
+    let cat = minidb::shared_device(simdev::MagneticDisk::new(
+        "cat",
+        clock.clone(),
+        simdev::DiskProfile::tiny_for_tests(1 << 10),
+    ));
+    let mut smgr = minidb::Smgr::new();
+    smgr.register(
+        minidb::DeviceId::DEFAULT,
+        Box::new(minidb::GenericManager::format(data).unwrap()),
+    )
+    .unwrap();
+    let db = minidb::Db::open(clock, smgr, log, cat, minidb::DbConfig::default()).unwrap();
+    let rel = db
+        .create_table("t", Schema::new([("v", TypeId::INT4)]))
+        .unwrap();
+
+    // Healthy transaction first.
+    let mut s = db.begin().unwrap();
+    s.insert(rel, vec![Datum::Int4(1)]).unwrap();
+    s.commit().unwrap();
+
+    // Take the device offline mid-transaction: commit fails.
+    let mut s = db.begin().unwrap();
+    s.insert(rel, vec![Datum::Int4(2)]).unwrap();
+    faults.set_offline(true);
+    assert!(s.commit().is_err());
+    faults.set_offline(false);
+
+    // The failed transaction never committed; new work proceeds.
+    let mut s = db.begin().unwrap();
+    let rows = s.seq_scan(rel).unwrap();
+    assert_eq!(rows.len(), 1, "failed commit must not be visible");
+    s.insert(rel, vec![Datum::Int4(3)]).unwrap();
+    s.commit().unwrap();
+}
+
+#[test]
+fn catalog_metadata_and_functions_recover() {
+    let devices = Devices::new();
+    {
+        let db = devices.format();
+        let fs = InversionFs::format(db).unwrap();
+        inversion::types::register_standard(&fs).unwrap();
+        let troff = fs.db().catalog().type_by_name("troff").unwrap();
+        let mut c = fs.client();
+        c.write_all(
+            "/doc.t",
+            CreateMode::default().with_type(troff),
+            inversion::types::make_troff_document(9, &["RISC"], 8).as_bytes(),
+        )
+        .unwrap();
+    }
+    let db = devices.recover();
+    let fs = InversionFs::attach(db).unwrap();
+    // Function *definitions* recovered from the catalog; implementations
+    // must be re-registered (like reinstalling dynamically loaded objects).
+    assert!(fs.db().catalog().proc("keywords").is_ok());
+    inversion::types::register_standard(&fs).unwrap();
+    let mut s = fs.db().begin().unwrap();
+    let r = s
+        .query(r#"retrieve (k = keywords(n.file)) from n in naming where n.filename = "doc.t""#)
+        .unwrap();
+    assert_eq!(r.rows[0][0], Datum::Text("RISC".into()));
+    s.commit().unwrap();
+}
+
+#[test]
+fn open_descriptors_do_not_survive_crashes_but_files_do() {
+    let devices = Devices::new();
+    {
+        let db = devices.format();
+        let fs = InversionFs::format(db).unwrap();
+        let mut c = fs.client();
+        c.write_all("/f", CreateMode::default(), b"before").unwrap();
+        // Open (read-only, no transaction) and crash with the fd "open".
+        let _fd = c.p_open("/f", OpenMode::Read, None).unwrap();
+        std::mem::forget(c);
+    }
+    let db = devices.recover();
+    let fs = InversionFs::attach(db).unwrap();
+    let mut c = fs.client();
+    assert_eq!(c.read_to_vec("/f", None).unwrap(), b"before");
+}
