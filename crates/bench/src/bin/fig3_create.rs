@@ -2,8 +2,11 @@
 //! and ULTRIX NFS. "Inversion gets about 36% of the throughput of NFS for
 //! file creation. This difference is due primarily to the extra overhead in
 //! maintaining indices in Inversion."
+//!
+//! With `--json`, writes `BENCH_fig3_create.json` pairing the simulated
+//! seconds with the storage-manager counter deltas for the Inversion run.
 
-use bench::report::{print_comparison, print_header, Comparison};
+use bench::report::{self, print_comparison, print_header, Comparison};
 use bench::testbed::{InversionTestbed, NfsTestbed};
 use bench::workload::{measure_create, InversionRemote, UltrixNfs, MB};
 
@@ -11,22 +14,36 @@ fn main() {
     print_header("Figure 3: 25 MB file creation times");
     eprintln!("running Inversion client/server create ...");
     let mut remote = InversionRemote::new(InversionTestbed::paper());
+    let before = remote.testbed().fs.db().stats();
     let inv = measure_create(&mut remote, 25 * MB);
+    let after = remote.testbed().fs.db().stats();
     eprintln!("running ULTRIX NFS create ...");
     let mut nfs = UltrixNfs::new(NfsTestbed::paper());
     let nfs_t = measure_create(&mut nfs, 25 * MB);
 
-    print_comparison(
-        &["Inversion", "ULTRIX NFS"],
-        &[Comparison::new(
-            "Create 25MByte file",
-            &[141.5, 50.6],
-            &[inv, nfs_t],
-        )],
-    );
+    let systems = ["Inversion", "ULTRIX NFS"];
+    let rows = [Comparison::new(
+        "Create 25MByte file",
+        &[141.5, 50.6],
+        &[inv, nfs_t],
+    )];
+    print_comparison(&systems, &rows);
     println!();
     println!(
         "Inversion achieves {:.0}% of NFS creation throughput (paper: ~36%).",
         100.0 * nfs_t / inv
     );
+
+    if report::wants_json() {
+        let doc = report::bench_json(
+            "fig3_create",
+            &systems,
+            &rows,
+            &[
+                ("minidb_stats_delta", after.delta(&before).to_json()),
+                ("inv_stats", remote.testbed().fs.stats().to_json()),
+            ],
+        );
+        report::write_bench_json("fig3_create", &doc).expect("write BENCH_fig3_create.json");
+    }
 }

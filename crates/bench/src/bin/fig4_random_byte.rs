@@ -3,7 +3,7 @@
 //! reads, Inversion gets 70 percent of the throughput of NFS. Single-byte
 //! writes are slightly worse; Inversion is 61 percent of NFS."
 
-use bench::report::{print_comparison, print_header, Comparison};
+use bench::report::{self, print_comparison, print_header, Comparison};
 use bench::testbed::{InversionTestbed, NfsTestbed};
 use bench::workload::{measure_byte_ops, measure_create, InversionRemote, UltrixNfs, MB};
 
@@ -12,24 +12,38 @@ fn main() {
     eprintln!("preparing Inversion ...");
     let mut remote = InversionRemote::new(InversionTestbed::paper());
     measure_create(&mut remote, 25 * MB);
+    let before = remote.testbed().fs.db().stats();
     let (inv_r, inv_w) = measure_byte_ops(&mut remote, 25 * MB, 10);
+    let after = remote.testbed().fs.db().stats();
 
     eprintln!("preparing NFS ...");
     let mut nfs = UltrixNfs::new(NfsTestbed::paper());
     measure_create(&mut nfs, 25 * MB);
     let (nfs_r, nfs_w) = measure_byte_ops(&mut nfs, 25 * MB, 10);
 
-    print_comparison(
-        &["Inversion", "ULTRIX NFS"],
-        &[
-            Comparison::new("read 1 byte", &[0.02, 0.01], &[inv_r, nfs_r]),
-            Comparison::new("write 1 byte", &[0.03, 0.02], &[inv_w, nfs_w]),
-        ],
-    );
+    let systems = ["Inversion", "ULTRIX NFS"];
+    let rows = [
+        Comparison::new("read 1 byte", &[0.02, 0.01], &[inv_r, nfs_r]),
+        Comparison::new("write 1 byte", &[0.03, 0.02], &[inv_w, nfs_w]),
+    ];
+    print_comparison(&systems, &rows);
     println!();
     println!(
         "Inversion read throughput vs NFS: {:.0}% (paper: 70%); write: {:.0}% (paper: 61%).",
         100.0 * nfs_r / inv_r,
         100.0 * nfs_w / inv_w
     );
+
+    if report::wants_json() {
+        let doc = report::bench_json(
+            "fig4_random_byte",
+            &systems,
+            &rows,
+            &[
+                ("minidb_stats_delta", after.delta(&before).to_json()),
+                ("inv_stats", remote.testbed().fs.stats().to_json()),
+            ],
+        );
+        report::write_bench_json("fig4_random_byte", &doc).expect("write BENCH json");
+    }
 }

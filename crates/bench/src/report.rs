@@ -1,4 +1,9 @@
-//! Paper-versus-measured reporting.
+//! Paper-versus-measured reporting, as text tables and (with `--json`)
+//! machine-readable `BENCH_<name>.json` files that pair the simulated
+//! seconds with storage-manager counter deltas from [`minidb::stats`].
+
+use std::io::Write;
+use std::path::PathBuf;
 
 /// One row of a comparison: the paper's number next to ours.
 #[derive(Debug, Clone)]
@@ -61,6 +66,76 @@ pub fn print_comparison(systems: &[&str], rows: &[Comparison]) {
     }
 }
 
+/// Whether the process was invoked with `--json` (emit a `BENCH_*.json`
+/// report next to the text table).
+pub fn wants_json() -> bool {
+    std::env::args().any(|a| a == "--json")
+}
+
+/// Renders the comparison rows as a JSON array (paper and measured seconds
+/// keyed by system name).
+pub fn comparison_json(systems: &[&str], rows: &[Comparison]) -> String {
+    let items: Vec<String> = rows
+        .iter()
+        .map(|row| {
+            let pair = |vals: &[f64]| {
+                let fields: Vec<String> = systems
+                    .iter()
+                    .enumerate()
+                    .map(|(i, s)| {
+                        let v = vals.get(i).copied().unwrap_or(f64::NAN);
+                        if v.is_finite() {
+                            format!("\"{s}\": {v:.6}")
+                        } else {
+                            format!("\"{s}\": null")
+                        }
+                    })
+                    .collect();
+                format!("{{{}}}", fields.join(", "))
+            };
+            format!(
+                "{{\"label\": \"{}\", \"paper_seconds\": {}, \"measured_seconds\": {}}}",
+                row.label,
+                pair(&row.paper),
+                pair(&row.measured)
+            )
+        })
+        .collect();
+    format!("[{}]", items.join(", "))
+}
+
+/// Assembles a full benchmark report document: the comparison rows plus any
+/// extra `(key, json-value)` sections — typically the [`minidb::stats`]
+/// snapshot delta for the run and the file system's `inv_stat` counters.
+pub fn bench_json(
+    name: &str,
+    systems: &[&str],
+    rows: &[Comparison],
+    extra: &[(&str, String)],
+) -> String {
+    let mut fields = vec![
+        format!("\"name\": \"{name}\""),
+        "\"unit\": \"simulated_seconds\"".to_string(),
+        format!("\"rows\": {}", comparison_json(systems, rows)),
+    ];
+    for (key, value) in extra {
+        fields.push(format!("\"{key}\": {value}"));
+    }
+    format!("{{{}}}", fields.join(", "))
+}
+
+/// Writes `BENCH_<name>.json` in the current directory.
+pub fn write_bench_json(name: &str, body: &str) -> std::io::Result<PathBuf> {
+    let path = PathBuf::from(format!("BENCH_{name}.json"));
+    let mut f = std::fs::File::create(&path)?;
+    f.write_all(body.as_bytes())?;
+    if !body.ends_with('\n') {
+        f.write_all(b"\n")?;
+    }
+    eprintln!("wrote {}", path.display());
+    Ok(path)
+}
+
 /// Formats a byte count human-readably.
 pub fn human_bytes(n: u64) -> String {
     if n >= 1 << 30 {
@@ -84,6 +159,21 @@ mod tests {
         assert_eq!(human_bytes(2048), "2.0 KB");
         assert_eq!(human_bytes(25 << 20), "25.0 MB");
         assert_eq!(human_bytes(3 << 30), "3.0 GB");
+    }
+
+    #[test]
+    fn bench_json_document_shape() {
+        let rows = [Comparison::new("create", &[141.5, 50.6], &[100.0, 45.0])];
+        let doc = bench_json(
+            "fig3_create",
+            &["Inversion", "NFS"],
+            &rows,
+            &[("minidb_stats_delta", "{\"x\": 1}".into())],
+        );
+        assert!(doc.starts_with('{') && doc.ends_with('}'));
+        assert!(doc.contains("\"name\": \"fig3_create\""));
+        assert!(doc.contains("\"paper_seconds\": {\"Inversion\": 141.500000"));
+        assert!(doc.contains("\"minidb_stats_delta\": {\"x\": 1}"));
     }
 
     #[test]

@@ -72,6 +72,11 @@ impl InversionRemote {
         let client = tb.remote_client();
         InversionRemote { tb, client, fd: -1 }
     }
+
+    /// The underlying testbed (for statistics snapshots).
+    pub fn testbed(&self) -> &InversionTestbed {
+        &self.tb
+    }
 }
 
 impl BenchFs for InversionRemote {
@@ -148,6 +153,11 @@ impl InversionLocal {
     pub fn new(tb: InversionTestbed) -> InversionLocal {
         let client = tb.local_client();
         InversionLocal { tb, client, fd: -1 }
+    }
+
+    /// The underlying testbed (for statistics snapshots).
+    pub fn testbed(&self) -> &InversionTestbed {
+        &self.tb
     }
 }
 

@@ -1,0 +1,145 @@
+//! A vendored, dependency-free stand-in for the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so this workspace ships
+//! the macro/type surface its `harness = false` benches use:
+//! [`Criterion::bench_function`], [`Bencher::iter`], [`black_box`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Timing is a plain median-of-samples wall-clock measurement — good enough
+//! to rank implementations and catch order-of-magnitude regressions, with
+//! none of the real crate's statistics, plotting, or baselines.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target measurement time per benchmark.
+const TARGET: Duration = Duration::from_millis(300);
+/// Timed samples collected per benchmark.
+const SAMPLES: usize = 11;
+
+/// The benchmark driver.
+pub struct Criterion {
+    _private: (),
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { _private: () }
+    }
+}
+
+impl Criterion {
+    /// Runs `f` as the benchmark `name`, printing a per-iteration time.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        // Calibrate: grow the iteration count until one sample is long
+        // enough to time reliably.
+        loop {
+            b.elapsed = Duration::ZERO;
+            f(&mut b);
+            if b.elapsed * (SAMPLES as u32) >= TARGET || b.iters >= 1 << 20 {
+                break;
+            }
+            let grow = if b.elapsed.is_zero() {
+                16
+            } else {
+                (TARGET.as_nanos() / (SAMPLES as u128) / b.elapsed.as_nanos().max(1)).clamp(2, 16)
+                    as u64
+            };
+            b.iters = (b.iters * grow).min(1 << 20);
+        }
+        let mut samples: Vec<Duration> = Vec::with_capacity(SAMPLES);
+        for _ in 0..SAMPLES {
+            b.elapsed = Duration::ZERO;
+            f(&mut b);
+            samples.push(b.elapsed);
+        }
+        samples.sort();
+        let median = samples[SAMPLES / 2];
+        let per_iter = median.as_nanos() as f64 / b.iters as f64;
+        println!("{name:<40} {:>12}/iter  ({} iters/sample)", fmt_ns(per_iter), b.iters);
+        self
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Passed to the closure given to [`Criterion::bench_function`].
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` executions of `f` (setup outside the closure is not
+    /// measured).
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Bundles benchmark functions into a group runner, mirroring criterion's
+/// macro of the same name (the plain `name, fn...` form only).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_times() {
+        let mut c = Criterion::default();
+        let mut calls = 0u64;
+        c.bench_function("noop", |b| {
+            calls += 1;
+            b.iter(|| black_box(1 + 1))
+        });
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn ns_formatting() {
+        assert_eq!(fmt_ns(12.0), "12.0 ns");
+        assert_eq!(fmt_ns(1500.0), "1.50 µs");
+        assert_eq!(fmt_ns(2_500_000.0), "2.50 ms");
+    }
+}

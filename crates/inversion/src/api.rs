@@ -171,6 +171,7 @@ impl InvClient {
     /// owner, an optional registered file type, chunk compression, and the
     /// no-history flag.
     pub fn p_creat(&mut self, path: &str, mode: CreateMode) -> InvResult<Fd> {
+        self.fs.stats.creats.bump();
         let fd = self.next_fd;
         self.next_fd += 1;
         let path = path.to_string();
@@ -201,6 +202,7 @@ impl InvClient {
         mode: OpenMode,
         timestamp: Option<SimInstant>,
     ) -> InvResult<Fd> {
+        self.fs.stats.opens.bump();
         if timestamp.is_some() && mode != OpenMode::Read {
             return Err(InvError::Invalid(
                 "historical files may not be opened for writing".into(),
@@ -235,6 +237,7 @@ impl InvClient {
 
     /// Closes a descriptor, flushing buffered writes and metadata.
     pub fn p_close(&mut self, fd: Fd) -> InvResult<()> {
+        self.fs.stats.closes.bump();
         if !self.fds.contains_key(&fd) {
             return Err(InvError::BadFd(fd));
         }
@@ -249,6 +252,7 @@ impl InvClient {
     /// Reads into `buf` at the current offset; returns bytes read (short at
     /// end of file).
     pub fn p_read(&mut self, fd: Fd, buf: &mut [u8]) -> InvResult<usize> {
+        self.fs.stats.reads.bump();
         self.run(|fs, s, fds| {
             let st = fds.get_mut(&fd).ok_or(InvError::BadFd(fd))?;
             refresh_if_stale(fs, s, st)?;
@@ -278,6 +282,7 @@ impl InvClient {
             }
             st.offset += len as u64;
             st.accessed = true;
+            fs.stats.bytes_read.add(len as u64);
             Ok(len)
         })
     }
@@ -288,6 +293,7 @@ impl InvClient {
     /// coalesced to maximize the size of the chunk stored in each database
     /// record."
     pub fn p_write(&mut self, fd: Fd, data: &[u8]) -> InvResult<usize> {
+        self.fs.stats.writes.bump();
         self.run(|fs, s, fds| {
             let st = fds.get_mut(&fd).ok_or(InvError::BadFd(fd))?;
             if st.mode != OpenMode::ReadWrite || st.asof.is_some() {
@@ -296,12 +302,16 @@ impl InvClient {
             refresh_if_stale(fs, s, st)?;
             let mut written = 0usize;
             while written < data.len() {
+                let was_active = st.coalescer.is_active();
                 let n = st
                     .coalescer
                     .absorb(st.offset + written as u64, &data[written..]);
                 if n == 0 {
                     flush_coalescer(fs, s, st)?;
                     continue;
+                }
+                if was_active {
+                    fs.stats.chunks_coalesced.bump();
                 }
                 written += n;
                 // Full chunk: flush eagerly so the buffer stays one chunk.
@@ -314,6 +324,7 @@ impl InvClient {
             st.offset += data.len() as u64;
             st.stat.size = st.stat.size.max(st.offset);
             st.meta_dirty = true;
+            fs.stats.bytes_written.add(data.len() as u64);
             Ok(data.len())
         })
     }
@@ -321,6 +332,7 @@ impl InvClient {
     /// Repositions the file offset. 64-bit offsets replace the paper's
     /// `offset_high`/`offset_low` pair.
     pub fn p_lseek(&mut self, fd: Fd, offset: i64, whence: SeekWhence) -> InvResult<u64> {
+        self.fs.stats.seeks.bump();
         let st = self.fds.get_mut(&fd).ok_or(InvError::BadFd(fd))?;
         let base = match whence {
             SeekWhence::Set => 0i64,
@@ -389,12 +401,14 @@ impl InvClient {
 
     /// Stats an open descriptor (reflects buffered writes).
     pub fn p_fstat(&mut self, fd: Fd) -> InvResult<FileStat> {
+        self.fs.stats.stat_calls.bump();
         let st = self.fds.get(&fd).ok_or(InvError::BadFd(fd))?;
         Ok(st.stat.clone())
     }
 
     /// Stats a path, optionally as of a past instant.
     pub fn p_stat(&mut self, path: &str, timestamp: Option<SimInstant>) -> InvResult<FileStat> {
+        self.fs.stats.stat_calls.bump();
         let path = path.to_string();
         self.run(move |fs, s, _| {
             let snap = timestamp.map(Snapshot::AsOf);
@@ -405,6 +419,7 @@ impl InvClient {
 
     /// Creates a directory.
     pub fn p_mkdir(&mut self, path: &str) -> InvResult<Oid> {
+        self.fs.stats.mkdirs.bump();
         let path = path.to_string();
         self.run(move |fs, s, _| fs.mkdir_at(s, &path, "root"))
     }
@@ -415,6 +430,7 @@ impl InvClient {
         path: &str,
         timestamp: Option<SimInstant>,
     ) -> InvResult<Vec<(String, Oid)>> {
+        self.fs.stats.readdirs.bump();
         let path = path.to_string();
         self.run(move |fs, s, _| {
             let snap = timestamp.map(Snapshot::AsOf);
@@ -426,12 +442,14 @@ impl InvClient {
     /// Removes a name (directories must be empty). The data remain
     /// reachable through time travel; see [`InvClient::p_undelete`].
     pub fn p_unlink(&mut self, path: &str) -> InvResult<()> {
+        self.fs.stats.unlinks.bump();
         let path = path.to_string();
         self.run(move |fs, s, _| fs.unlink_at(s, &path))
     }
 
     /// Renames a file or directory.
     pub fn p_rename(&mut self, from: &str, to: &str) -> InvResult<()> {
+        self.fs.stats.renames.bump();
         let from = from.to_string();
         let to = to.to_string();
         self.run(move |fs, s, _| fs.rename_at(s, &from, &to))
@@ -580,6 +598,7 @@ fn flush_all(fs: &InversionFs, s: &mut Session, fds: &mut HashMap<Fd, FileState>
 
 fn flush_coalescer(fs: &InversionFs, s: &mut Session, st: &mut FileState) -> InvResult<()> {
     if let Some((chunkno, start, bytes)) = st.coalescer.take() {
+        fs.stats.coalesce_flushes.bump();
         write_chunk(fs, s, &st.stat, chunkno, start, &bytes)?;
     }
     Ok(())
@@ -627,7 +646,7 @@ pub(crate) fn fetch_chunk(
     chunkno: u32,
     snap: Option<&Snapshot>,
 ) -> InvResult<Option<Vec<u8>>> {
-    let _ = fs;
+    fs.stats.chunk_reads.bump();
     let key = [Datum::Int4(chunkno as i32)];
     let hits = match snap {
         Some(sp) => s.index_scan_eq_with(stat.chunkidx, &key, sp)?,
@@ -749,13 +768,14 @@ pub(crate) fn write_chunk_exact(
 }
 
 fn store_chunk(
-    _fs: &InversionFs,
+    fs: &InversionFs,
     s: &mut Session,
     stat: &FileStat,
     chunkno: u32,
     tid: Option<Tid>,
     content: Vec<u8>,
 ) -> InvResult<()> {
+    fs.stats.chunk_writes.bump();
     let mut stored = if stat.compressed {
         compress::compress(&content)
     } else {

@@ -16,9 +16,12 @@
 //! that name at creation and use the catalog for indirection afterwards).
 
 use std::fmt;
+use std::sync::Arc;
 
 use minidb::{Datum, Db, DbError, DeviceId, Oid, RelId, Schema, Session, Snapshot, Tid, TypeId};
 use simdev::SimInstant;
+
+use crate::stats::{register_inv_stat, InvStats};
 
 /// Errors surfaced by the file system layer.
 #[derive(Debug, Clone, PartialEq)]
@@ -214,6 +217,9 @@ pub struct InversionFs {
     db: Db,
     pub(crate) rels: FsRels,
     pub(crate) root: Oid,
+    /// Operation counters shared by every client of this mount; queryable
+    /// as the `inv_stat` virtual relation.
+    pub(crate) stats: Arc<InvStats>,
 }
 
 // Column positions in `naming`.
@@ -291,7 +297,14 @@ impl InversionFs {
         s.insert(fileatt, dir_fileatt_row(root, "root", now))?;
         s.commit()?;
 
-        Ok(InversionFs { db, rels, root })
+        let stats = Arc::new(InvStats::new());
+        register_inv_stat(&db, &stats);
+        Ok(InversionFs {
+            db,
+            rels,
+            root,
+            stats,
+        })
     }
 
     /// Attaches to an already-formatted file system (e.g. after recovery).
@@ -316,7 +329,14 @@ impl InversionFs {
             .first()
             .ok_or_else(|| InvError::Invalid("no root directory found".into()))?;
         let root = Oid(row[N_FILE].as_oid()?);
-        Ok(InversionFs { db, rels, root })
+        let stats = Arc::new(InvStats::new());
+        register_inv_stat(&db, &stats);
+        Ok(InversionFs {
+            db,
+            rels,
+            root,
+            stats,
+        })
     }
 
     /// A self-contained in-memory file system for tests and examples.
@@ -333,6 +353,11 @@ impl InversionFs {
     /// The root directory's oid.
     pub fn root(&self) -> Oid {
         self.root
+    }
+
+    /// The file system's operation counters (also queryable as `inv_stat`).
+    pub fn stats(&self) -> &InvStats {
+        &self.stats
     }
 
     /// Opens a new client (one application program's connection).

@@ -21,7 +21,9 @@
 //! * 17.6 TB files (32-bit chunk numbers x ~8 KB chunks);
 //! * chunk-level compression with efficient random access ([`compress`]);
 //! * rule-driven file migration across the storage hierarchy ([`migrate`]);
-//! * ad-hoc queries over names, attributes, and file contents.
+//! * ad-hoc queries over names, attributes, and file contents;
+//! * per-operation statistics queryable as the `inv_stat` system relation
+//!   ([`stats`]).
 //!
 //! # Quick start
 //!
@@ -66,6 +68,7 @@ pub mod migrate;
 pub mod naming;
 pub mod nfsfront;
 pub mod server;
+pub mod stats;
 pub mod types;
 
 pub use api::{Fd, InvClient, OpenMode, SeekWhence};
@@ -75,3 +78,4 @@ pub use fs::{CreateMode, FileKind, FileStat, InvError, InvResult, InversionFs};
 pub use largeobj::LargeObject;
 pub use nfsfront::{NfsFront, NfsHandle};
 pub use server::InvServer;
+pub use stats::InvStats;

@@ -118,9 +118,15 @@ impl InvServer {
         &mut self.client
     }
 
-    /// Executes one request.
+    /// Executes one request, charging the RPC and its wire bytes to the
+    /// file system's [`crate::InvStats`].
     pub fn handle(&mut self, req: Request) -> InvResult<Response> {
-        match req {
+        {
+            let stats = self.client.fs().stats();
+            stats.rpcs.bump();
+            stats.rpc_bytes_in.add(req.wire_size() as u64);
+        }
+        let resp = match req {
             Request::Begin => self.client.p_begin().map(|_| Response::Ok),
             Request::Commit => self.client.p_commit().map(|_| Response::Ok),
             Request::Abort => self.client.p_abort().map(|_| Response::Ok),
@@ -147,7 +153,13 @@ impl InvServer {
             Request::Mkdir(path) => self.client.p_mkdir(&path).map(|_| Response::Ok),
             Request::Unlink(path) => self.client.p_unlink(&path).map(|_| Response::Ok),
             Request::Readdir(path) => self.client.p_readdir(&path, None).map(Response::Entries),
-        }
+        }?;
+        self.client
+            .fs()
+            .stats()
+            .rpc_bytes_out
+            .add(resp.wire_size() as u64);
+        Ok(resp)
     }
 }
 

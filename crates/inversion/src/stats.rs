@@ -1,0 +1,212 @@
+//! File system operation statistics: the `inv_stat` system relation.
+//!
+//! Every [`crate::InvClient`] entry point, the chunk storage layer, and the
+//! client/server dispatcher report into one [`InvStats`] shared by all
+//! clients of an [`crate::InversionFs`]. The registry is registered with the
+//! database as a virtual relation named `inv_stat` with schema
+//! `(op = text, count = int8)`, so the counters are queryable from POSTQUEL
+//! exactly like the storage manager's own `pg_stat_*` relations:
+//!
+//! ```text
+//! retrieve (s.op, s.count) from s in inv_stat
+//! ```
+
+use std::sync::Arc;
+
+use minidb::stats::Counter;
+use minidb::{Datum, Db, Row, Schema, TypeId};
+
+/// Counters for every file system operation, chunk-level I/O, and the
+/// client/server protocol. All updates are relaxed atomics — cheap enough to
+/// leave on permanently, readable concurrently with any workload.
+#[derive(Debug, Default)]
+pub struct InvStats {
+    /// `p_creat` calls.
+    pub creats: Counter,
+    /// `p_open` calls.
+    pub opens: Counter,
+    /// `p_close` calls.
+    pub closes: Counter,
+    /// `p_read` calls.
+    pub reads: Counter,
+    /// `p_write` calls.
+    pub writes: Counter,
+    /// `p_lseek` calls.
+    pub seeks: Counter,
+    /// `p_stat` + `p_fstat` calls.
+    pub stat_calls: Counter,
+    /// `p_mkdir` calls.
+    pub mkdirs: Counter,
+    /// `p_readdir` calls.
+    pub readdirs: Counter,
+    /// `p_unlink` calls.
+    pub unlinks: Counter,
+    /// `p_rename` calls.
+    pub renames: Counter,
+    /// Bytes returned by `p_read`.
+    pub bytes_read: Counter,
+    /// Bytes accepted by `p_write`.
+    pub bytes_written: Counter,
+    /// Chunk records fetched from the database.
+    pub chunk_reads: Counter,
+    /// Chunk records stored (inserted or updated) in the database.
+    pub chunk_writes: Counter,
+    /// Write calls absorbed into an already-active coalescing buffer
+    /// ("multiple small sequential writes ... are coalesced").
+    pub chunks_coalesced: Counter,
+    /// Coalescing-buffer flushes that actually wrote a chunk.
+    pub coalesce_flushes: Counter,
+    /// Requests executed by the client/server dispatcher.
+    pub rpcs: Counter,
+    /// Request bytes received by the server (wire sizes).
+    pub rpc_bytes_in: Counter,
+    /// Response bytes sent by the server (wire sizes).
+    pub rpc_bytes_out: Counter,
+}
+
+impl InvStats {
+    /// A zeroed registry.
+    pub fn new() -> InvStats {
+        InvStats::default()
+    }
+
+    /// Every counter as `(name, value)`, in `inv_stat` row order.
+    pub fn snapshot(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("creat", self.creats.get()),
+            ("open", self.opens.get()),
+            ("close", self.closes.get()),
+            ("read", self.reads.get()),
+            ("write", self.writes.get()),
+            ("lseek", self.seeks.get()),
+            ("stat", self.stat_calls.get()),
+            ("mkdir", self.mkdirs.get()),
+            ("readdir", self.readdirs.get()),
+            ("unlink", self.unlinks.get()),
+            ("rename", self.renames.get()),
+            ("bytes_read", self.bytes_read.get()),
+            ("bytes_written", self.bytes_written.get()),
+            ("chunk_reads", self.chunk_reads.get()),
+            ("chunk_writes", self.chunk_writes.get()),
+            ("chunks_coalesced", self.chunks_coalesced.get()),
+            ("coalesce_flushes", self.coalesce_flushes.get()),
+            ("rpcs", self.rpcs.get()),
+            ("rpc_bytes_in", self.rpc_bytes_in.get()),
+            ("rpc_bytes_out", self.rpc_bytes_out.get()),
+        ]
+    }
+
+    /// The counters as `inv_stat` rows.
+    pub fn rows(&self) -> Vec<Row> {
+        self.snapshot()
+            .into_iter()
+            .map(|(op, n)| vec![Datum::Text(op.into()), Datum::Int8(n as i64)])
+            .collect()
+    }
+
+    /// The counters as a JSON object (for bench reports).
+    pub fn to_json(&self) -> String {
+        let body: Vec<String> = self
+            .snapshot()
+            .into_iter()
+            .map(|(op, n)| format!("\"{op}\": {n}"))
+            .collect();
+        format!("{{{}}}", body.join(", "))
+    }
+}
+
+/// The `inv_stat` relation schema: `(op = text, count = int8)`.
+pub fn inv_stat_schema() -> Schema {
+    Schema::new([("op", TypeId::TEXT), ("count", TypeId::INT8)])
+}
+
+/// Registers `stats` with `db` as the virtual relation `inv_stat`.
+pub(crate) fn register_inv_stat(db: &Db, stats: &Arc<InvStats>) {
+    let st = Arc::clone(stats);
+    db.register_virtual("inv_stat", inv_stat_schema(), Arc::new(move || st.rows()));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_follow_snapshot_order() {
+        let st = InvStats::new();
+        st.reads.bump();
+        st.bytes_read.add(4096);
+        let rows = st.rows();
+        assert_eq!(rows.len(), st.snapshot().len());
+        let read_row = rows
+            .iter()
+            .find(|r| r[0] == Datum::Text("read".into()))
+            .unwrap();
+        assert_eq!(read_row[1], Datum::Int8(1));
+        let bytes_row = rows
+            .iter()
+            .find(|r| r[0] == Datum::Text("bytes_read".into()))
+            .unwrap();
+        assert_eq!(bytes_row[1], Datum::Int8(4096));
+    }
+
+    #[test]
+    fn inv_stat_queryable_from_postquel() {
+        let fs = crate::InversionFs::open_in_memory().unwrap();
+        let mut c = fs.client();
+        c.write_all("/f", crate::CreateMode::default(), b"hello")
+            .unwrap();
+        assert_eq!(c.read_to_vec("/f", None).unwrap(), b"hello");
+        assert!(fs.stats().creats.get() >= 1);
+        assert!(fs.stats().writes.get() >= 1);
+        assert!(fs.stats().chunk_writes.get() >= 1);
+        assert!(fs.stats().chunk_reads.get() >= 1);
+        assert_eq!(fs.stats().bytes_written.get(), 5);
+
+        let mut s = fs.db().begin().unwrap();
+        let res = s
+            .query("retrieve (x.op, x.count) from x in inv_stat")
+            .unwrap();
+        s.commit().unwrap();
+        let creat = res
+            .rows
+            .iter()
+            .find(|r| r[0] == Datum::Text("creat".into()))
+            .expect("creat row");
+        assert!(matches!(creat[1], Datum::Int8(n) if n >= 1));
+        assert_eq!(res.rows.len(), fs.stats().snapshot().len());
+    }
+
+    #[test]
+    fn server_counts_rpcs_and_bytes() {
+        use crate::fs::CreateMode;
+        use crate::server::{InvServer, Request, Response};
+
+        let fs = crate::InversionFs::open_in_memory().unwrap();
+        let mut srv = InvServer::new(&fs);
+        srv.handle(Request::Begin).unwrap();
+        let Response::Fd(fd) = srv
+            .handle(Request::Creat("/r".into(), CreateMode::default()))
+            .unwrap()
+        else {
+            panic!()
+        };
+        srv.handle(Request::Write(fd, vec![7u8; 1000])).unwrap();
+        srv.handle(Request::Close(fd)).unwrap();
+        srv.handle(Request::Commit).unwrap();
+        let st = fs.stats();
+        assert_eq!(st.rpcs.get(), 5);
+        assert!(st.rpc_bytes_in.get() > 1000, "write payload counted");
+        assert!(st.rpc_bytes_out.get() >= 5 * 40, "response headers counted");
+    }
+
+    #[test]
+    fn json_lists_every_counter() {
+        let st = InvStats::new();
+        st.rpcs.add(7);
+        let json = st.to_json();
+        assert!(json.contains("\"rpcs\": 7"), "{json}");
+        for (name, _) in st.snapshot() {
+            assert!(json.contains(&format!("\"{name}\"")), "{name} missing");
+        }
+    }
+}

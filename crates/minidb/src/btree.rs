@@ -20,6 +20,7 @@ use crate::error::{DbError, DbResult};
 use crate::ids::{DeviceId, RelId, Tid};
 use crate::page;
 use crate::smgr::Smgr;
+use crate::stats::StatsRegistry;
 use std::cmp::Ordering;
 
 /// Special-area layout for B-tree node pages.
@@ -94,6 +95,8 @@ pub struct BTree<'a> {
     pub dev: DeviceId,
     /// The index relation.
     pub rel: RelId,
+    /// Where search/insert/split counts go.
+    pub stats: &'a StatsRegistry,
 }
 
 impl<'a> BTree<'a> {
@@ -208,6 +211,7 @@ impl<'a> BTree<'a> {
 
     /// Inserts `(key, tid)`. Duplicate keys are allowed.
     pub fn insert(&self, key: &[Datum], tid: Tid) -> DbResult<()> {
+        self.stats.btree.inserts.bump();
         let item = encode_item(key, &tid.encode());
         let (leaf, path) = self.descend(key)?;
         self.insert_into_node(leaf, path, key, &item)
@@ -230,6 +234,7 @@ impl<'a> BTree<'a> {
         }
         // Split: collect all items (plus the new one) in key order, keep the
         // lower half here, move the upper half to a fresh right sibling.
+        self.stats.btree.splits.bump();
         let meta = read_node_meta(data);
         let mut items: Vec<(Key, Vec<u8>)> = Vec::with_capacity(page::nslots(data) as usize + 1);
         for (_, it) in page::iter(data) {
@@ -355,6 +360,7 @@ impl<'a> BTree<'a> {
         hi: Option<&[Datum]>,
         mut f: impl FnMut(&[Datum], Tid) -> DbResult<bool>,
     ) -> DbResult<()> {
+        self.stats.btree.searches.bump();
         let mut blk = match lo {
             Some(k) => self.descend(k)?.0,
             None => {
@@ -495,6 +501,7 @@ mod tests {
         pool: BufferPool,
         smgr: Smgr,
         rel: RelId,
+        stats: StatsRegistry,
     }
 
     impl Fixture {
@@ -517,6 +524,7 @@ mod tests {
                 pool: BufferPool::new(64),
                 smgr,
                 rel,
+                stats: StatsRegistry::new(),
             };
             fx.btree().create().unwrap();
             fx
@@ -528,6 +536,7 @@ mod tests {
                 smgr: &self.smgr,
                 dev: DeviceId::DEFAULT,
                 rel: self.rel,
+                stats: &self.stats,
             }
         }
     }
@@ -594,6 +603,20 @@ mod tests {
             assert_eq!(bt.search(&ikey(k as i32)).unwrap(), vec![Tid::new(k, 1)]);
         }
         assert_eq!(bt.len().unwrap(), inserted.len());
+    }
+
+    #[test]
+    fn op_counters_track_inserts_searches_splits() {
+        let fx = Fixture::new();
+        let bt = fx.btree();
+        for i in 0..2000 {
+            bt.insert(&ikey(i), Tid::new(i as u32, 0)).unwrap();
+        }
+        assert_eq!(fx.stats.btree.inserts.get(), 2000);
+        assert!(fx.stats.btree.splits.get() > 0, "2000 keys must split");
+        let before = fx.stats.btree.searches.get();
+        bt.search(&ikey(7)).unwrap();
+        assert_eq!(fx.stats.btree.searches.get(), before + 1);
     }
 
     #[test]

@@ -136,7 +136,7 @@ impl BufferPool {
                 let mut buf = page.write();
                 if buf.dirty {
                     let (dev, rel, blkno) = (buf.dev, buf.rel, buf.blkno);
-                    smgr.with(dev, |m| m.write(rel, blkno, &buf.data))?;
+                    smgr.write_page(dev, rel, blkno, &buf.data)?;
                     buf.dirty = false;
                     inner.stats.writebacks += 1;
                 }
@@ -172,7 +172,7 @@ impl BufferPool {
         inner.stats.misses += 1;
         Self::make_room(&mut inner, self.capacity, smgr)?;
         let mut data = vec![0u8; PAGE_SIZE].into_boxed_slice();
-        smgr.with(dev, |m| m.read(rel, blkno, &mut data))?;
+        smgr.read_page(dev, rel, blkno, &mut data)?;
         let page = Arc::new(RwLock::new(PageBuf {
             data,
             dirty: false,
@@ -190,7 +190,7 @@ impl BufferPool {
     pub fn new_page(&self, smgr: &Smgr, dev: DeviceId, rel: RelId) -> DbResult<(u64, PageRef)> {
         let mut inner = self.inner.lock();
         Self::make_room(&mut inner, self.capacity, smgr)?;
-        let blkno = smgr.with(dev, |m| m.extend_blank(rel))?;
+        let blkno = smgr.extend_page(dev, rel)?;
         let data = vec![0u8; PAGE_SIZE].into_boxed_slice();
         let page = Arc::new(RwLock::new(PageBuf {
             data,
@@ -218,7 +218,7 @@ impl BufferPool {
             let mut buf = page.write();
             if buf.dirty {
                 let (dev, rel, blkno) = (buf.dev, buf.rel, buf.blkno);
-                smgr.with(dev, |m| m.write(rel, blkno, &buf.data))?;
+                smgr.write_page(dev, rel, blkno, &buf.data)?;
                 buf.dirty = false;
                 inner.stats.writebacks += 1;
             }
@@ -227,8 +227,8 @@ impl BufferPool {
     }
 
     /// Writes back every dirty cached page belonging to `rel` (eager index
-    /// write-through uses this).
-    pub fn flush_rel(&self, smgr: &Smgr, rel: RelId) -> DbResult<()> {
+    /// write-through uses this). Returns the number of pages written.
+    pub fn flush_rel(&self, smgr: &Smgr, rel: RelId) -> DbResult<usize> {
         let mut inner = self.inner.lock();
         let pages: Vec<PageRef> = inner
             .map
@@ -236,16 +236,18 @@ impl BufferPool {
             .filter(|(&(r, _), _)| r == rel)
             .map(|(_, p)| Arc::clone(p))
             .collect();
+        let mut written = 0;
         for page in pages {
             let mut buf = page.write();
             if buf.dirty {
                 let (dev, r, blkno) = (buf.dev, buf.rel, buf.blkno);
-                smgr.with(dev, |m| m.write(r, blkno, &buf.data))?;
+                smgr.write_page(dev, r, blkno, &buf.data)?;
                 buf.dirty = false;
                 inner.stats.writebacks += 1;
+                written += 1;
             }
         }
-        Ok(())
+        Ok(written)
     }
 
     /// Flushes dirty pages and then empties the cache entirely — the

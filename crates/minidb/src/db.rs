@@ -30,6 +30,9 @@ use crate::heap::Heap;
 use crate::ids::{DeviceId, RelId, Tid, XactId};
 use crate::lock::{LockManager, LockMode};
 use crate::smgr::{read_meta, shared_device, write_meta, GenericManager, SharedDevice, Smgr};
+use crate::stats::{
+    DeviceIoStats, StatsRegistry, StatsSnapshot, VirtualRowsFn, VirtualTable, VirtualTables,
+};
 use crate::xact::{Snapshot, XactLog};
 
 /// Tunables for a [`Db`].
@@ -68,6 +71,8 @@ pub(crate) struct DbInner {
     pub(crate) locks: LockManager,
     pub(crate) catalog: RwLock<Catalog>,
     pub(crate) funcs: FunctionRegistry,
+    pub(crate) stats: Arc<StatsRegistry>,
+    pub(crate) virtuals: VirtualTables,
     catalog_dev: SharedDevice,
 }
 
@@ -85,21 +90,27 @@ impl Db {
     /// overwritten).
     pub fn open(
         clock: SimClock,
-        smgr: Smgr,
+        mut smgr: Smgr,
         log_dev: SharedDevice,
         catalog_dev: SharedDevice,
         config: DbConfig,
     ) -> DbResult<Db> {
         let xlog = XactLog::create(log_dev)?;
+        let stats = Arc::new(StatsRegistry::new());
+        smgr.attach_stats(clock.clone(), Arc::clone(&stats));
+        let mut locks = LockManager::with_timeout(config.lock_timeout);
+        locks.share_stats(Arc::clone(&stats));
         let db = Db {
             inner: Arc::new(DbInner {
                 clock,
                 pool: BufferPool::new(config.buffers),
                 smgr,
                 xlog,
-                locks: LockManager::with_timeout(config.lock_timeout),
+                locks,
                 catalog: RwLock::new(Catalog::new()),
                 funcs: FunctionRegistry::with_builtins(),
+                stats,
+                virtuals: VirtualTables::new(),
                 catalog_dev,
                 config,
             }),
@@ -116,7 +127,7 @@ impl Db {
     /// and catalog devices.
     pub fn recover(
         clock: SimClock,
-        smgr: Smgr,
+        mut smgr: Smgr,
         log_dev: SharedDevice,
         catalog_dev: SharedDevice,
         config: DbConfig,
@@ -125,15 +136,21 @@ impl Db {
         let cat_bytes = read_meta(&catalog_dev, 0)?
             .ok_or_else(|| DbError::Corrupt("no catalog found on catalog device".into()))?;
         let catalog = Catalog::decode(&cat_bytes)?;
+        let stats = Arc::new(StatsRegistry::new());
+        smgr.attach_stats(clock.clone(), Arc::clone(&stats));
+        let mut locks = LockManager::with_timeout(config.lock_timeout);
+        locks.share_stats(Arc::clone(&stats));
         Ok(Db {
             inner: Arc::new(DbInner {
                 clock,
                 pool: BufferPool::new(config.buffers),
                 smgr,
                 xlog,
-                locks: LockManager::with_timeout(config.lock_timeout),
+                locks,
                 catalog: RwLock::new(catalog),
                 funcs: FunctionRegistry::with_builtins(),
+                stats,
+                virtuals: VirtualTables::new(),
                 catalog_dev,
                 config,
             }),
@@ -187,6 +204,60 @@ impl Db {
     /// Buffer cache statistics.
     pub fn buffer_stats(&self) -> crate::buffer::BufferStats {
         self.inner.pool.stats()
+    }
+
+    /// The live counter registry every layer reports into.
+    pub fn stats_registry(&self) -> &StatsRegistry {
+        &self.inner.stats
+    }
+
+    /// A frozen, consistent-enough copy of every counter the engine keeps:
+    /// buffer cache, locks, transactions, access methods, and per-device
+    /// I/O with simulated-latency histograms. Cheap (relaxed atomic loads);
+    /// safe to call from any thread at any time.
+    pub fn stats(&self) -> StatsSnapshot {
+        let mut snap = StatsSnapshot::from_registry(&self.inner.stats);
+        snap.buffer = self.inner.pool.stats();
+        snap.devices = self
+            .inner
+            .smgr
+            .devices()
+            .into_iter()
+            .map(|dev| {
+                let name = self
+                    .inner
+                    .smgr
+                    .with(dev, |m| Ok(m.device_name()))
+                    .unwrap_or_else(|_| dev.to_string());
+                let c = self.inner.stats.device(dev);
+                DeviceIoStats {
+                    device: dev.0,
+                    name,
+                    reads: c.reads.get(),
+                    writes: c.writes.get(),
+                    read_ns: c.read_ns.get(),
+                    write_ns: c.write_ns.get(),
+                    read_hist: c.read_hist.snapshot(),
+                    write_hist: c.write_hist.snapshot(),
+                }
+            })
+            .collect();
+        snap
+    }
+
+    /// Registers a *virtual relation*: a read-only, query-visible relation
+    /// whose rows are produced by `rows` at scan time instead of being
+    /// stored. The POSTQUEL executor consults these (after the built-in
+    /// `pg_stat_*` relations) before the catalog, so `retrieve (x.col)
+    /// from x in <name>` works without any heap backing. Inversion uses
+    /// this for its `inv_stat` relation.
+    pub fn register_virtual(&self, name: &str, schema: Schema, rows: VirtualRowsFn) {
+        self.inner.virtuals.register(name, schema, rows);
+    }
+
+    /// Looks up a registered virtual relation by name.
+    pub fn virtual_table(&self, name: &str) -> Option<VirtualTable> {
+        self.inner.virtuals.get(name)
     }
 
     /// Allocates a fresh object identifier (persisted with the catalog).
@@ -291,6 +362,7 @@ impl Db {
         let bt = BTree {
             pool: &self.inner.pool,
             smgr: &self.inner.smgr,
+            stats: &self.inner.stats,
             dev,
             rel: id,
         };
@@ -300,6 +372,7 @@ impl Db {
             pool: &self.inner.pool,
             smgr: &self.inner.smgr,
             xlog: &self.inner.xlog,
+            stats: &self.inner.stats,
             dev,
             rel: table,
         };
@@ -520,6 +593,7 @@ impl Session {
             pool: &self.db.inner.pool,
             smgr: &self.db.inner.smgr,
             xlog: &self.db.inner.xlog,
+            stats: &self.db.inner.stats,
             dev,
             rel,
         }
@@ -529,6 +603,7 @@ impl Session {
         BTree {
             pool: &self.db.inner.pool,
             smgr: &self.db.inner.smgr,
+            stats: &self.db.inner.stats,
             dev,
             rel,
         }
@@ -565,7 +640,8 @@ impl Session {
             && self.db.inner.pool.len() + 1 >= self.db.inner.pool.capacity()
         {
             for (idx, _) in &indexes {
-                self.db.inner.pool.flush_rel(&self.db.inner.smgr, *idx)?;
+                let written = self.db.inner.pool.flush_rel(&self.db.inner.smgr, *idx)?;
+                self.db.inner.stats.btree.page_writes.add(written as u64);
             }
         }
         Ok(tid)
@@ -852,6 +928,9 @@ impl Session {
             // log device changes nothing, absence of a commit record is
             // authoritative) and release the locks.
             let _ = self.db.inner.xlog.abort(xid);
+            self.db.inner.stats.xact.aborts.bump();
+        } else {
+            self.db.inner.stats.xact.commits.bump();
         }
         self.db.inner.locks.release_all(xid);
         result
@@ -867,6 +946,7 @@ impl Session {
             return Ok(());
         };
         self.db.inner.xlog.abort(xid)?;
+        self.db.inner.stats.xact.aborts.bump();
         self.db.inner.locks.release_all(xid);
         Ok(())
     }
@@ -877,6 +957,7 @@ impl Drop for Session {
         if !self.done {
             if let Some(xid) = self.xid {
                 let _ = self.db.inner.xlog.abort(xid);
+                self.db.inner.stats.xact.aborts.bump();
                 self.db.inner.locks.release_all(xid);
             }
         }

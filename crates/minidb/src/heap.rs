@@ -14,6 +14,7 @@ use crate::error::{DbError, DbResult};
 use crate::ids::{DeviceId, RelId, Tid, XactId};
 use crate::page;
 use crate::smgr::Smgr;
+use crate::stats::StatsRegistry;
 use crate::xact::{Snapshot, TupleHeader, XactLog};
 
 /// The largest encoded row that fits in one heap tuple.
@@ -31,6 +32,8 @@ pub struct Heap<'a> {
     pub dev: DeviceId,
     /// The relation.
     pub rel: RelId,
+    /// Where scan/fetch/append counts go.
+    pub stats: &'a StatsRegistry,
 }
 
 impl<'a> Heap<'a> {
@@ -53,6 +56,7 @@ impl<'a> Heap<'a> {
     /// Inserts a pre-encoded row under an explicit header (vacuum uses this
     /// to move tuples while preserving their visibility information).
     pub fn insert_bytes(&self, hdr: TupleHeader, row_bytes: &[u8]) -> DbResult<Tid> {
+        self.stats.heap.appends.bump();
         if row_bytes.len() > MAX_ROW {
             return Err(DbError::TupleTooBig {
                 size: row_bytes.len(),
@@ -127,6 +131,10 @@ impl<'a> Heap<'a> {
 
     /// Fetches the row at `tid` if it is visible under `snap`.
     pub fn fetch(&self, snap: &Snapshot, tid: Tid) -> DbResult<Option<Row>> {
+        self.stats.heap.fetches.bump();
+        if matches!(snap, Snapshot::AsOf(_)) {
+            self.stats.xact.time_travel_reads.bump();
+        }
         let nblocks = self.nblocks()?;
         if tid.blkno as u64 >= nblocks {
             return Ok(None);
@@ -156,6 +164,10 @@ impl<'a> Heap<'a> {
         snap: &Snapshot,
         mut f: impl FnMut(Tid, Row) -> DbResult<bool>,
     ) -> DbResult<()> {
+        self.stats.heap.scans.bump();
+        if matches!(snap, Snapshot::AsOf(_)) {
+            self.stats.xact.time_travel_reads.bump();
+        }
         let nblocks = self.nblocks()?;
         for blkno in 0..nblocks {
             let pref = self.pool.get_page(self.smgr, self.dev, self.rel, blkno)?;
@@ -203,6 +215,7 @@ impl<'a> Heap<'a> {
         &self,
         mut f: impl FnMut(Tid, TupleHeader, &[u8]) -> DbResult<()>,
     ) -> DbResult<()> {
+        self.stats.heap.scans.bump();
         let nblocks = self.nblocks()?;
         for blkno in 0..nblocks {
             let pref = self.pool.get_page(self.smgr, self.dev, self.rel, blkno)?;
@@ -239,6 +252,7 @@ mod tests {
         smgr: Smgr,
         xlog: XactLog,
         rel: RelId,
+        stats: StatsRegistry,
     }
 
     impl Fixture {
@@ -267,6 +281,7 @@ mod tests {
                 smgr,
                 xlog: XactLog::create(logdev).unwrap(),
                 rel,
+                stats: StatsRegistry::new(),
             }
         }
 
@@ -277,6 +292,7 @@ mod tests {
                 xlog: &self.xlog,
                 dev: DeviceId::DEFAULT,
                 rel: self.rel,
+                stats: &self.stats,
             }
         }
 

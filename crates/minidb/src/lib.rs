@@ -26,6 +26,9 @@
 //! * **A POSTQUEL-style query language** ([`query`]): `retrieve`, `append`,
 //!   `delete`, `replace`, `define type/function/rule`, with time travel.
 //! * **A predicate rules system** ([`rules`]) used for file migration.
+//! * **Queryable statistics** ([`stats`]): every layer reports into a
+//!   central registry, snapshot via [`Db::stats`] and scannable from the
+//!   query language as virtual `pg_stat_*` system relations.
 //!
 //! The top-level entry point is [`Db`]; per-transaction work happens through
 //! [`Session`].
@@ -63,6 +66,7 @@ pub mod page;
 pub mod query;
 pub mod rules;
 pub mod smgr;
+pub mod stats;
 pub mod vacuum;
 pub mod xact;
 
@@ -76,5 +80,8 @@ pub use ids::{DeviceId, Oid, RelId, Tid, XactId};
 pub use query::QueryResult;
 pub use smgr::{
     shared_device, DeviceManager, GenericManager, JukeboxConfig, JukeboxManager, SharedDevice, Smgr,
+};
+pub use stats::{
+    DeviceIoStats, StatsRegistry, StatsSnapshot, VirtualRowsFn, VirtualTable, VirtualTables,
 };
 pub use xact::{Snapshot, XactLog, XactState};

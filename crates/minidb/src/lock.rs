@@ -8,12 +8,14 @@
 //! deadlocks fail fast with [`DbError::Deadlock`] instead of hanging.
 
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 use std::time::Duration;
 
 use parking_lot::{Condvar, Mutex};
 
 use crate::error::{DbError, DbResult};
 use crate::ids::{RelId, XactId};
+use crate::stats::StatsRegistry;
 
 /// Lock modes. Shared locks are compatible with each other; exclusive locks
 /// are compatible with nothing.
@@ -75,6 +77,10 @@ pub struct LockManager {
     inner: Mutex<Inner>,
     cv: Condvar,
     timeout: Duration,
+    /// Where acquisition/wait/deadlock/timeout counts go. A standalone
+    /// manager gets a private registry; [`crate::Db::open`] swaps in the
+    /// database-wide one via [`LockManager::share_stats`].
+    stats: Arc<StatsRegistry>,
 }
 
 impl Default for LockManager {
@@ -86,11 +92,7 @@ impl Default for LockManager {
 impl LockManager {
     /// Creates a lock manager with a 10-second wait timeout backstop.
     pub fn new() -> LockManager {
-        LockManager {
-            inner: Mutex::new(Inner::default()),
-            cv: Condvar::new(),
-            timeout: Duration::from_secs(10),
-        }
+        LockManager::with_timeout(Duration::from_secs(10))
     }
 
     /// Creates a lock manager with a custom wait timeout (tests).
@@ -99,7 +101,18 @@ impl LockManager {
             inner: Mutex::new(Inner::default()),
             cv: Condvar::new(),
             timeout,
+            stats: Arc::new(StatsRegistry::new()),
         }
+    }
+
+    /// Redirects this manager's counters into `stats`.
+    pub fn share_stats(&mut self, stats: Arc<StatsRegistry>) {
+        self.stats = stats;
+    }
+
+    /// The registry this manager's counters land in.
+    pub fn stats(&self) -> &StatsRegistry {
+        &self.stats
     }
 
     /// Acquires `mode` on `rel` for `xid`, blocking until compatible.
@@ -110,6 +123,7 @@ impl LockManager {
     /// waits return [`DbError::LockTimeout`].
     pub fn acquire(&self, xid: XactId, rel: RelId, mode: LockMode) -> DbResult<()> {
         let mut inner = self.inner.lock();
+        let mut waited = false;
         loop {
             let already = inner.holders.get(&rel).and_then(|h| h.get(&xid)).copied();
             match (already, mode) {
@@ -122,6 +136,7 @@ impl LockManager {
             if conflicts.is_empty() {
                 inner.holders.entry(rel).or_default().insert(xid, mode);
                 inner.waits_for.remove(&xid);
+                self.stats.lock.acquisitions.bump();
                 return Ok(());
             }
             // Would waiting close a cycle? If any conflicting holder
@@ -129,13 +144,19 @@ impl LockManager {
             for &other in &conflicts {
                 if inner.reaches(other, xid) {
                     inner.waits_for.remove(&xid);
+                    self.stats.lock.deadlocks.bump();
                     return Err(DbError::Deadlock);
                 }
             }
             inner.waits_for.insert(xid, conflicts);
+            if !waited {
+                waited = true;
+                self.stats.lock.waits.bump();
+            }
             let timed_out = self.cv.wait_for(&mut inner, self.timeout).timed_out();
             if timed_out {
                 inner.waits_for.remove(&xid);
+                self.stats.lock.timeouts.bump();
                 return Err(DbError::LockTimeout);
             }
         }
@@ -243,6 +264,21 @@ mod tests {
         // Another transaction can take both immediately.
         lm.acquire(XactId(2), Oid(1), LockMode::Exclusive).unwrap();
         lm.acquire(XactId(2), Oid(2), LockMode::Exclusive).unwrap();
+    }
+
+    #[test]
+    fn counters_track_grants_waits_and_timeouts() {
+        let lm = LockManager::with_timeout(Duration::from_millis(50));
+        lm.acquire(XactId(1), Oid(5), LockMode::Exclusive).unwrap();
+        assert_eq!(lm.stats().lock.acquisitions.get(), 1);
+        // Re-acquire is a no-op, not a fresh grant.
+        lm.acquire(XactId(1), Oid(5), LockMode::Exclusive).unwrap();
+        assert_eq!(lm.stats().lock.acquisitions.get(), 1);
+        let r = lm.acquire(XactId(2), Oid(5), LockMode::Shared);
+        assert_eq!(r, Err(DbError::LockTimeout));
+        assert_eq!(lm.stats().lock.waits.get(), 1);
+        assert_eq!(lm.stats().lock.timeouts.get(), 1);
+        assert_eq!(lm.stats().lock.deadlocks.get(), 0);
     }
 
     #[test]

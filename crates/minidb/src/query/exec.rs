@@ -187,9 +187,152 @@ impl Session {
         })
     }
 
+    /// Materializes the rows of a virtual system relation (the built-in
+    /// `pg_stat_*` family, then anything registered through
+    /// [`crate::db::Db::register_virtual`]), or `None` if `name` is an
+    /// ordinary catalogued relation.
+    fn bind_virtual(&mut self, name: &str) -> Option<(Schema, Vec<Row>)> {
+        use crate::datum::TypeId;
+        let db = self.db().clone();
+        let int8 = |v: u64| Datum::Int8(v as i64);
+        match name {
+            "pg_stat_buffer" => {
+                let b = db.buffer_stats();
+                Some((
+                    Schema::new([
+                        ("hits", TypeId::INT8),
+                        ("misses", TypeId::INT8),
+                        ("evictions", TypeId::INT8),
+                        ("writebacks", TypeId::INT8),
+                        ("capacity", TypeId::INT4),
+                        ("cached", TypeId::INT4),
+                    ]),
+                    vec![vec![
+                        int8(b.hits),
+                        int8(b.misses),
+                        int8(b.evictions),
+                        int8(b.writebacks),
+                        Datum::Int4(db.inner.pool.capacity() as i32),
+                        Datum::Int4(db.inner.pool.len() as i32),
+                    ]],
+                ))
+            }
+            "pg_stat_lock" => {
+                let l = &db.inner.stats.lock;
+                Some((
+                    Schema::new([
+                        ("acquisitions", TypeId::INT8),
+                        ("waits", TypeId::INT8),
+                        ("deadlocks", TypeId::INT8),
+                        ("timeouts", TypeId::INT8),
+                    ]),
+                    vec![vec![
+                        int8(l.acquisitions.get()),
+                        int8(l.waits.get()),
+                        int8(l.deadlocks.get()),
+                        int8(l.timeouts.get()),
+                    ]],
+                ))
+            }
+            "pg_stat_xact" => {
+                let x = &db.inner.stats.xact;
+                Some((
+                    Schema::new([
+                        ("commits", TypeId::INT8),
+                        ("aborts", TypeId::INT8),
+                        ("time_travel_reads", TypeId::INT8),
+                        ("active", TypeId::INT4),
+                    ]),
+                    vec![vec![
+                        int8(x.commits.get()),
+                        int8(x.aborts.get()),
+                        int8(x.time_travel_reads.get()),
+                        Datum::Int4(db.inner.xlog.active_set().len() as i32),
+                    ]],
+                ))
+            }
+            "pg_stat_relation" => {
+                let s = &db.inner.stats;
+                Some((
+                    Schema::new([
+                        ("heap_scans", TypeId::INT8),
+                        ("heap_fetches", TypeId::INT8),
+                        ("heap_appends", TypeId::INT8),
+                        ("btree_searches", TypeId::INT8),
+                        ("btree_inserts", TypeId::INT8),
+                        ("btree_splits", TypeId::INT8),
+                        ("btree_page_writes", TypeId::INT8),
+                        ("vacuum_passes", TypeId::INT8),
+                    ]),
+                    vec![vec![
+                        int8(s.heap.scans.get()),
+                        int8(s.heap.fetches.get()),
+                        int8(s.heap.appends.get()),
+                        int8(s.btree.searches.get()),
+                        int8(s.btree.inserts.get()),
+                        int8(s.btree.splits.get()),
+                        int8(s.btree.page_writes.get()),
+                        int8(s.vacuum_passes.get()),
+                    ]],
+                ))
+            }
+            "pg_stat_device" => {
+                let rows = db
+                    .stats()
+                    .devices
+                    .into_iter()
+                    .map(|d| {
+                        vec![
+                            Datum::Int4(d.device as i32),
+                            Datum::Text(d.name),
+                            int8(d.reads),
+                            int8(d.writes),
+                            int8(d.read_ns),
+                            int8(d.write_ns),
+                        ]
+                    })
+                    .collect();
+                Some((
+                    Schema::new([
+                        ("device", TypeId::INT4),
+                        ("name", TypeId::TEXT),
+                        ("reads", TypeId::INT8),
+                        ("writes", TypeId::INT8),
+                        ("read_ns", TypeId::INT8),
+                        ("write_ns", TypeId::INT8),
+                    ]),
+                    rows,
+                ))
+            }
+            _ => db
+                .virtual_table(name)
+                .map(|t| (t.schema.clone(), (t.rows)())),
+        }
+    }
+
     /// Materializes the candidate rows for one `from` item, using an index
     /// when the qualification pins an indexed column to a literal.
     fn bind_from(&mut self, item: &FromItem, qual: Option<&Expr>) -> DbResult<BoundRel> {
+        // Virtual system relations: rows are produced on the spot, not
+        // fetched from a heap. They have no history — reject a time-travel
+        // bracket rather than silently answering about the present.
+        if let Some((schema, rows)) = self.bind_virtual(&item.rel) {
+            if item.as_of.is_some() {
+                return Err(DbError::Invalid(format!(
+                    "virtual relation \"{}\" has no history (time-travel bracket not allowed)",
+                    item.rel
+                )));
+            }
+            return Ok(BoundRel {
+                var: item.var.clone(),
+                schema,
+                rows: rows
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, r)| (Tid::new((i >> 16) as u32, (i & 0xffff) as u16), r))
+                    .collect(),
+            });
+        }
         let rel = self.db().relation_id(&item.rel)?;
         let schema = self.db().schema_of(rel)?;
         let snap = match &item.as_of {

@@ -747,6 +747,9 @@ impl DeviceManager for JukeboxManager {
 /// The device manager switch: routes relation I/O to the device's manager.
 pub struct Smgr {
     mgrs: HashMap<DeviceId, Mutex<Box<dyn DeviceManager>>>,
+    /// Set by [`crate::Db::open`]: the simulated clock and the database's
+    /// stats registry, used to count and time page I/O per device.
+    instr: Option<(simdev::SimClock, Arc<crate::stats::StatsRegistry>)>,
 }
 
 impl Smgr {
@@ -754,7 +757,15 @@ impl Smgr {
     pub fn new() -> Smgr {
         Smgr {
             mgrs: HashMap::new(),
+            instr: None,
         }
+    }
+
+    /// Attaches a clock and stats registry; from then on the `*_page`
+    /// wrappers record per-device read/write counts and simulated-latency
+    /// histograms into `stats`.
+    pub fn attach_stats(&mut self, clock: simdev::SimClock, stats: Arc<crate::stats::StatsRegistry>) {
+        self.instr = Some((clock, stats));
     }
 
     /// Registers `mgr` as device `id`.
@@ -785,6 +796,60 @@ impl Smgr {
             .ok_or_else(|| DbError::NotFound(format!("{dev}")))?;
         let mut g = mgr.lock();
         f(g.as_mut())
+    }
+
+    /// Reads a page through the switch, recording per-device counters and
+    /// simulated latency when stats are attached.
+    pub fn read_page(
+        &self,
+        dev: DeviceId,
+        rel: RelId,
+        blkno: u64,
+        buf: &mut [u8],
+    ) -> DbResult<()> {
+        match &self.instr {
+            Some((clock, stats)) => {
+                let (r, took) = clock.timed(|| self.with(dev, |m| m.read(rel, blkno, buf)));
+                let d = stats.device(dev);
+                d.reads.bump();
+                d.read_ns.add(took.as_nanos());
+                d.read_hist.record(took.as_nanos());
+                r
+            }
+            None => self.with(dev, |m| m.read(rel, blkno, buf)),
+        }
+    }
+
+    /// Writes a page through the switch, recording per-device counters and
+    /// simulated latency when stats are attached.
+    pub fn write_page(&self, dev: DeviceId, rel: RelId, blkno: u64, buf: &[u8]) -> DbResult<()> {
+        match &self.instr {
+            Some((clock, stats)) => {
+                let (r, took) = clock.timed(|| self.with(dev, |m| m.write(rel, blkno, buf)));
+                let d = stats.device(dev);
+                d.writes.bump();
+                d.write_ns.add(took.as_nanos());
+                d.write_hist.record(took.as_nanos());
+                r
+            }
+            None => self.with(dev, |m| m.write(rel, blkno, buf)),
+        }
+    }
+
+    /// Appends a blank page through the switch, counted as a write (the
+    /// block's contents reach the device at first flush).
+    pub fn extend_page(&self, dev: DeviceId, rel: RelId) -> DbResult<u64> {
+        match &self.instr {
+            Some((clock, stats)) => {
+                let (r, took) = clock.timed(|| self.with(dev, |m| m.extend_blank(rel)));
+                let d = stats.device(dev);
+                d.writes.bump();
+                d.write_ns.add(took.as_nanos());
+                d.write_hist.record(took.as_nanos());
+                r
+            }
+            None => self.with(dev, |m| m.extend_blank(rel)),
+        }
     }
 
     /// Syncs every registered device.

@@ -74,6 +74,7 @@ pub fn vacuum(db: &Db, rel: RelId, archive_dev: DeviceId) -> DbResult<VacuumStat
             pool: &db.inner.pool,
             smgr: &db.inner.smgr,
             xlog: &db.inner.xlog,
+            stats: &db.inner.stats,
             dev: entry.device,
             rel,
         };
@@ -156,6 +157,7 @@ pub fn vacuum(db: &Db, rel: RelId, archive_dev: DeviceId) -> DbResult<VacuumStat
             pool: &db.inner.pool,
             smgr: &db.inner.smgr,
             xlog: &db.inner.xlog,
+            stats: &db.inner.stats,
             dev: arch_dev,
             rel: arch_id,
         };
@@ -180,6 +182,7 @@ pub fn vacuum(db: &Db, rel: RelId, archive_dev: DeviceId) -> DbResult<VacuumStat
         pool: &db.inner.pool,
         smgr: &db.inner.smgr,
         xlog: &db.inner.xlog,
+        stats: &db.inner.stats,
         dev: entry.device,
         rel,
     };
@@ -200,6 +203,7 @@ pub fn vacuum(db: &Db, rel: RelId, archive_dev: DeviceId) -> DbResult<VacuumStat
         let bt = BTree {
             pool: &db.inner.pool,
             smgr: &db.inner.smgr,
+            stats: &db.inner.stats,
             dev: idx_dev,
             rel: idx,
         };
@@ -215,6 +219,7 @@ pub fn vacuum(db: &Db, rel: RelId, archive_dev: DeviceId) -> DbResult<VacuumStat
     db.inner.pool.flush_all(&db.inner.smgr)?;
     db.inner.smgr.sync_all()?;
     db.persist_catalog()?;
+    db.inner.stats.vacuum_passes.bump();
     Ok(stats)
 }
 

@@ -9,6 +9,9 @@
 //! cargo run --example query_shell 'retrieve (n.filename) from n in naming'
 //! echo 'retrieve (1 + 1)' | cargo run --example query_shell -
 //! ```
+//!
+//! In shell mode, `\stats` dumps every statistics relation (`pg_stat_*` and
+//! `inv_stat`) and `\q` quits.
 
 use std::io::{BufRead, Write};
 
@@ -60,6 +63,37 @@ fn run_query(fs: &InversionFs, q: &str) {
     }
 }
 
+/// `\stats`: dump every statistics relation through the query language.
+fn show_stats(fs: &InversionFs) {
+    let relations = [
+        (
+            "pg_stat_buffer",
+            "retrieve (s.hits, s.misses, s.evictions, s.writebacks, s.capacity, s.cached) from s in pg_stat_buffer",
+        ),
+        (
+            "pg_stat_lock",
+            "retrieve (s.acquisitions, s.waits, s.deadlocks, s.timeouts) from s in pg_stat_lock",
+        ),
+        (
+            "pg_stat_xact",
+            "retrieve (s.commits, s.aborts, s.time_travel_reads, s.active) from s in pg_stat_xact",
+        ),
+        (
+            "pg_stat_relation",
+            "retrieve (s.heap_scans, s.heap_fetches, s.heap_appends, s.btree_searches, s.btree_inserts, s.btree_splits) from s in pg_stat_relation",
+        ),
+        (
+            "pg_stat_device",
+            "retrieve (s.device, s.name, s.reads, s.writes, s.read_ns, s.write_ns) from s in pg_stat_device",
+        ),
+        ("inv_stat", "retrieve (s.op, s.count) from s in inv_stat"),
+    ];
+    for (rel, q) in relations {
+        println!("-- {rel}");
+        run_query(fs, q);
+    }
+}
+
 fn main() {
     let fs = build_demo_fs();
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -100,6 +134,12 @@ fn main() {
         let q = line.trim();
         if q.is_empty() || q == "\\q" {
             break;
+        }
+        if q == "\\stats" {
+            show_stats(&fs);
+            print!("postquel> ");
+            std::io::stdout().flush().unwrap();
+            continue;
         }
         run_query(&fs, q);
         print!("postquel> ");

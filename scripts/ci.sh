@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Tier-1 gate: release build, full test suite, and a statistics smoke test.
+# Usage: scripts/ci.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (release) =="
+cargo build --release
+
+echo "== tests =="
+cargo test -q
+
+echo "== workspace tests =="
+cargo test --workspace -q
+
+echo "== smoke: fig3_create --json =="
+cargo run --release -q -p bench --bin fig3_create -- --json
+test -s BENCH_fig3_create.json || {
+    echo "BENCH_fig3_create.json missing or empty" >&2
+    exit 1
+}
+grep -q '"minidb_stats_delta"' BENCH_fig3_create.json || {
+    echo "BENCH_fig3_create.json lacks stats delta" >&2
+    exit 1
+}
+mkdir -p results
+mv BENCH_fig3_create.json results/
+echo "CI OK"

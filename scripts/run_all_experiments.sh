@@ -1,5 +1,7 @@
 #!/usr/bin/env bash
 # Regenerates every table and figure of the paper into results/.
+# Figure harnesses also emit BENCH_<name>.json (simulated seconds plus
+# storage-manager counter deltas) alongside the text tables.
 # Usage: scripts/run_all_experiments.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -7,6 +9,14 @@ mkdir -p results
 for bin in table1_naming table2_types fig3_create fig4_random_byte \
            fig5_reads fig6_writes table3_full ston93_local ablations; do
     echo "== $bin =="
-    cargo run --release -p bench --bin "$bin" | tee "results/$bin.txt"
+    case "$bin" in
+    fig3_create | fig4_random_byte | fig5_reads | fig6_writes)
+        cargo run --release -p bench --bin "$bin" -- --json | tee "results/$bin.txt"
+        mv "BENCH_$bin.json" results/
+        ;;
+    *)
+        cargo run --release -p bench --bin "$bin" | tee "results/$bin.txt"
+        ;;
+    esac
 done
 echo "All experiment outputs written to results/."

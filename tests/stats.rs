@@ -1,0 +1,234 @@
+//! Integration tests for the queryable statistics subsystem: the
+//! `minidb::stats` registry, the `pg_stat_*` virtual relations, and the file
+//! system's `inv_stat` counters, exercised through the full stack.
+
+mod common;
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use common::Devices;
+use inversion::{CreateMode, InversionFs, CHUNK_SIZE};
+use minidb::{Datum, Db, Schema, TypeId};
+
+fn int8(d: &Datum) -> i64 {
+    match d {
+        Datum::Int8(n) => *n,
+        other => panic!("expected int8, got {other:?}"),
+    }
+}
+
+/// Re-reading a file's chunks must come from the buffer cache: the hit
+/// ratio rises on the second pass, and the acceptance query
+/// `retrieve (s.hits) from s in pg_stat_buffer` sees it live.
+#[test]
+fn buffer_hit_ratio_rises_on_reread() {
+    let fs = InversionFs::format(Devices::new().format()).unwrap();
+    let mut c = fs.client();
+    let data: Vec<u8> = (0..3 * CHUNK_SIZE).map(|i| (i % 251) as u8).collect();
+    c.write_all("/warm", CreateMode::default(), &data).unwrap();
+
+    let cold = fs.db().stats();
+    assert_eq!(c.read_to_vec("/warm", None).unwrap(), data);
+    let first = fs.db().stats().delta(&cold);
+    assert_eq!(c.read_to_vec("/warm", None).unwrap(), data);
+    let second = fs.db().stats().delta(&cold).delta(&first);
+
+    let ratio = |b: &minidb::BufferStats| b.hits as f64 / (b.hits + b.misses).max(1) as f64;
+    assert!(second.buffer.misses <= first.buffer.misses);
+    assert!(
+        ratio(&second.buffer) >= ratio(&first.buffer),
+        "re-read hit ratio {} must not drop below first-read {}",
+        ratio(&second.buffer),
+        ratio(&first.buffer)
+    );
+    assert!(second.buffer.hits > 0, "re-read must hit the cache");
+
+    // The same counters through the query language.
+    let mut s = fs.db().begin().unwrap();
+    let res = s.query("retrieve (s.hits) from s in pg_stat_buffer").unwrap();
+    s.commit().unwrap();
+    assert_eq!(res.rows.len(), 1);
+    assert!(int8(&res.rows[0][0]) > 0, "pg_stat_buffer.hits live value");
+}
+
+/// Two transactions inserting into the same relation contend on its write
+/// lock; the loser's wait shows up in the lock counters and in
+/// `pg_stat_lock`.
+#[test]
+fn lock_waits_counted_under_contention() {
+    let db = Db::open_in_memory().unwrap();
+    let rel = db
+        .create_table("contended", Schema::new([("v", TypeId::INT4)]))
+        .unwrap();
+
+    let mut holder = db.begin().unwrap();
+    holder.insert(rel, vec![Datum::Int4(1)]).unwrap();
+
+    let entered = Arc::new(AtomicBool::new(false));
+    let db2 = db.clone();
+    let flag = Arc::clone(&entered);
+    let waiter = std::thread::spawn(move || {
+        let mut s = db2.begin().unwrap();
+        flag.store(true, Ordering::SeqCst);
+        s.insert(rel, vec![Datum::Int4(2)]).unwrap();
+        s.commit().unwrap();
+    });
+
+    // Let the second transaction reach the lock queue before releasing.
+    while !entered.load(Ordering::SeqCst) {
+        std::thread::yield_now();
+    }
+    std::thread::sleep(std::time::Duration::from_millis(100));
+    holder.commit().unwrap();
+    waiter.join().unwrap();
+
+    let lock = db.stats().lock;
+    assert!(lock.acquisitions >= 2);
+    assert!(lock.waits >= 1, "blocked transaction must count as a wait");
+    assert_eq!(lock.deadlocks, 0);
+    assert_eq!(lock.timeouts, 0);
+
+    let mut s = db.begin().unwrap();
+    let res = s
+        .query("retrieve (l.acquisitions, l.waits) from l in pg_stat_lock")
+        .unwrap();
+    s.commit().unwrap();
+    assert!(int8(&res.rows[0][0]) >= 2);
+    assert!(int8(&res.rows[0][1]) >= 1);
+}
+
+/// Transaction outcomes land in `pg_stat_xact`, heap/btree traffic in
+/// `pg_stat_relation`, and per-device I/O in `pg_stat_device`.
+#[test]
+fn xact_relation_and_device_stats_queryable() {
+    let fs = InversionFs::format(Devices::new().format()).unwrap();
+    let mut c = fs.client();
+    c.write_all("/a", CreateMode::default(), b"aaaa").unwrap();
+    c.p_begin().unwrap();
+    let fd = c.p_creat("/b", CreateMode::default()).unwrap();
+    c.p_write(fd, b"bbbb").unwrap();
+    c.p_close(fd).unwrap();
+    c.p_abort().unwrap();
+
+    let snap = fs.db().stats();
+    assert!(snap.xact.commits >= 1);
+    assert!(snap.xact.aborts >= 1);
+    assert!(snap.heap.appends >= 1);
+    assert!(snap.btree.inserts >= 1);
+    assert!(!snap.devices.is_empty());
+    assert!(snap.devices.iter().any(|d| d.writes > 0));
+
+    let mut s = fs.db().begin().unwrap();
+    let xact = s
+        .query("retrieve (x.commits, x.aborts) from x in pg_stat_xact")
+        .unwrap();
+    let rel = s
+        .query("retrieve (r.heap_appends, r.btree_inserts) from r in pg_stat_relation")
+        .unwrap();
+    let dev = s
+        .query("retrieve (d.name, d.writes) from d in pg_stat_device")
+        .unwrap();
+    s.commit().unwrap();
+    assert!(int8(&xact.rows[0][0]) >= 1);
+    assert!(int8(&xact.rows[0][1]) >= 1);
+    assert!(int8(&rel.rows[0][0]) >= 1);
+    assert!(int8(&rel.rows[0][1]) >= 1);
+    assert!(!dev.rows.is_empty());
+    assert!(dev.rows.iter().any(|r| int8(&r[1]) > 0));
+}
+
+/// The file system's own counters surface in `inv_stat` with live values.
+#[test]
+fn inv_stat_reflects_file_operations() {
+    let fs = InversionFs::format(Devices::new().format()).unwrap();
+    let mut c = fs.client();
+    let data: Vec<u8> = vec![7u8; 2 * CHUNK_SIZE];
+    c.write_all("/f", CreateMode::default(), &data).unwrap();
+    assert_eq!(c.read_to_vec("/f", None).unwrap().len(), data.len());
+
+    let mut s = fs.db().begin().unwrap();
+    let res = s.query("retrieve (i.op, i.count) from i in inv_stat").unwrap();
+    s.commit().unwrap();
+    let count = |op: &str| {
+        res.rows
+            .iter()
+            .find(|r| r[0] == Datum::Text(op.into()))
+            .map(|r| int8(&r[1]))
+            .unwrap_or_else(|| panic!("no inv_stat row for {op}"))
+    };
+    assert_eq!(count("creat"), 1);
+    assert!(count("write") >= 1);
+    assert!(count("chunk_writes") >= 2, "two chunks stored");
+    assert!(count("chunk_reads") >= 2, "two chunks fetched");
+    assert_eq!(count("bytes_written"), data.len() as i64);
+}
+
+/// Snapshots must be safe to take while other threads are mutating the
+/// database — the registry is read with relaxed atomics, never locked.
+#[test]
+fn snapshots_safe_under_concurrent_workload() {
+    let fs = InversionFs::format(Devices::new().format()).unwrap();
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let mut writers = Vec::new();
+    for w in 0..3u32 {
+        let fs = fs.clone();
+        writers.push(std::thread::spawn(move || {
+            let mut c = fs.client();
+            for i in 0..8 {
+                let path = format!("/w{w}_{i}");
+                loop {
+                    match c.write_all(&path, CreateMode::default(), &[w as u8; 64]) {
+                        Ok(()) | Err(inversion::InvError::Exists(_)) => break,
+                        Err(_) => std::thread::yield_now(), // 2PL conflict: retry.
+                    }
+                }
+            }
+        }));
+    }
+
+    let reader = {
+        let fs = fs.clone();
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut snaps = 0u64;
+            while !stop.load(Ordering::SeqCst) {
+                let snap = fs.db().stats();
+                let _ = snap.to_json();
+                let _ = fs.stats().rows();
+                snaps += 1;
+            }
+            snaps
+        })
+    };
+
+    for w in writers {
+        w.join().unwrap();
+    }
+    stop.store(true, Ordering::SeqCst);
+    let snaps = reader.join().unwrap();
+    assert!(snaps > 0);
+
+    let snap = fs.db().stats();
+    assert!(snap.xact.commits >= 24, "all writer transactions counted");
+    // Counters count calls: 2PL conflicts retry write_all, so creats can
+    // exceed the 24 files but never undercount them.
+    assert!(fs.stats().creats.get() >= 24);
+}
+
+/// Virtual relations have no history: time-travel brackets are rejected
+/// instead of silently returning current counters.
+#[test]
+fn virtual_relations_reject_time_travel() {
+    let fs = InversionFs::format(Devices::new().format()).unwrap();
+    let mut s = fs.db().begin().unwrap();
+    let err = s
+        .query("retrieve (b.hits) from b in pg_stat_buffer[123456]")
+        .unwrap_err();
+    s.commit().unwrap();
+    assert!(
+        err.to_string().contains("no history"),
+        "got unexpected error: {err}"
+    );
+}
