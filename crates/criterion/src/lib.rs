@@ -19,14 +19,9 @@ const TARGET: Duration = Duration::from_millis(300);
 const SAMPLES: usize = 11;
 
 /// The benchmark driver.
+#[derive(Default)]
 pub struct Criterion {
     _private: (),
-}
-
-impl Default for Criterion {
-    fn default() -> Self {
-        Criterion { _private: () }
-    }
 }
 
 impl Criterion {

@@ -117,7 +117,7 @@ impl InvClient {
                 Ok(())
             }
             Err(e) => {
-                let _ = s.abort();
+                s.abort().ok();
                 mark_stale(&mut self.fds);
                 Err(e)
             }
@@ -158,7 +158,7 @@ impl InvClient {
                 }
             },
             Err(e) => {
-                let _ = s.abort();
+                s.abort().ok();
                 mark_stale(&mut self.fds);
                 Err(e)
             }
@@ -543,7 +543,7 @@ impl InvClient {
             match body {
                 Ok(()) => self.p_commit()?,
                 Err(e) => {
-                    let _ = self.p_abort();
+                    self.p_abort().ok();
                     return Err(e);
                 }
             }
@@ -557,7 +557,7 @@ impl InvClient {
 impl Drop for InvClient {
     fn drop(&mut self) {
         if let Some(mut s) = self.session.take() {
-            let _ = s.abort();
+            s.abort().ok();
         }
     }
 }
@@ -835,6 +835,144 @@ pub(crate) fn read_file_bytes(
     Ok(out)
 }
 
+impl InversionFs {
+    /// Inversion-level structural verification, layered on top of
+    /// `minidb`'s `Db::check_all`: audits the chunk-table shape of every
+    /// regular file.
+    ///
+    /// Checked per file: the chunk relation is readable, every chunk row
+    /// decodes (self-identifying tag and compression included), chunk
+    /// numbers are unique and inside `0..ceil(size / CHUNK_SIZE)`, no chunk
+    /// is longer than [`CHUNK_SIZE`], and no chunk extends past the size
+    /// recorded in `fileatt`. Sparse files are legal — a seek past EOF plus
+    /// a write leaves holes, which readers fill with zeros — so chunk
+    /// *density* is deliberately not required.
+    pub fn check(&self) -> Vec<minidb::Finding> {
+        use minidb::Finding;
+        let mut out = Vec::new();
+        let mut s = match self.db().begin() {
+            Ok(s) => s,
+            Err(e) => {
+                out.push(Finding::new("inversion", "check-error", e.to_string()));
+                return out;
+            }
+        };
+        let files = match s.seq_scan(self.rels.fileatt) {
+            Ok(rows) => rows,
+            Err(e) => {
+                out.push(Finding::new("fileatt", "check-error", e.to_string()));
+                s.abort().ok();
+                return out;
+            }
+        };
+        for (_, row) in files {
+            let stat = match InversionFs::stat_from_row(&row) {
+                Ok(st) => st,
+                Err(e) => {
+                    out.push(Finding::new("fileatt", "fileatt-undecodable", e.to_string()));
+                    continue;
+                }
+            };
+            if stat.kind != FileKind::Regular {
+                continue;
+            }
+            let name = format!("inv{}", stat.oid.0);
+            let chunks = match s.seq_scan(stat.datarel) {
+                Ok(rows) => rows,
+                Err(e) => {
+                    out.push(Finding::new(
+                        &name,
+                        "chunk-table-missing",
+                        format!("file {}: {e}", stat.oid),
+                    ));
+                    continue;
+                }
+            };
+            let nchunks = stat.size.div_ceil(CHUNK_SIZE as u64);
+            let mut seen = HashMap::new();
+            for (tid, crow) in chunks {
+                let chunkno = match crow.first().map(|d| d.as_int()) {
+                    Some(Ok(n)) => n,
+                    _ => {
+                        out.push(
+                            Finding::new(&name, "chunk-row-shape", "chunkno is not an integer")
+                                .on_page(tid.blkno as u64)
+                                .on_slot(tid.slot),
+                        );
+                        continue;
+                    }
+                };
+                if chunkno < 0 || chunkno as u64 >= nchunks {
+                    out.push(
+                        Finding::new(
+                            &name,
+                            "chunk-out-of-range",
+                            format!(
+                                "chunk {chunkno} outside 0..{nchunks} for a {}-byte file",
+                                stat.size
+                            ),
+                        )
+                        .on_page(tid.blkno as u64)
+                        .on_slot(tid.slot),
+                    );
+                    continue;
+                }
+                if let Some(prev) = seen.insert(chunkno, tid) {
+                    out.push(
+                        Finding::new(
+                            &name,
+                            "chunk-duplicate",
+                            format!("chunk {chunkno} stored twice (also at {prev:?})"),
+                        )
+                        .on_page(tid.blkno as u64)
+                        .on_slot(tid.slot),
+                    );
+                }
+                match decode_chunk(&stat, chunkno as u32, &crow) {
+                    Ok(content) => {
+                        if content.len() > CHUNK_SIZE {
+                            out.push(
+                                Finding::new(
+                                    &name,
+                                    "chunk-oversize",
+                                    format!("chunk {chunkno} is {} bytes", content.len()),
+                                )
+                                .on_page(tid.blkno as u64)
+                                .on_slot(tid.slot),
+                            );
+                        }
+                        let extent =
+                            chunk::chunk_start(chunkno as u32) + content.len() as u64;
+                        if extent > stat.size {
+                            out.push(
+                                Finding::new(
+                                    &name,
+                                    "chunk-beyond-eof",
+                                    format!(
+                                        "chunk {chunkno} ends at byte {extent}, file size is {}",
+                                        stat.size
+                                    ),
+                                )
+                                .on_page(tid.blkno as u64)
+                                .on_slot(tid.slot),
+                            );
+                        }
+                    }
+                    Err(e) => {
+                        out.push(
+                            Finding::new(&name, "chunk-undecodable", e.to_string())
+                                .on_page(tid.blkno as u64)
+                                .on_slot(tid.slot),
+                        );
+                    }
+                }
+            }
+        }
+        s.abort().ok();
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -843,6 +981,71 @@ mod tests {
         let fs = InversionFs::open_in_memory().unwrap();
         let c = fs.client();
         (fs, c)
+    }
+
+    #[test]
+    fn fs_check_clean_after_varied_workload() {
+        let (fs, mut c) = fs_client();
+        c.p_begin().unwrap();
+        let fd = c.p_creat("/plain", CreateMode::default()).unwrap();
+        c.p_write(fd, &vec![7u8; 2 * CHUNK_SIZE + 99]).unwrap();
+        c.p_close(fd).unwrap();
+        let fd = c
+            .p_creat("/tagged", CreateMode::default().self_identifying().compressed())
+            .unwrap();
+        c.p_write(fd, b"squeezed and tagged").unwrap();
+        c.p_close(fd).unwrap();
+        // Sparse file: seek far past EOF, then write — holes are legal.
+        let fd = c.p_creat("/sparse", CreateMode::default()).unwrap();
+        c.p_lseek(fd, (4 * CHUNK_SIZE) as i64, SeekWhence::Set).unwrap();
+        c.p_write(fd, b"tail").unwrap();
+        // Truncate trims the tail chunk.
+        c.p_ftruncate(fd, (4 * CHUNK_SIZE + 2) as u64).unwrap();
+        c.p_close(fd).unwrap();
+        c.p_commit().unwrap();
+        assert_eq!(fs.check(), vec![]);
+        assert_eq!(fs.db().check_all(), vec![]);
+    }
+
+    #[test]
+    fn fs_check_detects_out_of_range_chunk() {
+        let (fs, mut c) = fs_client();
+        c.write_all("/f", CreateMode::default(), b"one chunk only").unwrap();
+        let mut s = fs.db().begin().unwrap();
+        let oid = fs.resolve(&mut s, "/f", None).unwrap();
+        let stat = fs.stat_oid(&mut s, oid, None).unwrap();
+        s.insert(
+            stat.datarel,
+            vec![Datum::Int4(99), Datum::Bytes(b"stray".to_vec())],
+        )
+        .unwrap();
+        s.commit().unwrap();
+        let findings = fs.check();
+        assert!(
+            findings.iter().any(|f| f.code == "chunk-out-of-range"),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn fs_check_detects_corrupt_self_id_tag() {
+        let (fs, mut c) = fs_client();
+        c.write_all("/t", CreateMode::default().self_identifying(), b"guarded")
+            .unwrap();
+        let mut s = fs.db().begin().unwrap();
+        let oid = fs.resolve(&mut s, "/t", None).unwrap();
+        let stat = fs.stat_oid(&mut s, oid, None).unwrap();
+        let (tid, row) = s.seq_scan(stat.datarel).unwrap().remove(0);
+        let mut raw = row[1].as_bytes().unwrap().to_vec();
+        raw[0] ^= 0xFF; // Break the tag magic.
+        s.update(stat.datarel, tid, vec![row[0].clone(), Datum::Bytes(raw)])
+            .unwrap();
+        s.commit().unwrap();
+        let findings = fs.check();
+        assert!(
+            findings.iter().any(|f| f.code == "chunk-undecodable"),
+            "{findings:?}"
+        );
     }
 
     #[test]

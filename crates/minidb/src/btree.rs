@@ -48,12 +48,18 @@ struct NodeMeta {
     right: u64, // 0 = none (block 0 is always the meta page).
 }
 
-fn read_node_meta(data: &[u8]) -> NodeMeta {
+fn read_node_meta(data: &[u8]) -> DbResult<NodeMeta> {
     let sp = page::special(data);
-    NodeMeta {
-        leaf: sp[0] & LEAF_FLAG != 0,
-        right: u64::from_le_bytes(sp[4..12].try_into().unwrap()),
+    if sp.len() < SPECIAL_SIZE {
+        return Err(DbError::Corrupt(format!(
+            "btree node special area too small: {} < {SPECIAL_SIZE}",
+            sp.len()
+        )));
     }
+    Ok(NodeMeta {
+        leaf: sp[0] & LEAF_FLAG != 0,
+        right: crate::bytes::le_u64(sp, 4)?,
+    })
 }
 
 fn write_node_meta(data: &mut [u8], meta: &NodeMeta) {
@@ -77,7 +83,7 @@ fn decode_item(item: &[u8]) -> DbResult<(Key, &[u8])> {
     if item.len() < 2 {
         return Err(DbError::Corrupt("index item too short".into()));
     }
-    let klen = u16::from_le_bytes(item[..2].try_into().unwrap()) as usize;
+    let klen = crate::bytes::le_u16(item, 0)? as usize;
     let kbytes = item
         .get(2..2 + klen)
         .ok_or_else(|| DbError::Corrupt("index item key truncated".into()))?;
@@ -110,6 +116,7 @@ impl<'a> BTree<'a> {
         }
         let (root_blk, root_ref) = self.pool.new_page(self.smgr, self.dev, self.rel)?;
         {
+            let _order = crate::lock::order::token(crate::lock::order::BTREE_PAGE);
             let mut root = root_ref.write();
             let data = root.data_mut();
             page::init(data, SPECIAL_SIZE);
@@ -121,6 +128,7 @@ impl<'a> BTree<'a> {
                 },
             );
         }
+        let _order = crate::lock::order::token(crate::lock::order::BTREE_PAGE);
         let mut meta = meta_ref.write();
         let data = meta.data_mut();
         page::init(data, 16);
@@ -132,19 +140,21 @@ impl<'a> BTree<'a> {
 
     fn root(&self) -> DbResult<u64> {
         let meta_ref = self.pool.get_page(self.smgr, self.dev, self.rel, 0)?;
+        let _order = crate::lock::order::token(crate::lock::order::BTREE_PAGE);
         let meta = meta_ref.read();
         let sp = page::special(meta.data());
-        if sp.len() < 12 || u32::from_le_bytes(sp[..4].try_into().unwrap()) != META_MAGIC {
+        if sp.len() < 12 || crate::bytes::le_u32(sp, 0)? != META_MAGIC {
             return Err(DbError::Corrupt(format!(
                 "bad btree meta page in {}",
                 self.rel
             )));
         }
-        Ok(u64::from_le_bytes(sp[4..12].try_into().unwrap()))
+        crate::bytes::le_u64(sp, 4)
     }
 
     fn set_root(&self, root: u64) -> DbResult<()> {
         let meta_ref = self.pool.get_page(self.smgr, self.dev, self.rel, 0)?;
+        let _order = crate::lock::order::token(crate::lock::order::BTREE_PAGE);
         let mut meta = meta_ref.write();
         let sp = page::special_mut(meta.data_mut());
         sp[4..12].copy_from_slice(&root.to_le_bytes());
@@ -158,9 +168,10 @@ impl<'a> BTree<'a> {
         let mut path = Vec::new();
         loop {
             let pref = self.pool.get_page(self.smgr, self.dev, self.rel, blk)?;
+            let _order = crate::lock::order::token(crate::lock::order::BTREE_PAGE);
             let pbuf = pref.read();
             let data = pbuf.data();
-            let meta = read_node_meta(data);
+            let meta = read_node_meta(data)?;
             if meta.leaf {
                 return Ok((blk, path));
             }
@@ -178,11 +189,7 @@ impl<'a> BTree<'a> {
                 if cmp_keys(&k, key) != Ordering::Less {
                     break;
                 }
-                child = Some(u64::from_le_bytes(
-                    payload[..8]
-                        .try_into()
-                        .map_err(|_| DbError::Corrupt("bad child pointer".into()))?,
-                ));
+                child = Some(crate::bytes::le_u64(payload, 0)?);
             }
             let next = match child {
                 Some(c) => c,
@@ -192,11 +199,7 @@ impl<'a> BTree<'a> {
                     for s in 0..n {
                         if let Some(item) = page::item(data, s) {
                             let (_, payload) = decode_item(item)?;
-                            first = Some(u64::from_le_bytes(
-                                payload[..8]
-                                    .try_into()
-                                    .map_err(|_| DbError::Corrupt("bad child pointer".into()))?,
-                            ));
+                            first = Some(crate::bytes::le_u64(payload, 0)?);
                             break;
                         }
                     }
@@ -226,6 +229,7 @@ impl<'a> BTree<'a> {
         item: &[u8],
     ) -> DbResult<()> {
         let pref = self.pool.get_page(self.smgr, self.dev, self.rel, blk)?;
+        let _order = crate::lock::order::token(crate::lock::order::BTREE_PAGE);
         let mut pbuf = pref.write();
         let data = pbuf.data_mut();
         if page::fits(data, item.len()) {
@@ -235,7 +239,7 @@ impl<'a> BTree<'a> {
         // Split: collect all items (plus the new one) in key order, keep the
         // lower half here, move the upper half to a fresh right sibling.
         self.stats.btree.splits.bump();
-        let meta = read_node_meta(data);
+        let meta = read_node_meta(data)?;
         let mut items: Vec<(Key, Vec<u8>)> = Vec::with_capacity(page::nslots(data) as usize + 1);
         for (_, it) in page::iter(data) {
             let (k, _) = decode_item(it)?;
@@ -246,6 +250,7 @@ impl<'a> BTree<'a> {
         let mid = items.len() / 2;
 
         let (right_blk, right_ref) = self.pool.new_page(self.smgr, self.dev, self.rel)?;
+        let _order = crate::lock::order::token(crate::lock::order::BTREE_PAGE);
         let mut right = right_ref.write();
         let rdata = right.data_mut();
         page::init(rdata, SPECIAL_SIZE);
@@ -283,6 +288,7 @@ impl<'a> BTree<'a> {
             None => {
                 // Splitting the root: make a new root over both halves.
                 let (new_root, root_ref) = self.pool.new_page(self.smgr, self.dev, self.rel)?;
+                let _order = crate::lock::order::token(crate::lock::order::BTREE_PAGE);
                 let mut root = root_ref.write();
                 let rdata = root.data_mut();
                 page::init(rdata, SPECIAL_SIZE);
@@ -326,7 +332,7 @@ impl<'a> BTree<'a> {
             page::insert(data, item)?;
             return Ok(());
         }
-        let meta = read_node_meta(data);
+        let meta = read_node_meta(data)?;
         let mut items: Vec<(Key, Vec<u8>)> = Vec::with_capacity(n as usize + 1);
         for (_, it) in page::iter(data) {
             let (k, _) = decode_item(it)?;
@@ -340,6 +346,226 @@ impl<'a> BTree<'a> {
             page::insert(data, it)?;
         }
         Ok(())
+    }
+
+    /// Structurally verifies the whole tree, returning findings plus every
+    /// live leaf entry (for the caller's heap cross-reference).
+    ///
+    /// Checked invariants: the meta page is sane and points at a real root;
+    /// every node passes [`page::verify`]; levels are uniform (no leaf mixed
+    /// into an internal level); keys are nondecreasing within each node
+    /// *and* across each level's sibling chain; sibling links terminate
+    /// without cycles; internal payloads are valid child pointers and leaf
+    /// payloads are valid tuple ids.
+    pub fn check(&self, name: &str) -> (Vec<crate::check::Finding>, Vec<(Key, Tid)>) {
+        use crate::check::Finding;
+        let mut out = Vec::new();
+        let mut entries = Vec::new();
+        let nblocks = match self.smgr.with(self.dev, |m| m.nblocks(self.rel)) {
+            Ok(n) => n,
+            Err(e) => {
+                out.push(Finding::new(
+                    name,
+                    "check-error",
+                    format!("cannot size index: {e}"),
+                ));
+                return (out, entries);
+            }
+        };
+        if nblocks == 0 {
+            out.push(Finding::new(name, "btree-meta", "index has no meta page"));
+            return (out, entries);
+        }
+        let root = match self.root() {
+            Ok(r) => r,
+            Err(e) => {
+                out.push(Finding::new(name, "btree-meta", e.to_string()).on_page(0));
+                return (out, entries);
+            }
+        };
+        if root == 0 || root >= nblocks {
+            out.push(
+                Finding::new(
+                    name,
+                    "btree-root-range",
+                    format!("root block {root} outside [1, {nblocks})"),
+                )
+                .on_page(0),
+            );
+            return (out, entries);
+        }
+        let mut visited = std::collections::HashSet::new();
+        let mut level_start = root;
+        for _depth in 0..64 {
+            // Walk one level left-to-right along the sibling chain, then
+            // descend to the first node's first child.
+            let mut blk = level_start;
+            let mut level_leaf: Option<bool> = None;
+            let mut next_level: Option<u64> = None;
+            let mut prev_key: Option<Key> = None;
+            let mut first_node = true;
+            'chain: while blk != 0 {
+                if blk >= nblocks {
+                    out.push(Finding::new(
+                        name,
+                        "btree-link-range",
+                        format!("sibling/child link to block {blk} outside [1, {nblocks})"),
+                    ));
+                    break 'chain;
+                }
+                if !visited.insert(blk) {
+                    out.push(
+                        Finding::new(
+                            name,
+                            "btree-link-cycle",
+                            format!("block {blk} reached twice"),
+                        )
+                        .on_page(blk),
+                    );
+                    break 'chain;
+                }
+                let pref = match self.pool.get_page(self.smgr, self.dev, self.rel, blk) {
+                    Ok(p) => p,
+                    Err(e) => {
+                        out.push(
+                            Finding::new(name, "check-error", format!("node unreadable: {e}"))
+                                .on_page(blk),
+                        );
+                        break 'chain;
+                    }
+                };
+                let _order = crate::lock::order::token(crate::lock::order::BTREE_PAGE);
+                let pbuf = pref.read();
+                let data = pbuf.data();
+                if !page::is_initialized(data) {
+                    out.push(
+                        Finding::new(name, "btree-uninitialized-node", "linked node is blank")
+                            .on_page(blk),
+                    );
+                    break 'chain;
+                }
+                for v in page::verify(data) {
+                    out.push(Finding::new(name, "page-invariant", v).on_page(blk));
+                }
+                let meta = match read_node_meta(data) {
+                    Ok(m) => m,
+                    Err(e) => {
+                        out.push(
+                            Finding::new(name, "btree-node-meta", e.to_string()).on_page(blk),
+                        );
+                        break 'chain;
+                    }
+                };
+                match level_leaf {
+                    None => level_leaf = Some(meta.leaf),
+                    Some(l) if l != meta.leaf => {
+                        out.push(
+                            Finding::new(
+                                name,
+                                "btree-mixed-level",
+                                "leaf and internal nodes on one level",
+                            )
+                            .on_page(blk),
+                        );
+                        break 'chain;
+                    }
+                    Some(_) => {}
+                }
+                for slot in 0..page::nslots(data) {
+                    let Some(item) = page::item(data, slot) else {
+                        continue; // Dead (lazily deleted) or reported by verify.
+                    };
+                    let (key, payload) = match decode_item(item) {
+                        Ok(kp) => kp,
+                        Err(e) => {
+                            out.push(
+                                Finding::new(name, "btree-item-undecodable", e.to_string())
+                                    .on_page(blk)
+                                    .on_slot(slot),
+                            );
+                            continue;
+                        }
+                    };
+                    if let Some(prev) = &prev_key {
+                        if cmp_keys(prev, &key) == Ordering::Greater {
+                            out.push(
+                                Finding::new(
+                                    name,
+                                    "btree-key-order",
+                                    format!("key {key:?} sorts before its predecessor {prev:?}"),
+                                )
+                                .on_page(blk)
+                                .on_slot(slot),
+                            );
+                        }
+                    }
+                    prev_key = Some(key.clone());
+                    if meta.leaf {
+                        match Tid::decode(payload) {
+                            Some(tid) => entries.push((key, tid)),
+                            None => out.push(
+                                Finding::new(
+                                    name,
+                                    "btree-bad-leaf-payload",
+                                    format!("{} payload bytes, want 6", payload.len()),
+                                )
+                                .on_page(blk)
+                                .on_slot(slot),
+                            ),
+                        }
+                    } else {
+                        match crate::bytes::le_u64(payload, 0) {
+                            Ok(child) => {
+                                if child == 0 || child >= nblocks {
+                                    out.push(
+                                        Finding::new(
+                                            name,
+                                            "btree-link-range",
+                                            format!(
+                                                "child pointer {child} outside [1, {nblocks})"
+                                            ),
+                                        )
+                                        .on_page(blk)
+                                        .on_slot(slot),
+                                    );
+                                } else if first_node && next_level.is_none() {
+                                    next_level = Some(child);
+                                }
+                            }
+                            Err(_) => out.push(
+                                Finding::new(
+                                    name,
+                                    "btree-bad-child-payload",
+                                    format!("{} payload bytes, want 8", payload.len()),
+                                )
+                                .on_page(blk)
+                                .on_slot(slot),
+                            ),
+                        }
+                    }
+                }
+                first_node = false;
+                blk = meta.right;
+            }
+            match (level_leaf, next_level) {
+                (Some(true), _) | (None, _) => return (out, entries),
+                (Some(false), Some(next)) => level_start = next,
+                (Some(false), None) => {
+                    out.push(Finding::new(
+                        name,
+                        "btree-no-children",
+                        "internal level has no usable child pointer",
+                    ));
+                    return (out, entries);
+                }
+            }
+        }
+        out.push(Finding::new(
+            name,
+            "btree-depth",
+            "tree deeper than 64 levels (probable pointer loop)",
+        ));
+        (out, entries)
     }
 
     /// Returns every tuple id stored under exactly `key`.
@@ -368,9 +594,10 @@ impl<'a> BTree<'a> {
                 let mut b = self.root()?;
                 loop {
                     let pref = self.pool.get_page(self.smgr, self.dev, self.rel, b)?;
+                    let _order = crate::lock::order::token(crate::lock::order::BTREE_PAGE);
                     let pbuf = pref.read();
                     let data = pbuf.data();
-                    let meta = read_node_meta(data);
+                    let meta = read_node_meta(data)?;
                     if meta.leaf {
                         break b;
                     }
@@ -378,11 +605,7 @@ impl<'a> BTree<'a> {
                     for s in 0..page::nslots(data) {
                         if let Some(item) = page::item(data, s) {
                             let (_, payload) = decode_item(item)?;
-                            first = Some(u64::from_le_bytes(
-                                payload[..8]
-                                    .try_into()
-                                    .map_err(|_| DbError::Corrupt("bad child".into()))?,
-                            ));
+                            first = Some(crate::bytes::le_u64(payload, 0)?);
                             break;
                         }
                     }
@@ -395,10 +618,12 @@ impl<'a> BTree<'a> {
             let pref = self.pool.get_page(self.smgr, self.dev, self.rel, blk)?;
             let mut hits = Vec::new();
             let right;
+            let mut past_hi = false;
             {
+                let _order = crate::lock::order::token(crate::lock::order::BTREE_PAGE);
                 let pbuf = pref.read();
                 let data = pbuf.data();
-                let meta = read_node_meta(data);
+                let meta = read_node_meta(data)?;
                 right = meta.right;
                 for (_, item) in page::iter(data) {
                     let (k, payload) = decode_item(item)?;
@@ -409,7 +634,8 @@ impl<'a> BTree<'a> {
                     }
                     if let Some(hi) = hi {
                         if cmp_keys(&k, hi) == Ordering::Greater {
-                            return Self::drain(&mut hits, &mut f).map(|_| ());
+                            past_hi = true;
+                            break;
                         }
                     }
                     let tid = Tid::decode(payload)
@@ -417,10 +643,9 @@ impl<'a> BTree<'a> {
                     hits.push((k, tid));
                 }
             }
-            if !Self::drain(&mut hits, &mut f)? {
-                return Ok(());
-            }
-            if right == 0 {
+            // The callback fetches heap pages, so it must run with the
+            // btree latch released (heap-page ranks below btree-page).
+            if !Self::drain(&mut hits, &mut f)? || past_hi || right == 0 {
                 return Ok(());
             }
             blk = right;
@@ -444,9 +669,10 @@ impl<'a> BTree<'a> {
         let (mut blk, _) = self.descend(key)?;
         loop {
             let pref = self.pool.get_page(self.smgr, self.dev, self.rel, blk)?;
+            let _order = crate::lock::order::token(crate::lock::order::BTREE_PAGE);
             let mut pbuf = pref.write();
             let data = pbuf.data_mut();
-            let meta = read_node_meta(data);
+            let meta = read_node_meta(data)?;
             let mut past = false;
             for s in 0..page::nslots(data) {
                 let Some(item) = page::item(data, s) else {

@@ -123,30 +123,46 @@ impl BufferPool {
     /// skipped.
     fn make_room(inner: &mut PoolInner, capacity: usize, smgr: &Smgr) -> DbResult<()> {
         while inner.map.len() >= capacity {
-            let mut evicted = false;
+            // Scan the LRU for the oldest unpinned victim. A key in the LRU
+            // but missing from the map means the two drifted apart; drop the
+            // stale entry and rescan rather than panic.
+            let mut victim: Option<(usize, (RelId, u64), PageRef)> = None;
+            let mut stale: Option<usize> = None;
             for i in 0..inner.lru.len() {
                 let key = inner.lru[i];
-                let page = inner.map.get(&key).expect("lru entry must be mapped");
-                if Arc::strong_count(page) > 1 {
-                    continue; // Pinned.
+                match inner.map.get(&key) {
+                    None => {
+                        stale = Some(i);
+                        break;
+                    }
+                    Some(page) if Arc::strong_count(page) > 1 => continue, // Pinned.
+                    Some(page) => {
+                        victim = Some((i, key, Arc::clone(page)));
+                        break;
+                    }
                 }
-                let page = inner.map.remove(&key).expect("present");
-                inner.lru.remove(i);
-                inner.stats.evictions += 1;
-                let mut buf = page.write();
-                if buf.dirty {
-                    let (dev, rel, blkno) = (buf.dev, buf.rel, buf.blkno);
-                    smgr.write_page(dev, rel, blkno, &buf.data)?;
-                    buf.dirty = false;
-                    inner.stats.writebacks += 1;
-                }
-                evicted = true;
-                break;
             }
-            if !evicted {
+            if let Some(i) = stale {
+                inner.lru.remove(i);
+                continue;
+            }
+            let Some((i, key, page)) = victim else {
                 return Err(DbError::Invalid(
                     "buffer pool exhausted: every page is pinned".into(),
                 ));
+            };
+            inner.map.remove(&key);
+            inner.lru.remove(i);
+            inner.stats.evictions += 1;
+            // lock-order: exempt (page latch under the pool mutex). The
+            // victim was unpinned and is now unmapped, so this latch is
+            // uncontended and cannot block or join a cycle.
+            let mut buf = page.write();
+            if buf.dirty {
+                let (dev, rel, blkno) = (buf.dev, buf.rel, buf.blkno);
+                smgr.write_page(dev, rel, blkno, &buf.data)?;
+                buf.dirty = false;
+                inner.stats.writebacks += 1;
             }
         }
         Ok(())
@@ -161,6 +177,7 @@ impl BufferPool {
         rel: RelId,
         blkno: u64,
     ) -> DbResult<PageRef> {
+        let _order = crate::lock::order::token(crate::lock::order::BUFFER_POOL);
         let mut inner = self.inner.lock();
         let key = (rel, blkno);
         if let Some(page) = inner.map.get(&key) {
@@ -188,6 +205,7 @@ impl BufferPool {
     /// Appends a fresh block to `rel`, returning its number and a cached,
     /// dirty, zero-filled page for it.
     pub fn new_page(&self, smgr: &Smgr, dev: DeviceId, rel: RelId) -> DbResult<(u64, PageRef)> {
+        let _order = crate::lock::order::token(crate::lock::order::BUFFER_POOL);
         let mut inner = self.inner.lock();
         Self::make_room(&mut inner, self.capacity, smgr)?;
         let blkno = smgr.extend_page(dev, rel)?;
@@ -209,19 +227,28 @@ impl BufferPool {
     /// (relation, block) order — the elevator sweep a real commit-time sync
     /// performs so flushes stream rather than seek.
     pub fn flush_all(&self, smgr: &Smgr) -> DbResult<()> {
-        let mut inner = self.inner.lock();
-        let mut keyed: Vec<((RelId, u64), PageRef)> =
-            inner.map.iter().map(|(&k, p)| (k, Arc::clone(p))).collect();
+        // Snapshot the page refs and release the pool mutex before taking
+        // any page latch: another thread may hold a page latch while waiting
+        // on the pool (a b-tree split extending the relation), so latching
+        // with the pool locked can deadlock.
+        let mut keyed: Vec<((RelId, u64), PageRef)> = {
+            let _order = crate::lock::order::token(crate::lock::order::BUFFER_POOL);
+            let inner = self.inner.lock();
+            inner.map.iter().map(|(&k, p)| (k, Arc::clone(p))).collect()
+        };
         keyed.sort_by_key(|(k, _)| *k);
-        let pages: Vec<PageRef> = keyed.into_iter().map(|(_, p)| p).collect();
-        for page in pages {
+        let mut written = 0u64;
+        for (_, page) in keyed {
             let mut buf = page.write();
             if buf.dirty {
                 let (dev, rel, blkno) = (buf.dev, buf.rel, buf.blkno);
                 smgr.write_page(dev, rel, blkno, &buf.data)?;
                 buf.dirty = false;
-                inner.stats.writebacks += 1;
+                written += 1;
             }
+        }
+        if written > 0 {
+            self.inner.lock().stats.writebacks += written;
         }
         Ok(())
     }
@@ -229,13 +256,17 @@ impl BufferPool {
     /// Writes back every dirty cached page belonging to `rel` (eager index
     /// write-through uses this). Returns the number of pages written.
     pub fn flush_rel(&self, smgr: &Smgr, rel: RelId) -> DbResult<usize> {
-        let mut inner = self.inner.lock();
-        let pages: Vec<PageRef> = inner
-            .map
-            .iter()
-            .filter(|(&(r, _), _)| r == rel)
-            .map(|(_, p)| Arc::clone(p))
-            .collect();
+        // Same pool-then-latch discipline as [`Self::flush_all`].
+        let pages: Vec<PageRef> = {
+            let _order = crate::lock::order::token(crate::lock::order::BUFFER_POOL);
+            let inner = self.inner.lock();
+            inner
+                .map
+                .iter()
+                .filter(|(&(r, _), _)| r == rel)
+                .map(|(_, p)| Arc::clone(p))
+                .collect()
+        };
         let mut written = 0;
         for page in pages {
             let mut buf = page.write();
@@ -243,9 +274,11 @@ impl BufferPool {
                 let (dev, r, blkno) = (buf.dev, buf.rel, buf.blkno);
                 smgr.write_page(dev, r, blkno, &buf.data)?;
                 buf.dirty = false;
-                inner.stats.writebacks += 1;
                 written += 1;
             }
+        }
+        if written > 0 {
+            self.inner.lock().stats.writebacks += written as u64;
         }
         Ok(written)
     }
@@ -254,6 +287,7 @@ impl BufferPool {
     /// "all caches were flushed before each test" step of the benchmark.
     pub fn flush_and_clear(&self, smgr: &Smgr) -> DbResult<()> {
         self.flush_all(smgr)?;
+        let _order = crate::lock::order::token(crate::lock::order::BUFFER_POOL);
         let mut inner = self.inner.lock();
         for page in inner.map.values() {
             if Arc::strong_count(page) > 1 {
@@ -268,6 +302,7 @@ impl BufferPool {
     /// Discards every cached page for `rel` *without* writing them back
     /// (used when dropping a relation).
     pub fn discard_rel(&self, rel: RelId) {
+        let _order = crate::lock::order::token(crate::lock::order::BUFFER_POOL);
         let mut inner = self.inner.lock();
         inner.map.retain(|&(r, _), _| r != rel);
         inner.lru.retain(|&(r, _)| r != rel);

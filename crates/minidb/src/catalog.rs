@@ -301,6 +301,96 @@ impl Catalog {
         &self.rules
     }
 
+    /// Cross-checks the catalog's internal references.
+    ///
+    /// Every index ↔ heap link must be bidirectional, index key columns must
+    /// fall inside the indexed heap's schema, archives must exist and be
+    /// heaps, and `kind` must agree with the presence of `index` metadata.
+    pub fn check(&self) -> Vec<crate::check::Finding> {
+        use crate::check::Finding;
+        let mut out = Vec::new();
+        for e in self.relations() {
+            match (e.kind, &e.index) {
+                (RelKind::BTreeIndex, None) => out.push(Finding::new(
+                    &e.name,
+                    "catalog-index-info",
+                    "index relation has no index metadata",
+                )),
+                (RelKind::Heap, Some(_)) => out.push(Finding::new(
+                    &e.name,
+                    "catalog-index-info",
+                    "heap relation carries index metadata",
+                )),
+                _ => {}
+            }
+            if let Some(info) = &e.index {
+                match self.relation(info.table) {
+                    Ok(table) => {
+                        if !table.indexes.contains(&e.id) {
+                            out.push(Finding::new(
+                                &e.name,
+                                "catalog-dangling-rel",
+                                format!("table {} does not list this index", table.name),
+                            ));
+                        }
+                        for &col in &info.key_columns {
+                            if col >= table.schema.columns.len() {
+                                out.push(Finding::new(
+                                    &e.name,
+                                    "catalog-key-column",
+                                    format!(
+                                        "key column {col} outside schema of {} ({} columns)",
+                                        table.name,
+                                        table.schema.columns.len()
+                                    ),
+                                ));
+                            }
+                        }
+                    }
+                    Err(_) => out.push(Finding::new(
+                        &e.name,
+                        "catalog-dangling-rel",
+                        format!("indexed table {:?} is not in the catalog", info.table),
+                    )),
+                }
+            }
+            for &idx in &e.indexes {
+                match self.relation(idx) {
+                    Ok(ie) => {
+                        if ie.index.as_ref().map(|i| i.table) != Some(e.id) {
+                            out.push(Finding::new(
+                                &e.name,
+                                "catalog-dangling-rel",
+                                format!("listed index {} does not point back", ie.name),
+                            ));
+                        }
+                    }
+                    Err(_) => out.push(Finding::new(
+                        &e.name,
+                        "catalog-dangling-rel",
+                        format!("listed index {idx:?} is not in the catalog"),
+                    )),
+                }
+            }
+            if let Some(arch) = e.archive {
+                match self.relation(arch) {
+                    Ok(ae) if ae.kind != RelKind::Heap => out.push(Finding::new(
+                        &e.name,
+                        "catalog-dangling-rel",
+                        format!("archive {} is not a heap", ae.name),
+                    )),
+                    Ok(_) => {}
+                    Err(_) => out.push(Finding::new(
+                        &e.name,
+                        "catalog-dangling-rel",
+                        format!("archive relation {arch:?} is not in the catalog"),
+                    )),
+                }
+            }
+        }
+        out
+    }
+
     /// Serializes the whole catalog.
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::new();

@@ -201,6 +201,14 @@ impl Db {
         self.inner.catalog.read()
     }
 
+    /// Runs every structural-integrity check (catalog, status log, heaps,
+    /// B-trees, and both index ↔ heap cross-references) and returns the
+    /// findings. An intact database returns an empty vector; the same rows
+    /// are visible through the `pg_check` virtual relation.
+    pub fn check_all(&self) -> Vec<crate::check::Finding> {
+        crate::check::check_all(self)
+    }
+
     /// Buffer cache statistics.
     pub fn buffer_stats(&self) -> crate::buffer::BufferStats {
         self.inner.pool.stats()
@@ -297,6 +305,7 @@ impl Db {
         no_history: bool,
     ) -> DbResult<RelId> {
         let id = {
+            let _order = crate::lock::order::token(crate::lock::order::CATALOG);
             let mut cat = self.inner.catalog.write();
             let id = cat.alloc_oid();
             cat.add_relation(RelationEntry {
@@ -312,7 +321,13 @@ impl Db {
             })?;
             id
         };
-        if let Err(e) = self.inner.smgr.with(dev, |m| m.create_rel(id)) {
+        // Make the relation durable on its device *before* the catalog
+        // entry: a crash in between leaves an unreferenced (harmless)
+        // device relation, never a catalog entry pointing at nothing.
+        if let Err(e) = self.inner.smgr.with(dev, |m| {
+            m.create_rel(id)?;
+            m.sync()
+        }) {
             self.inner.catalog.write().remove_relation(id).ok();
             return Err(e);
         }
@@ -325,6 +340,7 @@ impl Db {
     /// tuple version (historical versions stay reachable through it).
     pub fn create_index(&self, name: &str, table: RelId, columns: &[&str]) -> DbResult<RelId> {
         let (dev, key_columns) = {
+            let _order = crate::lock::order::token(crate::lock::order::CATALOG);
             let cat = self.inner.catalog.read();
             let t = cat.relation(table)?;
             if t.kind != RelKind::Heap {
@@ -339,6 +355,7 @@ impl Db {
             (t.device, key_columns)
         };
         let id = {
+            let _order = crate::lock::order::token(crate::lock::order::CATALOG);
             let mut cat = self.inner.catalog.write();
             let id = cat.alloc_oid();
             cat.add_relation(RelationEntry {
@@ -358,7 +375,13 @@ impl Db {
             cat.relation_mut(table)?.indexes.push(id);
             id
         };
-        self.inner.smgr.with(dev, |m| m.create_rel(id))?;
+        // Same ordering rule as create_table_on: device first, catalog
+        // second, so the durable catalog never references a relation the
+        // device has not heard of.
+        self.inner.smgr.with(dev, |m| {
+            m.create_rel(id)?;
+            m.sync()
+        })?;
         let bt = BTree {
             pool: &self.inner.pool,
             smgr: &self.inner.smgr,
@@ -381,6 +404,11 @@ impl Db {
             let key: Vec<Datum> = key_columns.iter().map(|&i| row[i].clone()).collect();
             bt.insert(&key, tid)
         })?;
+        // The index (meta page included) must be durable before the catalog
+        // advertises it, or a crash leaves a catalogued index with no
+        // on-disk structure.
+        self.inner.pool.flush_rel(&self.inner.smgr, id)?;
+        self.inner.smgr.with(dev, |m| m.sync())?;
         self.persist_catalog()?;
         Ok(id)
     }
@@ -388,11 +416,13 @@ impl Db {
     /// Drops a table (and its indices) or a single index.
     pub fn drop_relation(&self, name: &str) -> DbResult<()> {
         let entry = {
+            let _order = crate::lock::order::token(crate::lock::order::CATALOG);
             let cat = self.inner.catalog.read();
             cat.relation_by_name(name)?.clone()
         };
         let mut victims = vec![entry.clone()];
         if entry.kind == RelKind::Heap {
+            let _order = crate::lock::order::token(crate::lock::order::CATALOG);
             let cat = self.inner.catalog.read();
             for &idx in &entry.indexes {
                 victims.push(cat.relation(idx)?.clone());
@@ -401,17 +431,23 @@ impl Db {
                 victims.push(cat.relation(arch)?.clone());
             }
         }
-        for v in &victims {
-            self.inner.pool.discard_rel(v.id);
-            self.inner.smgr.with(v.device, |m| m.drop_rel(v.id))?;
-        }
+        // Mirror image of the create ordering: forget the relations in the
+        // durable catalog first, then release their storage. A crash in
+        // between orphans device storage (harmless) instead of leaving
+        // catalog entries that point at nothing.
         {
+            let _order = crate::lock::order::token(crate::lock::order::CATALOG);
             let mut cat = self.inner.catalog.write();
             for v in &victims {
                 cat.remove_relation(v.id)?;
             }
         }
-        self.persist_catalog()
+        self.persist_catalog()?;
+        for v in &victims {
+            self.inner.pool.discard_rel(v.id);
+            self.inner.smgr.with(v.device, |m| m.drop_rel(v.id))?;
+        }
+        Ok(())
     }
 
     /// Registers a new file/database type (`define type` in the paper).
@@ -450,6 +486,7 @@ impl Db {
     /// Resolves a function by query-language name to a callable.
     pub fn resolve_function(&self, name: &str) -> DbResult<FuncDef> {
         let (nargs, key) = {
+            let _order = crate::lock::order::token(crate::lock::order::CATALOG);
             let cat = self.inner.catalog.read();
             let p = cat.proc(name)?;
             (p.nargs, p.impl_key.clone())
@@ -499,6 +536,7 @@ impl Db {
 
     /// Finds an index of `table` whose key columns are exactly `cols`.
     pub fn find_index(&self, table: RelId, cols: &[usize]) -> Option<RelId> {
+        let _order = crate::lock::order::token(crate::lock::order::CATALOG);
         let cat = self.inner.catalog.read();
         let t = cat.relation(table).ok()?;
         for &idx in &t.indexes {
@@ -514,6 +552,7 @@ impl Db {
     }
 
     pub(crate) fn heap_parts(&self, rel: RelId) -> DbResult<HeapParts> {
+        let _order = crate::lock::order::token(crate::lock::order::CATALOG);
         let cat = self.inner.catalog.read();
         let e = cat.relation(rel)?;
         if e.kind != RelKind::Heap {
@@ -614,6 +653,7 @@ impl Session {
         let xid = self.writable_xid()?;
         let (dev, indexes) = self.db.heap_parts(rel)?;
         {
+            let _order = crate::lock::order::token(crate::lock::order::CATALOG);
             let cat = self.db.inner.catalog.read();
             let schema = &cat.relation(rel)?.schema;
             if row.len() != schema.len() {
@@ -766,6 +806,7 @@ impl Session {
     }
 
     fn archive_of(&self, rel: RelId) -> DbResult<Option<(RelId, DeviceId)>> {
+        let _order = crate::lock::order::token(crate::lock::order::CATALOG);
         let cat = self.db.inner.catalog.read();
         let e = cat.relation(rel)?;
         match e.archive {
@@ -796,6 +837,7 @@ impl Session {
         snap: &Snapshot,
     ) -> DbResult<Vec<(Tid, Row)>> {
         let (table, dev, key_columns) = {
+            let _order = crate::lock::order::token(crate::lock::order::CATALOG);
             let cat = self.db.inner.catalog.read();
             let ie = cat.relation(index)?;
             let info = ie
@@ -842,6 +884,7 @@ impl Session {
         out: &mut Vec<(Tid, Row)>,
     ) -> DbResult<()> {
         let arch = {
+            let _order = crate::lock::order::token(crate::lock::order::CATALOG);
             let cat = self.db.inner.catalog.read();
             let e = cat.relation(table)?;
             match e.archive {
@@ -878,6 +921,7 @@ impl Session {
     ) -> DbResult<()> {
         let snap = self.snapshot.clone();
         let (table, dev) = {
+            let _order = crate::lock::order::token(crate::lock::order::CATALOG);
             let cat = self.db.inner.catalog.read();
             let ie = cat.relation(index)?;
             let info = ie
@@ -927,7 +971,7 @@ impl Session {
             // is aborted by definition; record that (best effort — a dead
             // log device changes nothing, absence of a commit record is
             // authoritative) and release the locks.
-            let _ = self.db.inner.xlog.abort(xid);
+            self.db.inner.xlog.abort(xid).ok();
             self.db.inner.stats.xact.aborts.bump();
         } else {
             self.db.inner.stats.xact.commits.bump();
@@ -956,7 +1000,7 @@ impl Drop for Session {
     fn drop(&mut self) {
         if !self.done {
             if let Some(xid) = self.xid {
-                let _ = self.db.inner.xlog.abort(xid);
+                self.db.inner.xlog.abort(xid).ok();
                 self.db.inner.stats.xact.aborts.bump();
                 self.db.inner.locks.release_all(xid);
             }

@@ -42,6 +42,108 @@ impl<'a> Heap<'a> {
         self.smgr.with(self.dev, |m| m.nblocks(self.rel))
     }
 
+    /// Structurally verifies every page and tuple of this heap, reporting
+    /// problems as [`crate::check::Finding`]s (empty = clean).
+    ///
+    /// Uninitialized pages and tuples with an `Unknown` `xmin` are legal
+    /// crash debris, not corruption — see [`crate::check`]. Committed tuples
+    /// must carry a valid header, decode as a row, and match `schema`'s
+    /// arity.
+    pub fn check(&self, name: &str, schema: &crate::datum::Schema) -> Vec<crate::check::Finding> {
+        use crate::check::Finding;
+        use crate::xact::XactState;
+        let mut out = Vec::new();
+        let nblocks = match self.nblocks() {
+            Ok(n) => n,
+            Err(e) => {
+                out.push(Finding::new(
+                    name,
+                    "check-error",
+                    format!("cannot size relation: {e}"),
+                ));
+                return out;
+            }
+        };
+        for blkno in 0..nblocks {
+            let pref = match self.pool.get_page(self.smgr, self.dev, self.rel, blkno) {
+                Ok(p) => p,
+                Err(e) => {
+                    out.push(
+                        Finding::new(name, "check-error", format!("page unreadable: {e}"))
+                            .on_page(blkno),
+                    );
+                    continue;
+                }
+            };
+            let _order = crate::lock::order::token(crate::lock::order::HEAP_PAGE);
+            let pbuf = pref.read();
+            let data = pbuf.data();
+            if !page::is_initialized(data) {
+                continue; // Extended but never flushed: legal crash debris.
+            }
+            for v in page::verify(data) {
+                out.push(Finding::new(name, "page-invariant", v).on_page(blkno));
+            }
+            for slot in 0..page::nslots(data) {
+                let Some(item) = page::item_even_dead(data, slot) else {
+                    continue; // Out-of-range slots were reported by verify.
+                };
+                let hdr = match TupleHeader::decode(item) {
+                    Ok(h) => h,
+                    Err(e) => {
+                        out.push(
+                            Finding::new(name, "tuple-header", e.to_string())
+                                .on_page(blkno)
+                                .on_slot(slot),
+                        );
+                        continue;
+                    }
+                };
+                if hdr.xmin == XactId::INVALID {
+                    out.push(
+                        Finding::new(name, "mvcc-xmin-invalid", "tuple with xmin 0")
+                            .on_page(blkno)
+                            .on_slot(slot),
+                    );
+                    continue;
+                }
+                if matches!(self.xlog.state(hdr.xmin), XactState::Committed(_)) {
+                    match decode_row(&item[TupleHeader::SIZE..]) {
+                        Ok(row) => {
+                            if row.len() != schema.len() {
+                                out.push(
+                                    Finding::new(
+                                        name,
+                                        "tuple-arity",
+                                        format!(
+                                            "committed tuple has {} columns, schema has {}",
+                                            row.len(),
+                                            schema.len()
+                                        ),
+                                    )
+                                    .on_page(blkno)
+                                    .on_slot(slot),
+                                );
+                            }
+                        }
+                        Err(e) => {
+                            out.push(
+                                Finding::new(
+                                    name,
+                                    "tuple-undecodable",
+                                    format!("committed tuple does not decode: {e}"),
+                                )
+                                .on_page(blkno)
+                                .on_slot(slot),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
     /// Inserts `row` on behalf of `xid`, returning the new tuple's id.
     pub fn insert(&self, xid: XactId, row: &[crate::datum::Datum]) -> DbResult<Tid> {
         self.insert_bytes(
@@ -72,6 +174,7 @@ impl<'a> Heap<'a> {
         if nblocks > 0 {
             let blkno = nblocks - 1;
             let pref = self.pool.get_page(self.smgr, self.dev, self.rel, blkno)?;
+            let _order = crate::lock::order::token(crate::lock::order::HEAP_PAGE);
             let mut pbuf = pref.write();
             let data = pbuf.data_mut();
             if !page::is_initialized(data) {
@@ -83,6 +186,7 @@ impl<'a> Heap<'a> {
             }
         }
         let (blkno, pref) = self.pool.new_page(self.smgr, self.dev, self.rel)?;
+        let _order = crate::lock::order::token(crate::lock::order::HEAP_PAGE);
         let mut pbuf = pref.write();
         let data = pbuf.data_mut();
         page::init(data, 0);
@@ -98,6 +202,7 @@ impl<'a> Heap<'a> {
         let pref = self
             .pool
             .get_page(self.smgr, self.dev, self.rel, tid.blkno as u64)?;
+        let _order = crate::lock::order::token(crate::lock::order::HEAP_PAGE);
         let mut pbuf = pref.write();
         let data = pbuf.data_mut();
         let item = page::item_mut(data, tid.slot)
@@ -142,6 +247,7 @@ impl<'a> Heap<'a> {
         let pref = self
             .pool
             .get_page(self.smgr, self.dev, self.rel, tid.blkno as u64)?;
+        let _order = crate::lock::order::token(crate::lock::order::HEAP_PAGE);
         let pbuf = pref.read();
         let data = pbuf.data();
         if !page::is_initialized(data) {
@@ -175,6 +281,7 @@ impl<'a> Heap<'a> {
             // calling out (f may want to fetch other pages).
             let mut visible_rows = Vec::new();
             {
+                let _order = crate::lock::order::token(crate::lock::order::HEAP_PAGE);
                 let pbuf = pref.read();
                 let data = pbuf.data();
                 if !page::is_initialized(data) {
@@ -219,6 +326,7 @@ impl<'a> Heap<'a> {
         let nblocks = self.nblocks()?;
         for blkno in 0..nblocks {
             let pref = self.pool.get_page(self.smgr, self.dev, self.rel, blkno)?;
+            let _order = crate::lock::order::token(crate::lock::order::HEAP_PAGE);
             let pbuf = pref.read();
             let data = pbuf.data();
             if !page::is_initialized(data) {

@@ -54,7 +54,9 @@
 
 pub mod btree;
 pub mod buffer;
+pub(crate) mod bytes;
 pub mod catalog;
+pub mod check;
 pub mod datum;
 pub mod db;
 pub mod error;
@@ -72,6 +74,7 @@ pub mod xact;
 
 pub use buffer::{BufferPool, BufferStats, BERKELEY_BUFFERS, DEFAULT_BUFFERS};
 pub use catalog::{IndexInfo, RelKind, RelationEntry};
+pub use check::Finding;
 pub use datum::{decode_row, encode_row, Column, Datum, Row, Schema, TypeId};
 pub use db::{Db, DbConfig, Session};
 pub use error::{DbError, DbResult};

@@ -75,7 +75,9 @@ pub fn nslots(buf: &[u8]) -> u16 {
 pub fn free_space(buf: &[u8]) -> usize {
     let lower = get_u16(buf, OFF_LOWER) as usize;
     let upper = get_u16(buf, OFF_UPPER) as usize;
-    (upper - lower).saturating_sub(SLOT_SIZE)
+    // `saturating_sub` twice: a corrupt header with lower > upper reads as
+    // a full page, not an underflow panic.
+    upper.saturating_sub(lower).saturating_sub(SLOT_SIZE)
 }
 
 /// Whether an item of `len` bytes fits.
@@ -114,32 +116,38 @@ fn slot_entry(buf: &[u8], slot: u16) -> Option<(usize, usize, bool)> {
         return None;
     }
     let base = HEADER_SIZE + slot as usize * SLOT_SIZE;
+    // A scribbled slot count can point past the page; treat such slots as
+    // absent rather than indexing out of bounds.
+    if base + SLOT_SIZE > buf.len() {
+        return None;
+    }
     let off = get_u16(buf, base) as usize;
     let lf = get_u16(buf, base + 2);
     Some((off, (lf & LEN_MASK) as usize, lf & DEAD_BIT != 0))
 }
 
-/// Returns the item in `slot`, or `None` if the slot is out of range or dead.
+/// Returns the item in `slot`, or `None` if the slot is out of range, dead,
+/// or points outside the page (corruption).
 pub fn item(buf: &[u8], slot: u16) -> Option<&[u8]> {
     let (off, len, dead) = slot_entry(buf, slot)?;
     if dead {
         None
     } else {
-        Some(&buf[off..off + len])
+        buf.get(off..off.checked_add(len)?)
     }
 }
 
 /// Returns the item in `slot` even if marked dead (vacuum reads these).
 pub fn item_even_dead(buf: &[u8], slot: u16) -> Option<&[u8]> {
     let (off, len, _) = slot_entry(buf, slot)?;
-    Some(&buf[off..off + len])
+    buf.get(off..off.checked_add(len)?)
 }
 
 /// Mutable access to the item in `slot` (live or dead); used to stamp
 /// transaction ids into tuple headers in place.
 pub fn item_mut(buf: &mut [u8], slot: u16) -> Option<&mut [u8]> {
     let (off, len, _) = slot_entry(buf, slot)?;
-    Some(&mut buf[off..off + len])
+    buf.get_mut(off..off.checked_add(len)?)
 }
 
 /// Marks `slot` dead. The space is reclaimed by vacuum, not here.
@@ -158,21 +166,102 @@ pub fn is_dead(buf: &[u8], slot: u16) -> bool {
     matches!(slot_entry(buf, slot), Some((_, _, true)))
 }
 
-/// The page's special area (B-tree metadata lives here).
+/// The page's special area (B-tree metadata lives here). A corrupt special
+/// offset yields an empty slice, never a panic.
 pub fn special(buf: &[u8]) -> &[u8] {
-    let off = get_u16(buf, OFF_SPECIAL) as usize;
+    let off = (get_u16(buf, OFF_SPECIAL) as usize).min(buf.len());
     &buf[off..]
 }
 
 /// Mutable access to the special area.
 pub fn special_mut(buf: &mut [u8]) -> &mut [u8] {
-    let off = get_u16(buf, OFF_SPECIAL) as usize;
+    let off = (get_u16(buf, OFF_SPECIAL) as usize).min(buf.len());
     &mut buf[off..]
 }
 
 /// Iterates over live items as `(slot, item)` pairs.
 pub fn iter(buf: &[u8]) -> impl Iterator<Item = (u16, &[u8])> {
     (0..nslots(buf)).filter_map(move |s| item(buf, s).map(|i| (s, i)))
+}
+
+/// Structurally verifies one page, returning a human-readable description of
+/// every violated invariant (empty = clean). Checked invariants:
+///
+/// * the header magic and `HEADER <= lower <= upper <= special <= PAGE_SIZE`
+///   bounds,
+/// * `lower` agrees with the slot count,
+/// * every slot's item lies inside `[upper, special)`,
+/// * no two items overlap,
+/// * free-space accounting: item bytes exactly tile `[upper, special)`
+///   (items are allocated downward and never moved, so the tuple space has
+///   no holes — dead items keep their space until vacuum rewrites the
+///   relation).
+pub fn verify(buf: &[u8]) -> Vec<String> {
+    let mut findings = Vec::new();
+    if buf.len() != PAGE_SIZE {
+        findings.push(format!("page buffer is {} bytes, not {PAGE_SIZE}", buf.len()));
+        return findings;
+    }
+    if get_u16(buf, OFF_MAGIC) != MAGIC {
+        findings.push(format!(
+            "bad page magic {:#06x} (expected {MAGIC:#06x})",
+            get_u16(buf, OFF_MAGIC)
+        ));
+        return findings;
+    }
+    let n = nslots(buf) as usize;
+    let lower = get_u16(buf, OFF_LOWER) as usize;
+    let upper = get_u16(buf, OFF_UPPER) as usize;
+    let special = get_u16(buf, OFF_SPECIAL) as usize;
+    if !(HEADER_SIZE <= lower && lower <= upper && upper <= special && special <= PAGE_SIZE) {
+        findings.push(format!(
+            "header bounds violated: {HEADER_SIZE} <= lower {lower} <= upper {upper}              <= special {special} <= {PAGE_SIZE}"
+        ));
+        return findings;
+    }
+    if lower != HEADER_SIZE + n * SLOT_SIZE {
+        findings.push(format!(
+            "lower {lower} disagrees with slot count {n} (expected {})",
+            HEADER_SIZE + n * SLOT_SIZE
+        ));
+        return findings;
+    }
+    // Per-slot bounds, then overlap / accounting over all slots.
+    let mut extents: Vec<(usize, usize, u16)> = Vec::with_capacity(n);
+    for slot in 0..n as u16 {
+        let Some((off, len, _dead)) = slot_entry(buf, slot) else {
+            findings.push(format!("slot {slot} entry unreadable"));
+            continue;
+        };
+        if off < upper || off + len > special {
+            findings.push(format!(
+                "slot {slot} item [{off}, {}) outside tuple space [{upper}, {special})",
+                off + len
+            ));
+            continue;
+        }
+        extents.push((off, len, slot));
+    }
+    extents.sort_unstable();
+    for w in extents.windows(2) {
+        let ((a_off, a_len, a_slot), (b_off, _, b_slot)) = (w[0], w[1]);
+        if a_off + a_len > b_off {
+            findings.push(format!(
+                "slot {a_slot} item [{a_off}, {}) overlaps slot {b_slot} item at {b_off}",
+                a_off + a_len
+            ));
+        }
+    }
+    if findings.is_empty() {
+        let used: usize = extents.iter().map(|&(_, len, _)| len).sum();
+        if used != special - upper {
+            findings.push(format!(
+                "free-space accounting: {used} item bytes in a {} byte tuple space",
+                special - upper
+            ));
+        }
+    }
+    findings
 }
 
 #[cfg(test)]
@@ -285,5 +374,55 @@ mod tests {
     fn zeroed_buffer_is_not_initialized() {
         let buf = vec![0u8; PAGE_SIZE];
         assert!(!is_initialized(&buf));
+    }
+
+    #[test]
+    fn verify_accepts_clean_pages() {
+        let mut buf = new_page();
+        assert!(verify(&buf).is_empty());
+        insert(&mut buf, b"hello").unwrap();
+        insert(&mut buf, b"world").unwrap();
+        set_dead(&mut buf, 0).unwrap();
+        assert!(verify(&buf).is_empty(), "dead slots keep their space");
+    }
+
+    #[test]
+    fn verify_reports_bad_magic_and_bounds() {
+        let mut buf = new_page();
+        buf[OFF_MAGIC] ^= 0xFF;
+        assert!(verify(&buf)[0].contains("magic"));
+        let mut buf = new_page();
+        put_u16(&mut buf, OFF_LOWER, PAGE_SIZE as u16);
+        put_u16(&mut buf, OFF_UPPER, HEADER_SIZE as u16);
+        assert!(verify(&buf)[0].contains("bounds"));
+    }
+
+    #[test]
+    fn verify_reports_overlap_and_out_of_range_items() {
+        let mut buf = new_page();
+        insert(&mut buf, &[1u8; 32]).unwrap();
+        insert(&mut buf, &[2u8; 32]).unwrap();
+        // Point slot 1 at slot 0's bytes: overlap.
+        let s0_off = get_u16(&buf, HEADER_SIZE);
+        put_u16(&mut buf, HEADER_SIZE + SLOT_SIZE, s0_off);
+        assert!(verify(&buf).iter().any(|f| f.contains("overlap")));
+        // Point slot 1 past the end of the page: out of tuple space, and the
+        // safe accessors refuse it.
+        put_u16(&mut buf, HEADER_SIZE + SLOT_SIZE, (PAGE_SIZE - 4) as u16);
+        assert!(verify(&buf).iter().any(|f| f.contains("outside")));
+        assert!(item(&buf, 1).is_none());
+        assert!(item_even_dead(&buf, 1).is_none());
+    }
+
+    #[test]
+    fn corrupt_headers_do_not_panic_accessors() {
+        let mut buf = new_page();
+        insert(&mut buf, b"x").unwrap();
+        put_u16(&mut buf, OFF_NSLOTS, u16::MAX);
+        assert!(item(&buf, 4000).is_none());
+        put_u16(&mut buf, OFF_LOWER, u16::MAX);
+        let _ = free_space(&buf);
+        put_u16(&mut buf, OFF_SPECIAL, u16::MAX);
+        assert!(special(&buf).is_empty());
     }
 }

@@ -110,7 +110,9 @@ pub fn eval(session: &mut Session, binding: &Binding<'_>, e: &Expr) -> DbResult<
 fn binop(op: BinOp, l: Datum, r: Datum) -> DbResult<Datum> {
     use std::cmp::Ordering;
     match op {
-        BinOp::And | BinOp::Or => unreachable!("handled in eval"),
+        // `eval` short-circuits these before calling `binop`; reaching here
+        // means a caller bypassed it, which is a plain evaluation error.
+        BinOp::And | BinOp::Or => Err(DbError::Eval("and/or are not scalar operators".into())),
         BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
             // Comparisons against null are false (two-valued simplification).
             if l == Datum::Null || r == Datum::Null {
@@ -123,8 +125,8 @@ fn binop(op: BinOp, l: Datum, r: Datum) -> DbResult<Datum> {
                 BinOp::Lt => ord == Ordering::Less,
                 BinOp::Le => ord != Ordering::Greater,
                 BinOp::Gt => ord == Ordering::Greater,
-                BinOp::Ge => ord != Ordering::Less,
-                _ => unreachable!(),
+                // The outer arm admits only the six comparison operators.
+                _ => ord != Ordering::Less,
             }))
         }
         BinOp::In => match (&l, &r) {
@@ -147,13 +149,14 @@ fn binop(op: BinOp, l: Datum, r: Datum) -> DbResult<Datum> {
                     BinOp::Add => a + b,
                     BinOp::Sub => a - b,
                     BinOp::Mul => a * b,
-                    BinOp::Div => {
+                    // The outer arm admits only the four arithmetic
+                    // operators, so the remaining case is division.
+                    _ => {
                         if b == 0.0 {
                             return Err(DbError::Eval("division by zero".into()));
                         }
                         a / b
                     }
-                    _ => unreachable!(),
                 };
                 Ok(Datum::Float8(v))
             } else {
@@ -162,13 +165,13 @@ fn binop(op: BinOp, l: Datum, r: Datum) -> DbResult<Datum> {
                     BinOp::Add => a.wrapping_add(b),
                     BinOp::Sub => a.wrapping_sub(b),
                     BinOp::Mul => a.wrapping_mul(b),
-                    BinOp::Div => {
+                    _ => {
                         if b == 0 {
                             return Err(DbError::Eval("division by zero".into()));
                         }
-                        a / b
+                        // i64::MIN / -1 overflows; wrap like the other ops.
+                        a.wrapping_div(b)
                     }
-                    _ => unreachable!(),
                 };
                 Ok(Datum::Int8(v))
             }

@@ -217,6 +217,30 @@ impl Session {
                     ]],
                 ))
             }
+            "pg_check" => {
+                let findings = db.check_all();
+                Some((
+                    Schema::new([
+                        ("relation", TypeId::TEXT),
+                        ("page", TypeId::INT8),
+                        ("slot", TypeId::INT4),
+                        ("code", TypeId::TEXT),
+                        ("detail", TypeId::TEXT),
+                    ]),
+                    findings
+                        .into_iter()
+                        .map(|f| {
+                            vec![
+                                Datum::Text(f.relation),
+                                f.page.map_or(Datum::Null, |p| Datum::Int8(p as i64)),
+                                f.slot.map_or(Datum::Null, |s| Datum::Int4(s as i32)),
+                                Datum::Text(f.code),
+                                Datum::Text(f.detail),
+                            ]
+                        })
+                        .collect(),
+                ))
+            }
             "pg_stat_lock" => {
                 let l = &db.inner.stats.lock;
                 Some((
@@ -457,7 +481,9 @@ impl Session {
                                 };
                                 if is_aggregate(&t.expr) {
                                     let Expr::Call { args, .. } = &t.expr else {
-                                        unreachable!()
+                                        return Err(DbError::Eval(
+                                            "aggregate target is not a function call".into(),
+                                        ));
                                     };
                                     let v = match args.first() {
                                         Some(a) => eval(self, &binding, a)?,
@@ -490,7 +516,9 @@ impl Session {
                         } else if aggregated {
                             for (acc, t) in aggs.iter_mut().zip(&targets) {
                                 let Expr::Call { args, .. } = &t.expr else {
-                                    unreachable!()
+                                    return Err(DbError::Eval(
+                                        "aggregate target is not a function call".into(),
+                                    ));
                                 };
                                 let v = match args.first() {
                                     Some(a) => {

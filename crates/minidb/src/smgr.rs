@@ -94,6 +94,26 @@ struct RelMap {
     rels: HashMap<RelId, Vec<u64>>,
 }
 
+/// Bounds-checked little-endian cursor over a metadata byte string.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl Cursor<'_> {
+    fn u32(&mut self) -> DbResult<u32> {
+        let v = crate::bytes::le_u32(self.buf, self.pos)?;
+        self.pos += 4;
+        Ok(v)
+    }
+
+    fn u64(&mut self) -> DbResult<u64> {
+        let v = crate::bytes::le_u64(self.buf, self.pos)?;
+        self.pos += 8;
+        Ok(v)
+    }
+}
+
 impl RelMap {
     /// Block lists are stored run-length encoded: the bump allocator hands
     /// out mostly-contiguous runs, so a 25 MB relation costs a handful of
@@ -127,27 +147,24 @@ impl RelMap {
 
     fn decode(buf: &[u8]) -> DbResult<RelMap> {
         let corrupt = || DbError::Corrupt("truncated device metadata".into());
-        let mut pos = 0usize;
-        let mut take = |n: usize| -> DbResult<&[u8]> {
-            let s = buf.get(pos..pos + n).ok_or_else(corrupt)?;
-            pos += n;
-            Ok(s)
-        };
-        let magic = u32::from_le_bytes(take(4)?.try_into().unwrap());
+        // A tiny cursor over `buf`; every read is bounds-checked so a
+        // truncated or scribbled metadata region decodes to `Corrupt`.
+        let mut cur = Cursor { buf, pos: 0 };
+        let magic = cur.u32()?;
         if magic != META_MAGIC {
             return Err(DbError::Corrupt("bad device metadata magic".into()));
         }
-        let next_free = u64::from_le_bytes(take(8)?.try_into().unwrap());
-        let nrels = u32::from_le_bytes(take(4)?.try_into().unwrap());
+        let next_free = cur.u64()?;
+        let nrels = cur.u32()?;
         let mut rels = HashMap::new();
         for _ in 0..nrels {
-            let rel = Oid(u32::from_le_bytes(take(4)?.try_into().unwrap()));
-            let n = u64::from_le_bytes(take(8)?.try_into().unwrap()) as usize;
-            let nruns = u64::from_le_bytes(take(8)?.try_into().unwrap());
-            let mut blocks = Vec::with_capacity(n);
+            let rel = Oid(cur.u32()?);
+            let n = cur.u64()? as usize;
+            let nruns = cur.u64()?;
+            let mut blocks = Vec::with_capacity(n.min(1 << 20));
             for _ in 0..nruns {
-                let start = u64::from_le_bytes(take(8)?.try_into().unwrap());
-                let len = u64::from_le_bytes(take(8)?.try_into().unwrap());
+                let start = cur.u64()?;
+                let len = cur.u64()?;
                 for b in start..start.checked_add(len).ok_or_else(corrupt)? {
                     blocks.push(b);
                 }
@@ -165,6 +182,7 @@ impl RelMap {
 /// (used by device managers for block maps and by [`crate::db::Db`] for the
 /// catalog).
 pub fn write_meta(dev: &SharedDevice, first_block: u64, meta: &[u8]) -> DbResult<()> {
+    let _order = crate::lock::order::token(crate::lock::order::SMGR_DEVICE);
     let mut d = dev.lock();
     let bs = d.block_size();
     let capacity = (META_BLOCKS as usize - 1) * bs;
@@ -185,11 +203,12 @@ pub fn write_meta(dev: &SharedDevice, first_block: u64, meta: &[u8]) -> DbResult
 /// Reads back a metadata byte string written by [`write_meta`], or `None`
 /// if never written.
 pub fn read_meta(dev: &SharedDevice, first_block: u64) -> DbResult<Option<Vec<u8>>> {
+    let _order = crate::lock::order::token(crate::lock::order::SMGR_DEVICE);
     let mut d = dev.lock();
     let bs = d.block_size();
     let mut hdr = vec![0u8; bs];
     d.read_block(first_block, &mut hdr)?;
-    let len = u64::from_le_bytes(hdr[..8].try_into().unwrap()) as usize;
+    let len = crate::bytes::le_u64(&hdr, 0)? as usize;
     if len == 0 {
         return Ok(None);
     }
@@ -489,17 +508,12 @@ impl JukeboxManager {
         let map_len = map.encode().len();
         let corrupt = || DbError::Corrupt("truncated jukebox metadata".into());
         let rest = buf.get(map_len..).ok_or_else(corrupt)?;
-        if rest.len() < 16 {
-            return Err(corrupt());
-        }
-        let next_extent = u64::from_le_bytes(rest[..8].try_into().unwrap());
-        let n = u64::from_le_bytes(rest[8..16].try_into().unwrap()) as usize;
-        let mut burned = std::collections::HashSet::with_capacity(n);
-        let mut pos = 16;
+        let mut cur = Cursor { buf: rest, pos: 0 };
+        let next_extent = cur.u64()?;
+        let n = cur.u64()? as usize;
+        let mut burned = std::collections::HashSet::with_capacity(n.min(1 << 20));
         for _ in 0..n {
-            let b = rest.get(pos..pos + 8).ok_or_else(corrupt)?;
-            burned.insert(u64::from_le_bytes(b.try_into().unwrap()));
-            pos += 8;
+            burned.insert(cur.u64()?);
         }
         Ok((map, burned, next_extent))
     }
@@ -540,10 +554,9 @@ impl JukeboxManager {
             .lru
             .pop_front()
             .ok_or_else(|| DbError::Invalid("staging cache empty but no free slots".into()))?;
-        let (slot, state) = self
-            .cache
-            .remove(&victim)
-            .expect("lru entry must be cached");
+        let (slot, state) = self.cache.remove(&victim).ok_or_else(|| {
+            DbError::Corrupt("staging LRU entry missing from cache map".into())
+        })?;
         if state == StageState::Dirty {
             self.burn(victim, slot)?;
         }
@@ -614,7 +627,11 @@ impl DeviceManager for JukeboxManager {
         self.staging.lock().write_block(slot, page)?;
         self.cache.insert(phys, (slot, StageState::Dirty));
         self.touch_lru(phys);
-        let blocks = self.map.rels.get_mut(&rel).expect("checked above");
+        let blocks = self
+            .map
+            .rels
+            .get_mut(&rel)
+            .ok_or_else(|| DbError::NotFound(format!("relation {rel}")))?;
         blocks.push(phys);
         self.meta_dirty = true;
         Ok(blocks.len() as u64 - 1)
@@ -665,7 +682,11 @@ impl DeviceManager for JukeboxManager {
             // archiver is the intended writer here, so in practice this path
             // handles metadata-style rewrites).
             let new_phys = self.alloc_physical(rel)?;
-            let blocks = self.map.rels.get_mut(&rel).expect("checked above");
+            let blocks = self
+                .map
+                .rels
+                .get_mut(&rel)
+                .ok_or_else(|| DbError::NotFound(format!("relation {rel}")))?;
             blocks[blkno as usize] = new_phys;
             let slot = self.grab_staging_slot()?;
             self.staging.lock().write_block(slot, buf)?;
@@ -720,13 +741,35 @@ impl DeviceManager for JukeboxManager {
             .map(|(&phys, &(slot, _))| (phys, slot))
             .collect();
         for (phys, slot) in dirty {
-            // A remapped block may have a stale burned copy; burning again
-            // would violate write-once, so remap first.
-            if self.burned.contains(&phys) {
-                continue; // Already durable under a previous burn.
-            }
-            self.burn(phys, slot)?;
-            if let Some(e) = self.cache.get_mut(&phys) {
+            // A dirty staged copy of an already-burned block means the page
+            // was rewritten after its platter copy was burned. Burning the
+            // same spot again would violate write-once, so remap the
+            // logical block to fresh platter space and burn there.
+            let target = if self.burned.contains(&phys) {
+                let Some((rel, idx)) = self.map.rels.iter().find_map(|(&r, blocks)| {
+                    blocks.iter().position(|&p| p == phys).map(|i| (r, i))
+                }) else {
+                    continue; // Orphaned staged block (relation dropped).
+                };
+                let new_phys = self.alloc_physical(rel)?;
+                if let Some(blocks) = self.map.rels.get_mut(&rel) {
+                    blocks[idx] = new_phys;
+                }
+                self.meta_dirty = true;
+                if let Some(e) = self.cache.remove(&phys) {
+                    self.cache.insert(new_phys, e);
+                }
+                for p in &mut self.lru {
+                    if *p == phys {
+                        *p = new_phys;
+                    }
+                }
+                new_phys
+            } else {
+                phys
+            };
+            self.burn(target, slot)?;
+            if let Some(e) = self.cache.get_mut(&target) {
                 e.1 = StageState::Clean;
             }
         }
@@ -794,6 +837,7 @@ impl Smgr {
             .mgrs
             .get(&dev)
             .ok_or_else(|| DbError::NotFound(format!("{dev}")))?;
+        let _order = crate::lock::order::token(crate::lock::order::SMGR_DEVICE);
         let mut g = mgr.lock();
         f(g.as_mut())
     }

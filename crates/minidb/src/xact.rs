@@ -97,7 +97,7 @@ impl XactLog {
                 let status = blk[off];
                 match status {
                     ST_COMMITTED => {
-                        let t = u64::from_le_bytes(blk[off + 1..off + 9].try_into().unwrap());
+                        let t = crate::bytes::le_u64(&blk, off + 1)?;
                         while entries.len() <= xid {
                             entries.push(XactState::Unknown);
                         }
@@ -138,14 +138,45 @@ impl XactLog {
 
     /// Allocates a new transaction id, marked in-progress (volatile).
     pub fn start(&self) -> XactId {
+        let _order = crate::lock::order::token(crate::lock::order::XACT_LOG);
         let mut g = self.inner.lock();
         let xid = XactId(g.entries.len() as u32);
         g.entries.push(XactState::InProgress);
         xid
     }
 
+
+    /// Verifies the status log's own structural invariants.
+    ///
+    /// Entry 0 is the invalid xid and must be `Unknown`; entry 1 is
+    /// [`XactId::FROZEN`] and must be `Committed` (it stands in for every
+    /// pre-history transaction).
+    pub fn check(&self) -> Vec<crate::check::Finding> {
+        let mut out = Vec::new();
+        let _order = crate::lock::order::token(crate::lock::order::XACT_LOG);
+        let g = self.inner.lock();
+        match g.entries.first() {
+            Some(XactState::Unknown) | None => {}
+            Some(other) => out.push(crate::check::Finding::new(
+                "pg_log",
+                "xact-invalid-entry",
+                format!("entry 0 (invalid xid) is {other:?}, want Unknown"),
+            )),
+        }
+        match g.entries.get(XactId::FROZEN.0 as usize) {
+            Some(XactState::Committed(_)) => {}
+            other => out.push(crate::check::Finding::new(
+                "pg_log",
+                "xact-frozen-entry",
+                format!("frozen xid entry is {other:?}, want Committed"),
+            )),
+        }
+        out
+    }
+
     /// The current state of `xid`.
     pub fn state(&self, xid: XactId) -> XactState {
+        let _order = crate::lock::order::token(crate::lock::order::XACT_LOG);
         let g = self.inner.lock();
         g.entries
             .get(xid.0 as usize)
@@ -157,6 +188,7 @@ impl XactLog {
     /// the commit point; data pages must already be on stable storage.
     pub fn commit(&self, xid: XactId, now: SimInstant) -> DbResult<()> {
         {
+            let _order = crate::lock::order::token(crate::lock::order::XACT_LOG);
             let mut g = self.inner.lock();
             let slot = g
                 .entries
@@ -175,6 +207,7 @@ impl XactLog {
     /// After a crash such a transaction reads as `Unknown`, which is
     /// indistinguishable because it had no effects.
     pub fn commit_readonly(&self, xid: XactId, now: SimInstant) -> DbResult<()> {
+        let _order = crate::lock::order::token(crate::lock::order::XACT_LOG);
         let mut g = self.inner.lock();
         let slot = g
             .entries
@@ -190,6 +223,7 @@ impl XactLog {
     /// Marks `xid` aborted and persists the fact.
     pub fn abort(&self, xid: XactId) -> DbResult<()> {
         {
+            let _order = crate::lock::order::token(crate::lock::order::XACT_LOG);
             let mut g = self.inner.lock();
             let slot = g
                 .entries
@@ -205,6 +239,7 @@ impl XactLog {
 
     /// The set of transaction ids currently in progress.
     pub fn active_set(&self) -> HashSet<XactId> {
+        let _order = crate::lock::order::token(crate::lock::order::XACT_LOG);
         let g = self.inner.lock();
         g.entries
             .iter()
@@ -228,6 +263,7 @@ impl XactLog {
         let first = blkno * ENTRIES_PER_BLOCK;
         let mut blk = vec![0u8; simdev::BLOCK_SIZE];
         {
+            let _order = crate::lock::order::token(crate::lock::order::XACT_LOG);
             let g = self.inner.lock();
             for i in 0..ENTRIES_PER_BLOCK {
                 let x = first + i;
@@ -243,6 +279,7 @@ impl XactLog {
                 }
             }
         }
+        let _order = crate::lock::order::token(crate::lock::order::SMGR_DEVICE);
         let mut d = self.dev.lock();
         d.write_block(blkno as u64, &blk)?;
         d.sync()?;
@@ -277,8 +314,8 @@ impl TupleHeader {
             return Err(DbError::Corrupt("tuple shorter than header".into()));
         }
         Ok(TupleHeader {
-            xmin: XactId(u32::from_le_bytes(buf[..4].try_into().unwrap())),
-            xmax: XactId(u32::from_le_bytes(buf[4..8].try_into().unwrap())),
+            xmin: XactId(crate::bytes::le_u32(buf, 0)?),
+            xmax: XactId(crate::bytes::le_u32(buf, 4)?),
         })
     }
 }

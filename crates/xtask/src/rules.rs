@@ -1,0 +1,281 @@
+//! The lint rules. Each rule takes scrubbed, test-blanked source (see
+//! [`crate::scrub`]) and reports zero or more findings with 1-based line
+//! numbers. String matching is safe here precisely because comment and
+//! literal text has already been blanked out.
+
+use std::fmt;
+
+/// One rule violation at a source location.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Repo-relative path.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Stable rule name, e.g. `panic-budget`.
+    pub rule: &'static str,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.file, self.line, self.rule, self.msg)
+    }
+}
+
+fn line_of(text: &str, pos: usize) -> usize {
+    text.as_bytes()[..pos].iter().filter(|&&c| c == b'\n').count() + 1
+}
+
+fn is_ident(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+/// Finds every `needle` occurrence that is a whole identifier (not the tail
+/// or head of a longer one), yielding byte offsets.
+fn ident_matches<'a>(text: &'a str, needle: &'a str) -> impl Iterator<Item = usize> + 'a {
+    let b = text.as_bytes();
+    let n = needle.as_bytes();
+    text.match_indices(needle).filter_map(move |(p, _)| {
+        let before_ok = p == 0 || !is_ident(b[p - 1]);
+        let after = p + n.len();
+        let after_ok = after >= b.len() || !is_ident(b[after]);
+        (before_ok && after_ok).then_some(p)
+    })
+}
+
+/// Rule `panic-budget`: `.unwrap()`, `.expect(...)`, `panic!`, and
+/// `unreachable!` sites in non-test code. The caller compares the count
+/// against the checked-in per-file budget.
+pub fn panic_sites(file: &str, text: &str) -> Vec<Violation> {
+    let b = text.as_bytes();
+    let mut out = Vec::new();
+    for method in ["unwrap", "expect"] {
+        for p in ident_matches(text, method) {
+            let called = b.get(p + method.len()) == Some(&b'(');
+            let on_receiver = p > 0 && b[p - 1] == b'.';
+            if called && on_receiver {
+                out.push(Violation {
+                    file: file.into(),
+                    line: line_of(text, p),
+                    rule: "panic-budget",
+                    msg: format!(".{method}() in core code"),
+                });
+            }
+        }
+    }
+    for mac in ["panic", "unreachable"] {
+        for p in ident_matches(text, mac) {
+            if b.get(p + mac.len()) == Some(&b'!') {
+                out.push(Violation {
+                    file: file.into(),
+                    line: line_of(text, p),
+                    rule: "panic-budget",
+                    msg: format!("{mac}! in core code"),
+                });
+            }
+        }
+    }
+    out.sort_by_key(|v| v.line);
+    out
+}
+
+/// Rule `relaxed-ordering`: `Relaxed` atomics are allowed only inside
+/// `stats` modules, where counters are monotonic and approximate reads are
+/// fine. Everywhere else they hide real synchronization bugs.
+pub fn relaxed_sites(file: &str, text: &str) -> Vec<Violation> {
+    if file.rsplit('/').next() == Some("stats.rs") || file.contains("/stats/") {
+        return Vec::new();
+    }
+    ident_matches(text, "Relaxed")
+        .map(|p| Violation {
+            file: file.into(),
+            line: line_of(text, p),
+            rule: "relaxed-ordering",
+            msg: "Ordering::Relaxed outside a stats module".into(),
+        })
+        .collect()
+}
+
+/// Rule `let-underscore`: `let _ = ...` silently discards a value — in core
+/// paths that is almost always a dropped `Result`. Use `.ok()` (documented
+/// intent) or handle the error.
+pub fn let_underscore_sites(file: &str, text: &str) -> Vec<Violation> {
+    let b = text.as_bytes();
+    let mut out = Vec::new();
+    for p in ident_matches(text, "let") {
+        let mut j = p + 3;
+        while b.get(j).is_some_and(|c| c.is_ascii_whitespace()) {
+            j += 1;
+        }
+        if b.get(j) != Some(&b'_') || b.get(j + 1).is_some_and(|&c| is_ident(c)) {
+            continue;
+        }
+        j += 1;
+        while b.get(j).is_some_and(|c| c.is_ascii_whitespace()) {
+            j += 1;
+        }
+        if b.get(j) == Some(&b'=') && b.get(j + 1) != Some(&b'=') {
+            out.push(Violation {
+                file: file.into(),
+                line: line_of(text, p),
+                rule: "let-underscore",
+                msg: "`let _ =` discards a value (use .ok() or handle it)".into(),
+            });
+        }
+    }
+    out
+}
+
+/// Rule `lock-order`: audits the declared lock-acquisition markers
+/// (`lock::order::token(LEVEL)`) against the hierarchy exported by
+/// `minidb::lock::order`. Tokens are live until their enclosing brace
+/// closes; acquiring a level below a live one is a violation (equal levels
+/// — sibling latches — are allowed). A site can be waived with a
+/// `lock-order: exempt` comment on the same or the preceding line.
+pub fn lock_order_sites(file: &str, text: &str, exempt_lines: &[usize]) -> Vec<Violation> {
+    const NEEDLE: &str = "lock::order::token(";
+    let b = text.as_bytes();
+    let mut out = Vec::new();
+    // Byte offset -> declared level, for every marker in the file.
+    let mut sites = Vec::new();
+    for (p, _) in text.match_indices(NEEDLE) {
+        let arg_start = p + NEEDLE.len();
+        let Some(rel_end) = b[arg_start..].iter().position(|&c| c == b')') else {
+            continue;
+        };
+        let arg = text[arg_start..arg_start + rel_end].trim();
+        let seg = arg.rsplit("::").next().unwrap_or(arg);
+        match level_by_const(seg) {
+            Some(level) => sites.push((p, level)),
+            None => out.push(Violation {
+                file: file.into(),
+                line: line_of(text, p),
+                rule: "lock-order",
+                msg: format!("unknown lock level `{seg}`"),
+            }),
+        }
+    }
+    // Sweep the file once, tracking brace depth and the live token stack.
+    let mut next = 0;
+    let mut depth: usize = 0;
+    let mut live: Vec<(usize, usize)> = Vec::new(); // (depth, level)
+    for (i, &c) in b.iter().enumerate() {
+        match c {
+            b'{' => depth += 1,
+            b'}' => {
+                depth = depth.saturating_sub(1);
+                live.retain(|&(d, _)| d <= depth);
+            }
+            _ => {}
+        }
+        if next < sites.len() && sites[next].0 == i {
+            let (_, level) = sites[next];
+            next += 1;
+            let line = line_of(text, i);
+            let exempt = exempt_lines.contains(&line)
+                || (line > 1 && exempt_lines.contains(&(line - 1)));
+            if let Some(&(_, held)) = live.iter().max_by_key(|&&(_, l)| l) {
+                if level < held && !exempt {
+                    out.push(Violation {
+                        file: file.into(),
+                        line,
+                        rule: "lock-order",
+                        msg: format!(
+                            "acquires `{}` (rank {level}) while `{}` (rank {held}) is held",
+                            minidb::lock::order::HIERARCHY[level],
+                            minidb::lock::order::HIERARCHY[held],
+                        ),
+                    });
+                }
+            }
+            live.push((depth, level));
+        }
+    }
+    out.sort_by_key(|v| v.line);
+    out
+}
+
+/// Maps a const name (`HEAP_PAGE`) to its rank in the shared hierarchy.
+fn level_by_const(name: &str) -> Option<usize> {
+    minidb::lock::order::HIERARCHY
+        .iter()
+        .position(|h| h.to_uppercase().replace('-', "_") == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scrub::{blank_tests, scrub};
+
+    fn clean(src: &str) -> String {
+        blank_tests(&scrub(src))
+    }
+
+    #[test]
+    fn counts_unwrap_but_not_unwrap_or() {
+        let src = "fn f() { a.unwrap(); b.unwrap_or(0); c.unwrap_or_else(|| 0); }";
+        let v = panic_sites("x.rs", &clean(src));
+        assert_eq!(v.len(), 1, "{v:?}");
+    }
+
+    #[test]
+    fn counts_expect_but_not_expect_err() {
+        let src = "fn f() { a.expect(msg); b.expect_err(msg); }";
+        assert_eq!(panic_sites("x.rs", &clean(src)).len(), 1);
+    }
+
+    #[test]
+    fn counts_macros_not_prose() {
+        let src = "fn f() { panic!(); unreachable!() } // panic! in a comment\n";
+        assert_eq!(panic_sites("x.rs", &clean(src)).len(), 2);
+    }
+
+    #[test]
+    fn test_code_is_free() {
+        let src = "#[cfg(test)]\nmod t { fn f() { a.unwrap(); panic!(); } }\n";
+        assert!(panic_sites("x.rs", &clean(src)).is_empty());
+    }
+
+    #[test]
+    fn relaxed_allowed_only_in_stats() {
+        let src = "fn f() { c.load(Ordering::Relaxed); }";
+        assert_eq!(relaxed_sites("crates/minidb/src/page.rs", &clean(src)).len(), 1);
+        assert!(relaxed_sites("crates/minidb/src/stats.rs", &clean(src)).is_empty());
+    }
+
+    #[test]
+    fn let_underscore_flagged_but_named_discards_ok() {
+        let src = "fn f() { let _ = g(); let _keep = g(); let x = g(); }";
+        let v = let_underscore_sites("x.rs", &clean(src));
+        assert_eq!(v.len(), 1, "{v:?}");
+    }
+
+    #[test]
+    fn lock_order_allows_increasing_and_flags_decreasing() {
+        let good = "fn f() { let _o = lock::order::token(lock::order::HEAP_PAGE); { let _p = lock::order::token(lock::order::BUFFER_POOL); } }";
+        assert!(lock_order_sites("x.rs", &clean(good), &[]).is_empty());
+        let bad = "fn f() { let _o = lock::order::token(lock::order::BUFFER_POOL); let _p = lock::order::token(lock::order::HEAP_PAGE); }";
+        assert_eq!(lock_order_sites("x.rs", &clean(bad), &[]).len(), 1);
+    }
+
+    #[test]
+    fn lock_order_scope_exit_releases() {
+        let src = "fn f() { { let _o = lock::order::token(lock::order::BUFFER_POOL); } let _p = lock::order::token(lock::order::HEAP_PAGE); }";
+        assert!(lock_order_sites("x.rs", &clean(src), &[]).is_empty());
+    }
+
+    #[test]
+    fn lock_order_exempt_marker() {
+        let src = "fn f() { let _o = lock::order::token(lock::order::BUFFER_POOL);\n// lock-order: exempt (test)\nlet _p = lock::order::token(lock::order::HEAP_PAGE); }";
+        // Marker lines are collected from the raw source by the caller.
+        assert!(lock_order_sites("x.rs", &clean(src), &[2]).is_empty());
+    }
+
+    #[test]
+    fn sibling_same_level_allowed() {
+        let src = "fn f() { let _o = lock::order::token(lock::order::BTREE_PAGE); let _p = lock::order::token(lock::order::BTREE_PAGE); }";
+        assert!(lock_order_sites("x.rs", &clean(src), &[]).is_empty());
+    }
+}

@@ -1,8 +1,21 @@
 #!/usr/bin/env bash
-# Tier-1 gate: release build, full test suite, and a statistics smoke test.
+# Tier-1 gate: static analysis, release build, full test suite, structural
+# verification, and a statistics smoke test.
 # Usage: scripts/ci.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+echo "== lint (xtask static analysis) =="
+cargo run -q -p xtask -- lint
+
+# Clippy is a bonus gate: run it when the component is installed (the
+# offline build image may not ship it).
+if cargo clippy --version >/dev/null 2>&1; then
+    echo "== clippy =="
+    cargo clippy --workspace --quiet -- -D warnings
+else
+    echo "== clippy: not installed, skipping =="
+fi
 
 echo "== build (release) =="
 cargo build --release
@@ -12,6 +25,9 @@ cargo test -q
 
 echo "== workspace tests =="
 cargo test --workspace -q
+
+echo "== smoke: pg_check clean after crash recovery =="
+cargo run --release -q --example pg_check_smoke
 
 echo "== smoke: fig3_create --json =="
 cargo run --release -q -p bench --bin fig3_create -- --json
