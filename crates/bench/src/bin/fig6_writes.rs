@@ -2,12 +2,34 @@
 //! these tests, the effect of the PRESTOserve board used by NFS is
 //! dramatic. ... the NFS measurements show no degradation due to random
 //! accesses, since the whole 1MByte write fits in the PRESTOserve cache."
+//!
+//! With `--threads N`, measures N concurrent clients doing page-sized
+//! writes to disjoint stripes of a cache-resident working set instead.
 
 use bench::report::{self, print_comparison, print_header, Comparison};
+use bench::scaling::{self, ScalingWorkload};
 use bench::testbed::{InversionTestbed, NfsTestbed};
 use bench::workload::{measure_create, measure_write_ops, InversionRemote, UltrixNfs, MB};
 
+fn thread_scaling(threads: usize) {
+    print_header("Figure 6 --threads: multi-client page writes, cache-resident");
+    let (base, multi) = scaling::measure_speedup(ScalingWorkload::Write, threads);
+    scaling::print_speedup(&base, &multi);
+    if report::wants_json() {
+        let doc = report::bench_json(
+            "fig6_writes",
+            &["Inversion"],
+            &[],
+            &[("thread_scaling", scaling::scaling_json(&base, &multi))],
+        );
+        report::write_bench_json("fig6_writes", &doc).expect("write BENCH json");
+    }
+}
+
 fn main() {
+    if let Some(threads) = report::threads_arg() {
+        return thread_scaling(threads);
+    }
     print_header("Figure 6: write throughput (1 MB into a 25 MB file)");
     eprintln!("preparing Inversion ...");
     let mut remote = InversionRemote::new(InversionTestbed::paper());

@@ -21,9 +21,11 @@
 //! wall-clock of 1993 hardware; see `EXPERIMENTS.md`.
 
 pub mod report;
+pub mod scaling;
 pub mod testbed;
 pub mod workload;
 
 pub use report::{print_comparison, print_header, Comparison};
+pub use scaling::{measure_scaling, measure_speedup, ScalingRun, ScalingWorkload};
 pub use testbed::{InversionTestbed, NfsTestbed};
 pub use workload::{run_suite, BenchFs, SuiteResult, MB};

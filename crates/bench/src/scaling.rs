@@ -1,0 +1,280 @@
+//! Multi-client buffer-cache scaling — the `--threads` bench knob.
+//!
+//! The fig4/fig5/fig6 binaries accept `--threads N` and switch from the
+//! paper-comparison workload to a closed-loop measurement of N concurrent
+//! clients hammering a **cache-resident** working set through the real
+//! sharded [`BufferPool`]. Like every harness in this crate, the result is
+//! reported in *virtual* time so it is deterministic and host-independent
+//! (the driver below is single-threaded; real-thread races are covered by
+//! `tests/buffer_stress.rs`, which this measurement deliberately is not).
+//!
+//! The model: each client owns a private virtual clock and each pool shard a
+//! virtual latch-occupancy horizon. Every access really goes through
+//! [`BufferPool::get_page`] (pins, clock sweep, counters — all live), and is
+//! charged
+//!
+//! * a **latch hold** while the block's shard latch is taken (hash probe +
+//!   pin bump). Two clients whose holds land on the *same* shard — resolved
+//!   with the pool's real [`BufferPool::shard_of`] mapping — serialize: the
+//!   later one waits for the earlier one's horizon.
+//! * **client CPU** for the call crossing and copying bytes out of the
+//!   frame (DECsystem 5900-class costs, matching [`simdev::CpuModel`]).
+//!   This part overlaps freely across clients.
+//!
+//! Aggregate throughput is total operations over the *slowest client's*
+//! virtual clock. A single global latch held across the whole access — the
+//! pre-sharding design, which also performed device I/O under it — would
+//! serialize everything and pin the speedup at ~1×; per-shard latches held
+//! only for the probe let N clients scale until shard collisions bite.
+
+use minidb::buffer::BufferPool;
+use minidb::page::PAGE_SIZE;
+use minidb::smgr::{shared_device, GenericManager, Smgr};
+use minidb::{DeviceId, Oid, RelId};
+use simdev::{DiskProfile, MagneticDisk, SimClock};
+
+/// Pages in the working set; comfortably under the 300-frame Berkeley pool
+/// so the measured loop never misses.
+const WORKING_SET: u64 = 128;
+/// Operations each client performs in the measured loop.
+const OPS_PER_CLIENT: u64 = 4096;
+/// Virtual nanoseconds the shard latch is held per access (hash probe, pin
+/// bump, ref-bit set).
+const LATCH_HOLD_NS: u64 = 3_000;
+/// Fixed per-call crossing cost (client library entry), as in
+/// `CpuModel::decsystem5900`.
+const PER_CALL_NS: u64 = 30_000;
+/// Per-byte cost of copying data out of (or into) the frame, ~40 MB/s.
+const PER_BYTE_COPY_NS: u64 = 25;
+
+/// Access pattern for the measured loop, one per fig binary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScalingWorkload {
+    /// fig4: random single-byte reads — latch cost dominates.
+    RandomByte,
+    /// fig5: page-sized sequential reads, each client at its own offset.
+    SequentialRead,
+    /// fig6: page-sized writes, each client to its own stripe of blocks.
+    Write,
+}
+
+impl ScalingWorkload {
+    /// The workload's name as it appears in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            ScalingWorkload::RandomByte => "random_byte_read",
+            ScalingWorkload::SequentialRead => "sequential_page_read",
+            ScalingWorkload::Write => "page_write",
+        }
+    }
+
+    /// Bytes moved per operation (for MB/s reporting).
+    fn bytes_per_op(self) -> u64 {
+        match self {
+            ScalingWorkload::RandomByte => 1,
+            _ => PAGE_SIZE as u64,
+        }
+    }
+}
+
+/// One measured configuration.
+#[derive(Debug, Clone)]
+pub struct ScalingRun {
+    pub workload: &'static str,
+    pub threads: usize,
+    pub shards: usize,
+    pub working_set_pages: u64,
+    pub total_ops: u64,
+    /// Slowest client's virtual elapsed time — the run's critical path.
+    pub virtual_secs: f64,
+    pub ops_per_sec: f64,
+    pub mb_per_sec: f64,
+    /// Buffer-cache hits during the measured loop.
+    pub hits: u64,
+    /// Misses during the measured loop; 0 proves the set was cache-resident.
+    pub misses: u64,
+}
+
+/// Runs `workload` with `threads` concurrent clients against a freshly
+/// warmed pool and returns the aggregate throughput.
+pub fn measure_scaling(workload: ScalingWorkload, threads: usize) -> ScalingRun {
+    let threads = threads.max(1);
+    let clock = SimClock::new();
+    let dev = shared_device(MagneticDisk::new("rz58", clock, DiskProfile::rz58()));
+    let mut smgr = Smgr::new();
+    smgr.register(DeviceId::DEFAULT, Box::new(GenericManager::format(dev).unwrap()))
+        .unwrap();
+    let rel: RelId = Oid(100);
+    smgr.with(DeviceId::DEFAULT, |m| m.create_rel(rel)).unwrap();
+    let page = vec![0xabu8; PAGE_SIZE];
+    for _ in 0..WORKING_SET {
+        smgr.with(DeviceId::DEFAULT, |m| m.extend(rel, &page).map(|_| ()))
+            .unwrap();
+    }
+
+    let pool = BufferPool::new(minidb::BERKELEY_BUFFERS);
+    for blk in 0..WORKING_SET {
+        drop(pool.get_page(&smgr, DeviceId::DEFAULT, rel, blk).unwrap());
+    }
+    let warm = pool.stats();
+
+    // Per-client virtual clocks and per-shard latch horizons, in nanos.
+    let mut t = vec![0u64; threads];
+    let mut latch_free_at = vec![0u64; pool.shard_count()];
+    let mut rng: Vec<u64> = (0..threads as u64)
+        .map(|c| 0x9e37_79b9_97f4_a7c1u64.wrapping_mul(c + 1) | 1)
+        .collect();
+    let cpu_ns = PER_CALL_NS + PER_BYTE_COPY_NS * workload.bytes_per_op();
+
+    for op in 0..OPS_PER_CLIENT {
+        for c in 0..threads {
+            let blk = match workload {
+                ScalingWorkload::RandomByte => {
+                    rng[c] ^= rng[c] << 13;
+                    rng[c] ^= rng[c] >> 7;
+                    rng[c] ^= rng[c] << 17;
+                    rng[c] % WORKING_SET
+                }
+                // Each client scans from its own offset so clients touch
+                // different blocks at any given instant, as real scans do.
+                ScalingWorkload::SequentialRead => {
+                    (op + c as u64 * (WORKING_SET / threads as u64)) % WORKING_SET
+                }
+                // Disjoint stripes: parallel writers on distinct files don't
+                // share pages, only (possibly) shard latches.
+                ScalingWorkload::Write => {
+                    let stripe = WORKING_SET / threads as u64;
+                    c as u64 * stripe + op % stripe.max(1)
+                }
+            };
+            let pin = pool
+                .get_page(&smgr, DeviceId::DEFAULT, rel, blk)
+                .expect("resident working set");
+            match workload {
+                ScalingWorkload::Write => {
+                    pin.write().data_mut()[0] = op as u8;
+                }
+                _ => {
+                    std::hint::black_box(pin.read().data()[0]);
+                }
+            }
+            let shard = pool.shard_of(rel, blk);
+            let acquire = t[c].max(latch_free_at[shard]);
+            latch_free_at[shard] = acquire + LATCH_HOLD_NS;
+            t[c] = acquire + LATCH_HOLD_NS + cpu_ns;
+        }
+    }
+
+    if workload == ScalingWorkload::Write {
+        pool.flush_all(&smgr).unwrap(); // Durability; outside the timed loop.
+    }
+    let s = pool.stats();
+    let elapsed_ns = t.into_iter().max().unwrap_or(1).max(1);
+    let secs = elapsed_ns as f64 / 1e9;
+    let total_ops = OPS_PER_CLIENT * threads as u64;
+    ScalingRun {
+        workload: workload.name(),
+        threads,
+        shards: pool.shard_count(),
+        working_set_pages: WORKING_SET,
+        total_ops,
+        virtual_secs: secs,
+        ops_per_sec: total_ops as f64 / secs,
+        mb_per_sec: (total_ops * workload.bytes_per_op()) as f64 / (1 << 20) as f64 / secs,
+        hits: s.hits - warm.hits,
+        misses: s.misses - warm.misses,
+    }
+}
+
+/// Measures the single-client baseline and the `threads`-client run.
+pub fn measure_speedup(workload: ScalingWorkload, threads: usize) -> (ScalingRun, ScalingRun) {
+    (measure_scaling(workload, 1), measure_scaling(workload, threads))
+}
+
+/// Prints the pair as a small table and returns the speedup factor.
+pub fn print_speedup(base: &ScalingRun, multi: &ScalingRun) -> f64 {
+    println!(
+        "{:<10} {:>8} {:>16} {:>14} {:>12} {:>8} {:>8}",
+        "clients", "shards", "aggregate ops/s", "MB/s", "virtual s", "hits", "misses"
+    );
+    println!("{}", "-".repeat(82));
+    for run in [base, multi] {
+        println!(
+            "{:<10} {:>8} {:>16.0} {:>14.2} {:>12.4} {:>8} {:>8}",
+            run.threads, run.shards, run.ops_per_sec, run.mb_per_sec, run.virtual_secs,
+            run.hits, run.misses
+        );
+    }
+    let speedup = multi.ops_per_sec / base.ops_per_sec;
+    println!();
+    println!(
+        "aggregate throughput with {} clients: {speedup:.2}x the single client \
+         (working set {} pages, cache-resident: {} misses in the measured loop)",
+        multi.threads, multi.working_set_pages, base.misses + multi.misses
+    );
+    speedup
+}
+
+/// Renders the pair as the `thread_scaling` JSON section of a BENCH report.
+pub fn scaling_json(base: &ScalingRun, multi: &ScalingRun) -> String {
+    let speedup = multi.ops_per_sec / base.ops_per_sec;
+    format!(
+        "{{\"workload\": \"{}\", \"threads\": {}, \"baseline_threads\": {}, \
+         \"shards\": {}, \"working_set_pages\": {}, \"ops\": {}, \
+         \"baseline_ops_per_sec\": {:.1}, \"ops_per_sec\": {:.1}, \
+         \"baseline_mb_per_sec\": {:.3}, \"mb_per_sec\": {:.3}, \
+         \"speedup\": {:.3}, \"speedup_at_least_2x\": {}, \
+         \"hits\": {}, \"misses\": {}, \"unit\": \"virtual_time\"}}",
+        multi.workload,
+        multi.threads,
+        base.threads,
+        multi.shards,
+        multi.working_set_pages,
+        multi.total_ops,
+        base.ops_per_sec,
+        multi.ops_per_sec,
+        base.mb_per_sec,
+        multi.mb_per_sec,
+        speedup,
+        speedup >= 2.0,
+        multi.hits,
+        multi.misses,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_clients_scale_on_the_sharded_pool() {
+        let (base, multi) = measure_speedup(ScalingWorkload::SequentialRead, 4);
+        assert_eq!(base.misses, 0, "working set must be cache-resident");
+        assert_eq!(multi.misses, 0, "working set must be cache-resident");
+        assert_eq!(base.hits, OPS_PER_CLIENT);
+        assert_eq!(multi.hits, 4 * OPS_PER_CLIENT);
+        let speedup = multi.ops_per_sec / base.ops_per_sec;
+        assert!(
+            speedup >= 2.0,
+            "4 clients must at least double aggregate throughput, got {speedup:.2}x"
+        );
+    }
+
+    #[test]
+    fn random_byte_and_write_workloads_stay_resident() {
+        for w in [ScalingWorkload::RandomByte, ScalingWorkload::Write] {
+            let run = measure_scaling(w, 4);
+            assert_eq!(run.misses, 0, "{}: resident set", run.workload);
+            assert_eq!(run.total_ops, 4 * OPS_PER_CLIENT);
+        }
+    }
+
+    #[test]
+    fn scaling_json_is_well_formed() {
+        let (base, multi) = measure_speedup(ScalingWorkload::RandomByte, 2);
+        let json = scaling_json(&base, &multi);
+        assert!(json.contains("\"workload\": \"random_byte_read\""));
+        assert!(json.contains("\"speedup\": "));
+        assert!(json.starts_with('{') && json.ends_with('}'));
+    }
+}

@@ -823,6 +823,11 @@ pub(crate) fn read_file_bytes(
 ) -> InvResult<Vec<u8>> {
     let size = stat.size as usize;
     let mut out = vec![0u8; size];
+    // A whole-file read walks the chunk relation front to back; tell the
+    // buffer cache so later chunks are already resident when we get there.
+    if size > chunk::CHUNK_SIZE {
+        fs.db().prefetch_relation(stat.datarel, 0, usize::MAX);
+    }
     for (chunkno, start, take) in chunk::split_range(0, size) {
         if let Some(content) = fetch_chunk(fs, s, stat, chunkno, snap)? {
             let off = chunk::chunk_start(chunkno) as usize;

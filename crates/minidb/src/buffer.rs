@@ -6,14 +6,34 @@
 //! locally uses 300. Data pages are kicked out of this cache in LRU order,
 //! regardless of the device from which they came. Dirty pages are written to
 //! backing store before being deleted from the cache."
+//!
+//! This implementation shards the cache by `hash(rel, blkno)` so concurrent
+//! scans contend on different latches, replaces strict LRU with a per-shard
+//! clock sweep (second chance), and keeps **all device I/O outside the
+//! shard latches**:
+//!
+//! * a miss inserts a "loading" frame and reads the device with only that
+//!   frame's lock held, so concurrent requesters of the same block wait on
+//!   the frame, not the shard;
+//! * a dirty eviction victim is written back after the shard latch is
+//!   dropped, while the frame stays mapped and pinned so concurrent lookups
+//!   keep hitting the cached (newest) bytes; it is unmapped only once the
+//!   writeback succeeded and nobody re-pinned or re-dirtied it.
+//!
+//! Pages are pinned by explicit counts carried by the [`PinnedPage`] guard;
+//! a frame with `pins > 0` is never evicted. Sequential misses trigger
+//! read-ahead of the next few blocks of the relation (see
+//! [`BufferPool::set_prefetch_window`]).
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use parking_lot::{Mutex, RwLock};
+use parking_lot::{Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use crate::error::{DbError, DbResult};
 use crate::ids::{DeviceId, RelId};
+use crate::lock::order;
 use crate::page::PAGE_SIZE;
 use crate::smgr::Smgr;
 
@@ -21,6 +41,10 @@ use crate::smgr::Smgr;
 pub const DEFAULT_BUFFERS: usize = 64;
 /// The number of buffers the Berkeley installation used.
 pub const BERKELEY_BUFFERS: usize = 300;
+/// Default read-ahead window: blocks prefetched past a sequential run.
+pub const DEFAULT_PREFETCH_WINDOW: usize = 8;
+/// Sequential accesses (last blkno + 1) required before read-ahead starts.
+const RUN_THRESHOLD: u32 = 3;
 
 /// A cached page and its identity.
 pub struct PageBuf {
@@ -59,9 +83,99 @@ impl PageBuf {
     }
 }
 
-/// A pinned reference to a cached page. The page cannot be evicted while any
-/// `PageRef` other than the cache's own is alive.
-pub type PageRef = Arc<RwLock<PageBuf>>;
+/// Frame load states (`Frame::state`).
+const LOADING: u8 = 0;
+const READY: u8 = 1;
+const FAILED: u8 = 2;
+
+/// One buffer frame: a page slot plus the replacement metadata the clock
+/// sweep consults without locking the page itself.
+struct Frame {
+    /// Explicit pin count. Non-zero means the frame may not be evicted.
+    /// Every holder of the page lock (`buf`) holds a pin, so `pins == 0`
+    /// observed under the shard latch implies the page lock is free.
+    pins: AtomicU32,
+    /// Second-chance bit: set on every hit, cleared by the sweep.
+    refbit: AtomicBool,
+    /// Set when the frame was loaded by read-ahead and not yet demanded.
+    from_prefetch: AtomicBool,
+    /// I/O-in-progress state: `LOADING` until the filling read completes.
+    /// The loader holds `buf`'s write lock for the whole load, so waiters
+    /// block on the frame — never on the shard latch.
+    state: AtomicU8,
+    buf: RwLock<PageBuf>,
+}
+
+impl Frame {
+    fn new(dev: DeviceId, rel: RelId, blkno: u64, state: u8, dirty: bool) -> Frame {
+        Frame {
+            pins: AtomicU32::new(1), // Born pinned by its creator.
+            refbit: AtomicBool::new(false),
+            from_prefetch: AtomicBool::new(false),
+            state: AtomicU8::new(state),
+            buf: RwLock::new(PageBuf {
+                data: vec![0u8; PAGE_SIZE].into_boxed_slice(),
+                dirty,
+                dev,
+                rel,
+                blkno,
+            }),
+        }
+    }
+
+    fn state(&self) -> u8 {
+        self.state.load(Ordering::SeqCst)
+    }
+
+    fn set_state(&self, s: u8) {
+        self.state.store(s, Ordering::SeqCst);
+    }
+
+    fn unpin(&self) {
+        self.pins.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// A pinned reference to a cached page. The page cannot be evicted while
+/// any `PinnedPage` for it is alive; dropping the guard releases the pin.
+pub struct PinnedPage {
+    frame: Arc<Frame>,
+}
+
+impl PinnedPage {
+    /// Latches the page for reading. Callers declare their own
+    /// `lock::order` rank (`HEAP_PAGE` / `BTREE_PAGE`) for this latch.
+    pub fn read(&self) -> RwLockReadGuard<'_, PageBuf> {
+        self.frame.buf.read()
+    }
+
+    /// Latches the page for writing.
+    pub fn write(&self) -> RwLockWriteGuard<'_, PageBuf> {
+        self.frame.buf.write()
+    }
+
+    /// Whether two pins reference the same buffer frame.
+    pub fn same_frame(a: &PinnedPage, b: &PinnedPage) -> bool {
+        Arc::ptr_eq(&a.frame, &b.frame)
+    }
+}
+
+impl Clone for PinnedPage {
+    fn clone(&self) -> PinnedPage {
+        // 1 -> 2, never 0 -> 1: a frame seen unpinned under the shard
+        // latch cannot be resurrected by a clone.
+        self.frame.pins.fetch_add(1, Ordering::SeqCst);
+        PinnedPage {
+            frame: Arc::clone(&self.frame),
+        }
+    }
+}
+
+impl Drop for PinnedPage {
+    fn drop(&mut self) {
+        self.frame.unpin();
+    }
+}
 
 /// Cache effectiveness counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -74,30 +188,92 @@ pub struct BufferStats {
     pub evictions: u64,
     /// Dirty pages written back (at eviction or flush).
     pub writebacks: u64,
+    /// Blocks loaded by sequential read-ahead.
+    pub prefetches: u64,
+    /// Hits on pages that were resident only because of read-ahead.
+    pub prefetch_hits: u64,
 }
 
-struct PoolInner {
-    map: HashMap<(RelId, u64), PageRef>,
-    lru: VecDeque<(RelId, u64)>,
+impl BufferStats {
+    fn add(&mut self, o: &BufferStats) {
+        self.hits += o.hits;
+        self.misses += o.misses;
+        self.evictions += o.evictions;
+        self.writebacks += o.writebacks;
+        self.prefetches += o.prefetches;
+        self.prefetch_hits += o.prefetch_hits;
+    }
+}
+
+/// One shard: a map from `(rel, blkno)` to frames plus the clock ring.
+/// Invariant (audited by [`BufferPool::check_consistency`]): `ring` lists
+/// exactly the keys of `map`, each once.
+struct ShardInner {
+    map: HashMap<(RelId, u64), Arc<Frame>>,
+    ring: Vec<(RelId, u64)>,
+    hand: usize,
     stats: BufferStats,
 }
 
-/// The shared LRU buffer cache.
+impl ShardInner {
+    fn new() -> ShardInner {
+        ShardInner {
+            map: HashMap::new(),
+            ring: Vec::new(),
+            hand: 0,
+            stats: BufferStats::default(),
+        }
+    }
+
+    fn insert(&mut self, key: (RelId, u64), frame: Arc<Frame>) {
+        self.map.insert(key, frame);
+        self.ring.push(key);
+    }
+
+    fn remove(&mut self, key: (RelId, u64)) {
+        self.map.remove(&key);
+        if let Some(pos) = self.ring.iter().position(|&k| k == key) {
+            self.ring.remove(pos);
+            if pos < self.hand {
+                self.hand -= 1;
+            }
+        }
+    }
+}
+
+/// The shared buffer cache: sharded, clock-swept, pin-counted.
 pub struct BufferPool {
     capacity: usize,
-    inner: Mutex<PoolInner>,
+    shard_capacity: usize,
+    shards: Vec<Mutex<ShardInner>>,
+    /// Blocks of read-ahead past a detected run; 0 disables it. Atomic so
+    /// the hot (hit) path never touches the run-detector lock.
+    prefetch_window: AtomicUsize,
+    /// Sequential-run detector: per-relation (last block, run length).
+    /// Consulted only on misses and prefetch hits — cache hits need no
+    /// read-ahead, so they skip this lock entirely.
+    runs: Mutex<HashMap<RelId, (u64, u32)>>,
 }
 
 impl BufferPool {
-    /// Creates a pool of `capacity` page frames.
+    /// Creates a pool of `capacity` page frames, sharded adaptively: small
+    /// pools (tests) stay single-sharded so capacity bounds stay exact;
+    /// production-sized pools get up to 16 shards.
     pub fn new(capacity: usize) -> BufferPool {
+        let capacity = capacity.max(4);
+        Self::with_shards(capacity, (capacity / 16).clamp(1, 16))
+    }
+
+    /// Creates a pool with an explicit shard count (tests and benchmarks).
+    pub fn with_shards(capacity: usize, nshards: usize) -> BufferPool {
+        let capacity = capacity.max(4);
+        let nshards = nshards.clamp(1, 64);
         BufferPool {
-            capacity: capacity.max(4),
-            inner: Mutex::new(PoolInner {
-                map: HashMap::new(),
-                lru: VecDeque::new(),
-                stats: BufferStats::default(),
-            }),
+            capacity,
+            shard_capacity: capacity.div_ceil(nshards),
+            shards: (0..nshards).map(|_| Mutex::new(ShardInner::new())).collect(),
+            prefetch_window: AtomicUsize::new(DEFAULT_PREFETCH_WINDOW),
+            runs: Mutex::new(HashMap::new()),
         }
     }
 
@@ -106,216 +282,526 @@ impl BufferPool {
         self.capacity
     }
 
-    /// Snapshot of the counters.
+    /// The number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard a block maps to — which latch its accesses contend on.
+    /// Exposed so benchmarks and tests can reason about collision behavior.
+    pub fn shard_of(&self, rel: RelId, blkno: u64) -> usize {
+        self.shard_index(rel, blkno)
+    }
+
+    /// Sets the read-ahead window (0 disables read-ahead).
+    pub fn set_prefetch_window(&self, window: usize) {
+        self.prefetch_window.store(window, Ordering::SeqCst);
+    }
+
+    /// Snapshot of the counters, summed across shards.
     pub fn stats(&self) -> BufferStats {
-        self.inner.lock().stats
-    }
-
-    fn touch(inner: &mut PoolInner, key: (RelId, u64)) {
-        if let Some(pos) = inner.lru.iter().position(|&k| k == key) {
-            inner.lru.remove(pos);
+        let mut total = BufferStats::default();
+        for shard in &self.shards {
+            let _order = order::token(order::BUFFER_SHARD);
+            total.add(&shard.lock().stats);
         }
-        inner.lru.push_back(key);
+        total
     }
 
-    /// Evicts pages until there is room for one more, writing dirty victims
-    /// back through `smgr`. Pinned pages (outstanding [`PageRef`]s) are
-    /// skipped.
-    fn make_room(inner: &mut PoolInner, capacity: usize, smgr: &Smgr) -> DbResult<()> {
-        while inner.map.len() >= capacity {
-            // Scan the LRU for the oldest unpinned victim. A key in the LRU
-            // but missing from the map means the two drifted apart; drop the
-            // stale entry and rescan rather than panic.
-            let mut victim: Option<(usize, (RelId, u64), PageRef)> = None;
-            let mut stale: Option<usize> = None;
-            for i in 0..inner.lru.len() {
-                let key = inner.lru[i];
-                match inner.map.get(&key) {
-                    None => {
-                        stale = Some(i);
-                        break;
-                    }
-                    Some(page) if Arc::strong_count(page) > 1 => continue, // Pinned.
-                    Some(page) => {
-                        victim = Some((i, key, Arc::clone(page)));
-                        break;
-                    }
-                }
-            }
-            if let Some(i) = stale {
-                inner.lru.remove(i);
-                continue;
-            }
-            let Some((i, key, page)) = victim else {
-                return Err(DbError::Invalid(
-                    "buffer pool exhausted: every page is pinned".into(),
-                ));
-            };
-            inner.map.remove(&key);
-            inner.lru.remove(i);
-            inner.stats.evictions += 1;
-            // lock-order: exempt (page latch under the pool mutex). The
-            // victim was unpinned and is now unmapped, so this latch is
-            // uncontended and cannot block or join a cycle.
-            let mut buf = page.write();
-            if buf.dirty {
-                let (dev, rel, blkno) = (buf.dev, buf.rel, buf.blkno);
-                smgr.write_page(dev, rel, blkno, &buf.data)?;
-                buf.dirty = false;
-                inner.stats.writebacks += 1;
-            }
+    /// Number of pages currently cached.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                let _order = order::token(order::BUFFER_SHARD);
+                s.lock().map.len()
+            })
+            .sum()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn shard_index(&self, rel: RelId, blkno: u64) -> usize {
+        if self.shards.len() == 1 {
+            return 0;
         }
-        Ok(())
+        // splitmix64-style finisher over the packed key.
+        let mut h = ((rel.0 as u64) << 32) ^ blkno;
+        h = (h ^ (h >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        h = (h ^ (h >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        (h ^ (h >> 31)) as usize % self.shards.len()
     }
 
-    /// Fetches block `blkno` of `rel` (which lives on `dev`), reading it from
-    /// the device on a miss.
+    /// Fetches block `blkno` of `rel` (which lives on `dev`), reading it
+    /// from the device on a miss. May kick off sequential read-ahead.
     pub fn get_page(
         &self,
         smgr: &Smgr,
         dev: DeviceId,
         rel: RelId,
         blkno: u64,
-    ) -> DbResult<PageRef> {
-        let _order = crate::lock::order::token(crate::lock::order::BUFFER_POOL);
-        let mut inner = self.inner.lock();
-        let key = (rel, blkno);
-        if let Some(page) = inner.map.get(&key) {
-            let page = Arc::clone(page);
-            inner.stats.hits += 1;
-            Self::touch(&mut inner, key);
-            return Ok(page);
+    ) -> DbResult<PinnedPage> {
+        let (pin, sequential_io) = self.pin_block(smgr, dev, rel, blkno)?;
+        if sequential_io {
+            self.note_access(smgr, dev, rel, blkno);
         }
-        inner.stats.misses += 1;
-        Self::make_room(&mut inner, self.capacity, smgr)?;
-        let mut data = vec![0u8; PAGE_SIZE].into_boxed_slice();
-        smgr.read_page(dev, rel, blkno, &mut data)?;
-        let page = Arc::new(RwLock::new(PageBuf {
-            data,
-            dirty: false,
-            dev,
-            rel,
-            blkno,
-        }));
-        inner.map.insert(key, Arc::clone(&page));
-        Self::touch(&mut inner, key);
-        Ok(page)
+        Ok(pin)
     }
 
-    /// Appends a fresh block to `rel`, returning its number and a cached,
-    /// dirty, zero-filled page for it.
-    pub fn new_page(&self, smgr: &Smgr, dev: DeviceId, rel: RelId) -> DbResult<(u64, PageRef)> {
-        let _order = crate::lock::order::token(crate::lock::order::BUFFER_POOL);
-        let mut inner = self.inner.lock();
-        Self::make_room(&mut inner, self.capacity, smgr)?;
-        let blkno = smgr.extend_page(dev, rel)?;
-        let data = vec![0u8; PAGE_SIZE].into_boxed_slice();
-        let page = Arc::new(RwLock::new(PageBuf {
-            data,
-            dirty: true, // Must reach the device even if never touched again.
-            dev,
-            rel,
-            blkno,
-        }));
+    /// The demand-fetch path. Returns the pin plus whether this access
+    /// touched a block that was not demand-resident (a miss, or a hit on a
+    /// read-ahead page) — the signal the run detector extends prefetch on.
+    fn pin_block(
+        &self,
+        smgr: &Smgr,
+        dev: DeviceId,
+        rel: RelId,
+        blkno: u64,
+    ) -> DbResult<(PinnedPage, bool)> {
+        let si = self.shard_index(rel, blkno);
         let key = (rel, blkno);
-        inner.map.insert(key, Arc::clone(&page));
-        Self::touch(&mut inner, key);
-        Ok((blkno, page))
+        loop {
+            // Lookup: pin under the shard latch, then wait (if at all) on
+            // the frame with the latch released.
+            let hit: Option<(Arc<Frame>, bool)> = {
+                let _order = order::token(order::BUFFER_SHARD);
+                let mut shard = self.shards[si].lock();
+                match shard.map.get(&key) {
+                    Some(frame) => {
+                        let frame = Arc::clone(frame);
+                        frame.pins.fetch_add(1, Ordering::SeqCst);
+                        frame.refbit.store(true, Ordering::SeqCst);
+                        let was_prefetch = frame.from_prefetch.swap(false, Ordering::SeqCst);
+                        shard.stats.hits += 1;
+                        if was_prefetch {
+                            shard.stats.prefetch_hits += 1;
+                        }
+                        Some((frame, was_prefetch))
+                    }
+                    None => None,
+                }
+            };
+            if let Some((frame, was_prefetch)) = hit {
+                loop {
+                    match frame.state() {
+                        READY => return Ok((PinnedPage { frame }, was_prefetch)),
+                        LOADING => {
+                            // Block on the frame until the loader drops its
+                            // write lock, then re-check.
+                            let _fl = order::token(order::BUFFER_FRAME);
+                            drop(frame.buf.read());
+                        }
+                        _ => break, // FAILED
+                    }
+                }
+                // The load failed and the loader unmapped the frame. Undo
+                // the hit we recorded and retry as a fresh lookup.
+                {
+                    let _order = order::token(order::BUFFER_SHARD);
+                    self.shards[si].lock().stats.hits -= 1;
+                }
+                frame.unpin();
+                continue;
+            }
+            // Miss: make room, then load with the latch released.
+            let (tok, mut shard) = self.lock_with_room(si, smgr)?;
+            if shard.map.contains_key(&key) {
+                // Raced with another loader while evicting; retry lookup.
+                continue;
+            }
+            shard.stats.misses += 1;
+            let frame = self.load_frame(tok, shard, smgr, dev, rel, blkno)?;
+            return Ok((PinnedPage { frame }, true));
+        }
+    }
+
+    /// Inserts a `LOADING` frame for the block into the locked shard, then
+    /// releases the latch and fills it from the device. The device read
+    /// happens with only the frame's lock held; waiters block there.
+    fn load_frame(
+        &self,
+        tok: order::LevelToken,
+        mut shard: MutexGuard<'_, ShardInner>,
+        smgr: &Smgr,
+        dev: DeviceId,
+        rel: RelId,
+        blkno: u64,
+    ) -> DbResult<Arc<Frame>> {
+        let si = self.shard_index(rel, blkno);
+        let key = (rel, blkno);
+        let frame = Arc::new(Frame::new(dev, rel, blkno, LOADING, false));
+        let ftok = order::token(order::BUFFER_FRAME);
+        // Uncontended: the frame is not published yet.
+        let mut fbuf = frame.buf.write();
+        shard.insert(key, Arc::clone(&frame));
+        drop(shard);
+        drop(tok);
+        match smgr.read_page(dev, rel, blkno, &mut fbuf.data) {
+            Ok(()) => {
+                frame.set_state(READY);
+                drop(fbuf);
+                drop(ftok);
+                Ok(frame)
+            }
+            Err(e) => {
+                frame.set_state(FAILED);
+                drop(fbuf);
+                drop(ftok);
+                // Unmap the failed frame so retries reload it. Waiters
+                // that already pinned it will observe FAILED and retry.
+                let _order = order::token(order::BUFFER_SHARD);
+                let mut shard = self.shards[si].lock();
+                if shard.map.get(&key).is_some_and(|f| Arc::ptr_eq(f, &frame)) {
+                    shard.remove(key);
+                }
+                frame.unpin();
+                Err(e)
+            }
+        }
+    }
+
+    /// Locks shard `si` with room for one more frame, running the clock
+    /// sweep as needed. Dirty victims are written back with the latch
+    /// *released* and stay mapped (and pinned) throughout, so concurrent
+    /// lookups hit the cached bytes instead of re-reading stale ones.
+    fn lock_with_room(
+        &self,
+        si: usize,
+        smgr: &Smgr,
+    ) -> DbResult<(order::LevelToken, MutexGuard<'_, ShardInner>)> {
+        'retry: loop {
+            let tok = order::token(order::BUFFER_SHARD);
+            let mut shard = self.shards[si].lock();
+            if shard.map.len() < self.shard_capacity {
+                return Ok((tok, shard));
+            }
+            // Two full passes: the first clears reference bits, the second
+            // takes the first frame that stayed cold. Only pins block
+            // eviction beyond that.
+            let mut steps = 0;
+            let max_steps = 2 * shard.ring.len() + 1;
+            loop {
+                if steps > max_steps {
+                    return Err(DbError::Invalid(
+                        "buffer pool exhausted: every page is pinned".into(),
+                    ));
+                }
+                steps += 1;
+                if shard.ring.is_empty() {
+                    return Ok((tok, shard));
+                }
+                let pos = shard.hand % shard.ring.len();
+                let key = shard.ring[pos];
+                let Some(frame) = shard.map.get(&key).map(Arc::clone) else {
+                    // Ring/map drift (should not happen; the consistency
+                    // check reports it). Self-heal by dropping the entry.
+                    shard.ring.remove(pos);
+                    continue;
+                };
+                if frame.pins.load(Ordering::SeqCst) > 0
+                    || frame.refbit.swap(false, Ordering::SeqCst)
+                {
+                    shard.hand = pos + 1;
+                    continue;
+                }
+                // Victim. `pins == 0` under the latch means nobody holds
+                // its page lock, so try_write cannot fail; skip it like a
+                // pinned frame if it somehow does.
+                let ftok = order::token(order::BUFFER_FRAME);
+                let Some(mut vbuf) = frame.buf.try_write() else {
+                    drop(ftok);
+                    shard.hand = pos + 1;
+                    continue;
+                };
+                if !vbuf.dirty {
+                    drop(vbuf);
+                    drop(ftok);
+                    shard.remove(key);
+                    shard.stats.evictions += 1;
+                    if shard.map.len() < self.shard_capacity {
+                        return Ok((tok, shard));
+                    }
+                    continue;
+                }
+                // Dirty: pin (so no concurrent sweep picks it), release
+                // the latch, write back under the frame lock only.
+                frame.pins.fetch_add(1, Ordering::SeqCst);
+                drop(shard);
+                drop(tok);
+                let io = {
+                    let (d, r, b) = (vbuf.dev, vbuf.rel, vbuf.blkno);
+                    let res = smgr.write_page(d, r, b, &vbuf.data);
+                    if res.is_ok() {
+                        vbuf.dirty = false;
+                    }
+                    res
+                };
+                drop(vbuf);
+                drop(ftok);
+                let _order = order::token(order::BUFFER_SHARD);
+                let mut shard = self.shards[si].lock();
+                frame.unpin();
+                shard.stats.writebacks += 1;
+                io?;
+                // Unmap only if still ours, unpinned, and still clean —
+                // a re-pin or re-dirty in the writeback window wins.
+                if frame.pins.load(Ordering::SeqCst) == 0
+                    && shard.map.get(&key).is_some_and(|f| Arc::ptr_eq(f, &frame))
+                {
+                    let clean = {
+                        let _fl = order::token(order::BUFFER_FRAME);
+                        frame.buf.try_read().map(|b| !b.dirty).unwrap_or(false)
+                    };
+                    if clean {
+                        shard.remove(key);
+                        shard.stats.evictions += 1;
+                    }
+                }
+                drop(shard);
+                continue 'retry;
+            }
+        }
+    }
+
+    /// Appends a fresh block to `rel`, returning its number and a pinned,
+    /// dirty, zero-filled page for it. The extend happens *before* any
+    /// latch is taken (the block number decides the shard).
+    pub fn new_page(&self, smgr: &Smgr, dev: DeviceId, rel: RelId) -> DbResult<(u64, PinnedPage)> {
+        let blkno = smgr.extend_page(dev, rel)?;
+        let frame = Arc::new(Frame::new(dev, rel, blkno, READY, true));
+        let si = self.shard_index(rel, blkno);
+        let (_tok, mut shard) = self.lock_with_room(si, smgr)?;
+        shard.insert((rel, blkno), Arc::clone(&frame));
+        Ok((blkno, PinnedPage { frame }))
+    }
+
+    /// Records a non-resident access (miss or prefetch hit) for the
+    /// sequential-run detector and prefetches ahead of an established run.
+    /// Called only on the cold path — which does device I/O anyway — so the
+    /// run-detector lock never slows a cache hit. Runs with no pool locks
+    /// held.
+    fn note_access(&self, smgr: &Smgr, dev: DeviceId, rel: RelId, blkno: u64) {
+        let window = self.prefetch_window.load(Ordering::SeqCst);
+        if window == 0 {
+            return;
+        }
+        let fetch = {
+            let _order = order::token(order::BUFFER_SHARD);
+            let mut runs = self.runs.lock();
+            let run = match runs.get(&rel) {
+                Some(&(last, run)) if blkno == last + 1 => run.saturating_add(1),
+                Some(&(last, run)) if blkno == last => run,
+                _ => 1,
+            };
+            runs.insert(rel, (blkno, run));
+            run >= RUN_THRESHOLD
+        };
+        if fetch {
+            self.prefetch(smgr, dev, rel, blkno + 1, window);
+        }
+    }
+
+    /// Loads up to `count` blocks of `rel` starting at `start` that are not
+    /// already resident, without counting them as demand misses. A hint:
+    /// errors (including pool exhaustion) end the prefetch silently, and
+    /// read-ahead never claims more than half the pool in one call.
+    pub fn prefetch(&self, smgr: &Smgr, dev: DeviceId, rel: RelId, start: u64, count: usize) {
+        let count = count.min((self.capacity / 2).max(1));
+        if count == 0 {
+            return;
+        }
+        let Ok(nblocks) = smgr.with(dev, |m| m.nblocks(rel)) else {
+            return;
+        };
+        for blkno in start..nblocks.min(start.saturating_add(count as u64)) {
+            if self.prefetch_block(smgr, dev, rel, blkno).is_err() {
+                break;
+            }
+        }
+    }
+
+    fn prefetch_block(&self, smgr: &Smgr, dev: DeviceId, rel: RelId, blkno: u64) -> DbResult<()> {
+        let si = self.shard_index(rel, blkno);
+        let key = (rel, blkno);
+        {
+            let _order = order::token(order::BUFFER_SHARD);
+            if self.shards[si].lock().map.contains_key(&key) {
+                return Ok(());
+            }
+        }
+        let (tok, shard) = self.lock_with_room(si, smgr)?;
+        if shard.map.contains_key(&key) {
+            return Ok(());
+        }
+        let frame = self.load_frame(tok, shard, smgr, dev, rel, blkno)?;
+        frame.from_prefetch.store(true, Ordering::SeqCst);
+        frame.refbit.store(true, Ordering::SeqCst);
+        {
+            let _order = order::token(order::BUFFER_SHARD);
+            self.shards[si].lock().stats.prefetches += 1;
+        }
+        frame.unpin(); // Read-ahead holds no pin once loaded.
+        Ok(())
+    }
+
+    /// Pins every cached frame (optionally restricted to `rel`) so flushes
+    /// can write with no shard latch held.
+    fn pin_all(&self, rel: Option<RelId>) -> Vec<Arc<Frame>> {
+        let mut frames = Vec::new();
+        for shard in &self.shards {
+            let _order = order::token(order::BUFFER_SHARD);
+            let shard = shard.lock();
+            for (&(r, _), frame) in &shard.map {
+                if rel.is_none_or(|want| want == r) {
+                    frame.pins.fetch_add(1, Ordering::SeqCst);
+                    frames.push(Arc::clone(frame));
+                }
+            }
+        }
+        frames
+    }
+
+    fn flush_frames(&self, smgr: &Smgr, frames: Vec<Arc<Frame>>) -> DbResult<usize> {
+        let mut result = Ok(());
+        let mut written = vec![0u64; self.shards.len()];
+        for frame in &frames {
+            if result.is_err() {
+                break;
+            }
+            let _fl = order::token(order::BUFFER_FRAME);
+            let mut buf = frame.buf.write();
+            if buf.dirty {
+                let (d, r, b) = (buf.dev, buf.rel, buf.blkno);
+                match smgr.write_page(d, r, b, &buf.data) {
+                    Ok(()) => {
+                        buf.dirty = false;
+                        written[self.shard_index(r, b)] += 1;
+                    }
+                    Err(e) => result = Err(e),
+                }
+            }
+        }
+        for frame in &frames {
+            frame.unpin();
+        }
+        let total = written.iter().sum::<u64>() as usize;
+        for (si, w) in written.into_iter().enumerate() {
+            if w > 0 {
+                let _order = order::token(order::BUFFER_SHARD);
+                self.shards[si].lock().stats.writebacks += w;
+            }
+        }
+        result.map(|_| total)
     }
 
     /// Writes every dirty page back through `smgr` (without evicting), in
     /// (relation, block) order — the elevator sweep a real commit-time sync
     /// performs so flushes stream rather than seek.
     pub fn flush_all(&self, smgr: &Smgr) -> DbResult<()> {
-        // Snapshot the page refs and release the pool mutex before taking
-        // any page latch: another thread may hold a page latch while waiting
-        // on the pool (a b-tree split extending the relation), so latching
-        // with the pool locked can deadlock.
-        let mut keyed: Vec<((RelId, u64), PageRef)> = {
-            let _order = crate::lock::order::token(crate::lock::order::BUFFER_POOL);
-            let inner = self.inner.lock();
-            inner.map.iter().map(|(&k, p)| (k, Arc::clone(p))).collect()
-        };
-        keyed.sort_by_key(|(k, _)| *k);
-        let mut written = 0u64;
-        for (_, page) in keyed {
-            let mut buf = page.write();
-            if buf.dirty {
-                let (dev, rel, blkno) = (buf.dev, buf.rel, buf.blkno);
-                smgr.write_page(dev, rel, blkno, &buf.data)?;
-                buf.dirty = false;
-                written += 1;
-            }
-        }
-        if written > 0 {
-            self.inner.lock().stats.writebacks += written;
-        }
-        Ok(())
+        let mut frames = self.pin_all(None);
+        frames.sort_by_key(|f| {
+            let b = f.buf.read();
+            (b.rel, b.blkno)
+        });
+        self.flush_frames(smgr, frames).map(|_| ())
     }
 
     /// Writes back every dirty cached page belonging to `rel` (eager index
     /// write-through uses this). Returns the number of pages written.
     pub fn flush_rel(&self, smgr: &Smgr, rel: RelId) -> DbResult<usize> {
-        // Same pool-then-latch discipline as [`Self::flush_all`].
-        let pages: Vec<PageRef> = {
-            let _order = crate::lock::order::token(crate::lock::order::BUFFER_POOL);
-            let inner = self.inner.lock();
-            inner
-                .map
-                .iter()
-                .filter(|(&(r, _), _)| r == rel)
-                .map(|(_, p)| Arc::clone(p))
-                .collect()
-        };
-        let mut written = 0;
-        for page in pages {
-            let mut buf = page.write();
-            if buf.dirty {
-                let (dev, r, blkno) = (buf.dev, buf.rel, buf.blkno);
-                smgr.write_page(dev, r, blkno, &buf.data)?;
-                buf.dirty = false;
-                written += 1;
-            }
-        }
-        if written > 0 {
-            self.inner.lock().stats.writebacks += written as u64;
-        }
-        Ok(written)
+        let mut frames = self.pin_all(Some(rel));
+        frames.sort_by_key(|f| f.buf.read().blkno);
+        self.flush_frames(smgr, frames)
     }
 
     /// Flushes dirty pages and then empties the cache entirely — the
     /// "all caches were flushed before each test" step of the benchmark.
     pub fn flush_and_clear(&self, smgr: &Smgr) -> DbResult<()> {
         self.flush_all(smgr)?;
-        let _order = crate::lock::order::token(crate::lock::order::BUFFER_POOL);
-        let mut inner = self.inner.lock();
-        for page in inner.map.values() {
-            if Arc::strong_count(page) > 1 {
+        for shard in &self.shards {
+            let _order = order::token(order::BUFFER_SHARD);
+            let shard = shard.lock();
+            if shard
+                .map
+                .values()
+                .any(|f| f.pins.load(Ordering::SeqCst) > 0)
+            {
                 return Err(DbError::Invalid("cannot clear cache: pages pinned".into()));
             }
         }
-        inner.map.clear();
-        inner.lru.clear();
+        for shard in &self.shards {
+            let _order = order::token(order::BUFFER_SHARD);
+            let mut shard = shard.lock();
+            shard.map.clear();
+            shard.ring.clear();
+            shard.hand = 0;
+        }
+        let _order = order::token(order::BUFFER_SHARD);
+        self.runs.lock().clear();
         Ok(())
     }
 
     /// Discards every cached page for `rel` *without* writing them back
-    /// (used when dropping a relation).
+    /// (used when dropping a relation). Map and clock ring shed the
+    /// relation's keys together, so neither drifts.
     pub fn discard_rel(&self, rel: RelId) {
-        let _order = crate::lock::order::token(crate::lock::order::BUFFER_POOL);
-        let mut inner = self.inner.lock();
-        inner.map.retain(|&(r, _), _| r != rel);
-        inner.lru.retain(|&(r, _)| r != rel);
+        for shard in &self.shards {
+            let _order = order::token(order::BUFFER_SHARD);
+            let mut shard = shard.lock();
+            shard.map.retain(|&(r, _), _| r != rel);
+            shard.ring.retain(|&(r, _)| r != rel);
+            shard.hand = 0;
+        }
+        let _order = order::token(order::BUFFER_SHARD);
+        self.runs.lock().remove(&rel);
     }
 
-    /// Number of pages currently cached.
-    pub fn len(&self) -> usize {
-        self.inner.lock().map.len()
-    }
-
-    /// Whether the cache is empty.
-    pub fn is_empty(&self) -> bool {
-        self.len() == 0
+    /// Structural self-audit: the map and clock ring of every shard must
+    /// list exactly the same keys (each once), every frame must agree with
+    /// its key, and every key must hash to the shard holding it. Returns
+    /// human-readable violations (empty = consistent).
+    pub fn check_consistency(&self) -> Vec<String> {
+        let mut problems = Vec::new();
+        for (si, shard) in self.shards.iter().enumerate() {
+            let _order = order::token(order::BUFFER_SHARD);
+            let shard = shard.lock();
+            if shard.ring.len() != shard.map.len() {
+                problems.push(format!(
+                    "shard {si}: clock ring has {} entries but map has {}",
+                    shard.ring.len(),
+                    shard.map.len()
+                ));
+            }
+            let mut seen = std::collections::HashSet::new();
+            for &key in &shard.ring {
+                if !seen.insert(key) {
+                    problems.push(format!("shard {si}: {key:?} appears twice in the ring"));
+                }
+                if !shard.map.contains_key(&key) {
+                    problems.push(format!("shard {si}: ring entry {key:?} not in the map"));
+                }
+            }
+            for (&(rel, blkno), frame) in &shard.map {
+                if self.shard_index(rel, blkno) != si {
+                    problems.push(format!(
+                        "shard {si}: key ({rel}, {blkno}) hashes to shard {}",
+                        self.shard_index(rel, blkno)
+                    ));
+                }
+                if let Some(buf) = frame.buf.try_read() {
+                    if (buf.rel, buf.blkno) != (rel, blkno) {
+                        problems.push(format!(
+                            "shard {si}: frame keyed ({rel}, {blkno}) says ({}, {})",
+                            buf.rel, buf.blkno
+                        ));
+                    }
+                }
+            }
+        }
+        problems
     }
 }
 
@@ -327,6 +813,10 @@ mod tests {
     use simdev::{DiskProfile, MagneticDisk, SimClock};
 
     fn setup(capacity: usize) -> (Smgr, BufferPool, RelId) {
+        setup_sharded(capacity, 1)
+    }
+
+    fn setup_sharded(capacity: usize, nshards: usize) -> (Smgr, BufferPool, RelId) {
         let clock = SimClock::new();
         let dev = shared_device(MagneticDisk::new(
             "d",
@@ -341,7 +831,7 @@ mod tests {
         .unwrap();
         let rel = Oid(10);
         smgr.with(DeviceId::DEFAULT, |m| m.create_rel(rel)).unwrap();
-        (smgr, BufferPool::new(capacity), rel)
+        (smgr, BufferPool::with_shards(capacity, nshards), rel)
     }
 
     #[test]
@@ -383,9 +873,9 @@ mod tests {
         for _ in 0..10 {
             pool.new_page(&smgr, DeviceId::DEFAULT, rel).unwrap();
         }
-        // The pinned page must still be the same object in cache.
+        // The pinned page must still be the same frame in cache.
         let again = pool.get_page(&smgr, DeviceId::DEFAULT, rel, blkno).unwrap();
-        assert!(Arc::ptr_eq(&pinned, &again));
+        assert!(PinnedPage::same_frame(&pinned, &again));
         assert_eq!(again.read().data()[0], 0x77);
     }
 
@@ -438,14 +928,15 @@ mod tests {
     }
 
     #[test]
-    fn lru_order_evicts_oldest_unpinned() {
+    fn clock_sweep_evicts_cold_page_not_recent() {
         let (smgr, pool, rel) = setup(4);
         let mut blknos = Vec::new();
         for _ in 0..4 {
             let (b, _) = pool.new_page(&smgr, DeviceId::DEFAULT, rel).unwrap();
             blknos.push(b);
         }
-        // Touch block 0 so block 1 becomes LRU.
+        // Touch block 0 (sets its reference bit) so block 1 is the first
+        // cold frame the hand reaches.
         pool.get_page(&smgr, DeviceId::DEFAULT, rel, blknos[0])
             .unwrap();
         pool.new_page(&smgr, DeviceId::DEFAULT, rel).unwrap(); // Evicts one.
@@ -464,5 +955,107 @@ mod tests {
             misses_before + 1,
             "block 1 was the victim"
         );
+    }
+
+    #[test]
+    fn discard_rel_keeps_map_and_ring_consistent() {
+        let (smgr, pool, rel) = setup(8);
+        let other = Oid(11);
+        smgr.with(DeviceId::DEFAULT, |m| m.create_rel(other))
+            .unwrap();
+        for _ in 0..3 {
+            pool.new_page(&smgr, DeviceId::DEFAULT, rel).unwrap();
+            pool.new_page(&smgr, DeviceId::DEFAULT, other).unwrap();
+        }
+        pool.discard_rel(rel);
+        assert_eq!(pool.check_consistency(), Vec::<String>::new());
+        assert_eq!(pool.len(), 3);
+        // The survivor relation keeps working under pressure: the ring
+        // holds no stale keys for the discarded one.
+        for _ in 0..10 {
+            pool.new_page(&smgr, DeviceId::DEFAULT, other).unwrap();
+        }
+        assert_eq!(pool.check_consistency(), Vec::<String>::new());
+    }
+
+    #[test]
+    fn sequential_misses_trigger_prefetch() {
+        let (smgr, pool, rel) = setup(16);
+        for _ in 0..12 {
+            pool.new_page(&smgr, DeviceId::DEFAULT, rel).unwrap();
+        }
+        pool.flush_and_clear(&smgr).unwrap();
+        // A cold sequential scan: after RUN_THRESHOLD misses the pool
+        // reads ahead, so later blocks hit.
+        for b in 0..12u64 {
+            pool.get_page(&smgr, DeviceId::DEFAULT, rel, b).unwrap();
+        }
+        let s = pool.stats();
+        assert_eq!(s.hits + s.misses, 12, "every access counted once: {s:?}");
+        assert!(s.prefetches > 0, "{s:?}");
+        assert!(s.prefetch_hits > 0, "{s:?}");
+        assert!(s.misses < 12, "read-ahead must absorb some misses: {s:?}");
+    }
+
+    #[test]
+    fn prefetch_window_zero_disables_readahead() {
+        let (smgr, pool, rel) = setup(16);
+        pool.set_prefetch_window(0);
+        for _ in 0..12 {
+            pool.new_page(&smgr, DeviceId::DEFAULT, rel).unwrap();
+        }
+        pool.flush_and_clear(&smgr).unwrap();
+        for b in 0..12u64 {
+            pool.get_page(&smgr, DeviceId::DEFAULT, rel, b).unwrap();
+        }
+        let s = pool.stats();
+        assert_eq!(s.prefetches, 0);
+        assert_eq!(s.prefetch_hits, 0);
+        assert_eq!(s.misses, 12);
+    }
+
+    #[test]
+    fn sharded_pool_spreads_and_stays_consistent() {
+        let (smgr, pool, rel) = setup_sharded(64, 4);
+        assert_eq!(pool.shard_count(), 4);
+        for _ in 0..40 {
+            pool.new_page(&smgr, DeviceId::DEFAULT, rel).unwrap();
+        }
+        assert_eq!(pool.check_consistency(), Vec::<String>::new());
+        let populated = (0..pool.shard_count())
+            .filter(|&si| {
+                let _order = order::token(order::BUFFER_SHARD);
+                !pool.shards[si].lock().map.is_empty()
+            })
+            .count();
+        assert!(populated >= 2, "keys must spread across shards");
+        pool.flush_and_clear(&smgr).unwrap();
+        assert!(pool.is_empty());
+    }
+
+    #[test]
+    fn concurrent_requests_for_one_cold_block_read_device_once() {
+        let (smgr, pool, rel) = setup_sharded(16, 4);
+        let (blkno, page) = pool.new_page(&smgr, DeviceId::DEFAULT, rel).unwrap();
+        page.write().data_mut()[7] = 0x5A;
+        drop(page);
+        pool.flush_and_clear(&smgr).unwrap();
+        pool.set_prefetch_window(0);
+        let smgr = std::sync::Arc::new(smgr);
+        let pool = std::sync::Arc::new(pool);
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let (smgr, pool) = (std::sync::Arc::clone(&smgr), std::sync::Arc::clone(&pool));
+            handles.push(std::thread::spawn(move || {
+                let pin = pool.get_page(&smgr, DeviceId::DEFAULT, rel, blkno).unwrap();
+                assert_eq!(pin.read().data()[7], 0x5A);
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let s = pool.stats();
+        assert_eq!(s.misses, 1, "one loader, everyone else waits: {s:?}");
+        assert_eq!(s.hits, 7, "{s:?}");
     }
 }

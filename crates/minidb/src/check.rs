@@ -118,6 +118,15 @@ pub fn check_all(db: &Db) -> Vec<Finding> {
         cat.relations().cloned().collect()
     };
     out.extend(db.inner.xlog.check());
+    // The buffer pool's structural self-audit: every shard's map and clock
+    // ring must describe the same set of cached pages.
+    out.extend(
+        db.inner
+            .pool
+            .check_consistency()
+            .into_iter()
+            .map(|detail| Finding::new("buffer-pool", "buffer-inconsistent", detail)),
+    );
 
     for e in &rels {
         match db.inner.smgr.with(e.device, |m| Ok(m.has_rel(e.id))) {

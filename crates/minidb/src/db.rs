@@ -50,6 +50,9 @@ pub struct DbConfig {
     /// move frequently." Transactions whose working set fits in the pool
     /// still coalesce index writes to commit. Disable for an ablation.
     pub eager_index_writes: bool,
+    /// Blocks of sequential read-ahead past a detected scan run
+    /// (0 disables prefetching).
+    pub prefetch_window: usize,
 }
 
 impl Default for DbConfig {
@@ -58,6 +61,7 @@ impl Default for DbConfig {
             buffers: DEFAULT_BUFFERS,
             lock_timeout: Duration::from_secs(10),
             eager_index_writes: true,
+            prefetch_window: crate::buffer::DEFAULT_PREFETCH_WINDOW,
         }
     }
 }
@@ -100,10 +104,12 @@ impl Db {
         smgr.attach_stats(clock.clone(), Arc::clone(&stats));
         let mut locks = LockManager::with_timeout(config.lock_timeout);
         locks.share_stats(Arc::clone(&stats));
+        let pool = BufferPool::new(config.buffers);
+        pool.set_prefetch_window(config.prefetch_window);
         let db = Db {
             inner: Arc::new(DbInner {
                 clock,
-                pool: BufferPool::new(config.buffers),
+                pool,
                 smgr,
                 xlog,
                 locks,
@@ -140,10 +146,12 @@ impl Db {
         smgr.attach_stats(clock.clone(), Arc::clone(&stats));
         let mut locks = LockManager::with_timeout(config.lock_timeout);
         locks.share_stats(Arc::clone(&stats));
+        let pool = BufferPool::new(config.buffers);
+        pool.set_prefetch_window(config.prefetch_window);
         Ok(Db {
             inner: Arc::new(DbInner {
                 clock,
-                pool: BufferPool::new(config.buffers),
+                pool,
                 smgr,
                 xlog,
                 locks,
@@ -160,6 +168,12 @@ impl Db {
     /// Opens a small self-contained database on fast in-memory disks —
     /// the zero-ceremony constructor for tests, examples and doctests.
     pub fn open_in_memory() -> DbResult<Db> {
+        Db::open_in_memory_with(DbConfig::default())
+    }
+
+    /// [`Db::open_in_memory`] with explicit tunables (pool size, prefetch
+    /// window, …) — for tests that need a specific cache configuration.
+    pub fn open_in_memory_with(config: DbConfig) -> DbResult<Db> {
         let clock = SimClock::new();
         let data = shared_device(MagneticDisk::new(
             "data",
@@ -178,7 +192,19 @@ impl Db {
         ));
         let mut smgr = Smgr::new();
         smgr.register(DeviceId::DEFAULT, Box::new(GenericManager::format(data)?))?;
-        Db::open(clock, smgr, log, cat, DbConfig::default())
+        Db::open(clock, smgr, log, cat, config)
+    }
+
+    /// Hints the buffer cache to read `count` blocks of `rel` ahead,
+    /// starting at `start`. Used by large-object readers that know they are
+    /// about to walk a relation sequentially; errors are swallowed (it is
+    /// only a hint).
+    pub fn prefetch_relation(&self, rel: RelId, start: u64, count: usize) {
+        let dev = match self.inner.catalog.read().relation(rel) {
+            Ok(entry) => entry.device,
+            Err(_) => return,
+        };
+        self.inner.pool.prefetch(&self.inner.smgr, dev, rel, start, count);
     }
 
     /// The simulated clock shared with the devices.

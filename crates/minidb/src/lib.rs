@@ -72,7 +72,7 @@ pub mod stats;
 pub mod vacuum;
 pub mod xact;
 
-pub use buffer::{BufferPool, BufferStats, BERKELEY_BUFFERS, DEFAULT_BUFFERS};
+pub use buffer::{BufferPool, BufferStats, PinnedPage, BERKELEY_BUFFERS, DEFAULT_BUFFERS};
 pub use catalog::{IndexInfo, RelKind, RelationEntry};
 pub use check::Finding;
 pub use datum::{decode_row, encode_row, Column, Datum, Row, Schema, TypeId};

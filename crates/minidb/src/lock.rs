@@ -199,26 +199,32 @@ impl LockManager {
 /// is derived from the code's actual nesting, which the audit verified:
 ///
 /// * a b-tree split holds a page latch while asking the buffer pool for a
-///   fresh page, so page latches are *outside* the pool mutex;
-/// * the pool writes victims through the device managers while evicting, so
-///   the pool mutex is *outside* the per-device locks;
+///   fresh page, so page latches are *outside* the shard latches;
+/// * the pool locks a frame (to load it or to write a victim back) while
+///   holding a shard latch, so shard latches are *outside* frame locks —
+///   and it always releases the shard latch before any device I/O, so no
+///   device lock is ever taken under a shard latch (a debug assertion in
+///   the smgr read/write/extend paths enforces this);
 /// * the heap consults the transaction log while holding a page latch, so
 ///   page latches are *outside* the log mutex.
 ///
-/// One audited exception, marked `lock-order: exempt` at the site: the
-/// buffer pool latches an evicted page while holding its own mutex, which
-/// reads as an inversion (buffer-pool -> page). The victim is unpinned and
-/// already unmapped at that point, so the latch is uncontended and cannot
-/// participate in a cycle.
+/// `heap-page`/`btree-page` and `buffer-frame` name the *same* physical
+/// `RwLock` (a frame's page lock) in two acquisition contexts: access
+/// methods latch pages they have already pinned (outside the pool, low
+/// rank), while the pool itself locks frames under a shard latch during
+/// loads, writebacks, and flushes (high rank). The pool never acquires a
+/// shard latch while holding a frame lock, which keeps both contexts
+/// cycle-free.
 pub mod order {
     /// Lock families, outermost first. Index = rank.
-    pub const HIERARCHY: [&str; 7] = [
+    pub const HIERARCHY: [&str; 8] = [
         "catalog",
         "lock-manager",
         "heap-page",
         "btree-page",
         "xact-log",
-        "buffer-pool",
+        "buffer-shard",
+        "buffer-frame",
         "smgr-device",
     ];
 
@@ -232,10 +238,14 @@ pub mod order {
     pub const BTREE_PAGE: usize = 3;
     /// Rank of the transaction status log mutex.
     pub const XACT_LOG: usize = 4;
-    /// Rank of the buffer pool's internal mutex.
-    pub const BUFFER_POOL: usize = 5;
+    /// Rank of the buffer pool's per-shard latches.
+    pub const BUFFER_SHARD: usize = 5;
+    /// Rank of frame locks taken *by the pool itself* (load, writeback,
+    /// flush) — access methods lock the same frames as `heap-page` /
+    /// `btree-page`.
+    pub const BUFFER_FRAME: usize = 6;
     /// Rank of per-device locks (the smgr switch and `SharedDevice`s).
-    pub const SMGR_DEVICE: usize = 6;
+    pub const SMGR_DEVICE: usize = 7;
 
     #[cfg(debug_assertions)]
     thread_local! {
@@ -290,6 +300,19 @@ pub mod order {
         }
     }
 
+    /// Whether the current thread holds a lock of rank `level` (debug
+    /// builds only; always `false` in release). The smgr uses this to
+    /// assert that no device I/O happens under a buffer-shard latch.
+    #[cfg_attr(not(debug_assertions), allow(unused_variables))]
+    pub fn is_held(level: usize) -> bool {
+        #[cfg(debug_assertions)]
+        {
+            HELD.with(|h| h.borrow().contains(&level))
+        }
+        #[cfg(not(debug_assertions))]
+        false
+    }
+
     #[cfg(test)]
     mod tests {
         use super::*;
@@ -305,16 +328,28 @@ pub mod order {
         #[test]
         fn release_unwinds_the_stack() {
             {
-                let _a = token(BUFFER_POOL);
+                let _a = token(BUFFER_SHARD);
             }
-            let _b = token(CATALOG); // Fine again once the pool rank is gone.
+            let _b = token(CATALOG); // Fine again once the shard rank is gone.
+        }
+
+        #[test]
+        #[cfg(debug_assertions)]
+        fn is_held_tracks_live_tokens() {
+            assert!(!is_held(BUFFER_SHARD));
+            {
+                let _a = token(BUFFER_SHARD);
+                assert!(is_held(BUFFER_SHARD));
+                assert!(!is_held(BUFFER_FRAME));
+            }
+            assert!(!is_held(BUFFER_SHARD));
         }
 
         #[test]
         #[cfg(debug_assertions)]
         #[should_panic(expected = "lock-order violation")]
         fn decreasing_rank_panics_in_debug() {
-            let _a = token(BUFFER_POOL);
+            let _a = token(BUFFER_SHARD);
             let _b = token(HEAP_PAGE);
         }
     }

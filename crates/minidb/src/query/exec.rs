@@ -204,6 +204,8 @@ impl Session {
                         ("misses", TypeId::INT8),
                         ("evictions", TypeId::INT8),
                         ("writebacks", TypeId::INT8),
+                        ("prefetches", TypeId::INT8),
+                        ("prefetch_hits", TypeId::INT8),
                         ("capacity", TypeId::INT4),
                         ("cached", TypeId::INT4),
                     ]),
@@ -212,6 +214,8 @@ impl Session {
                         int8(b.misses),
                         int8(b.evictions),
                         int8(b.writebacks),
+                        int8(b.prefetches),
+                        int8(b.prefetch_hits),
                         Datum::Int4(db.inner.pool.capacity() as i32),
                         Datum::Int4(db.inner.pool.len() as i32),
                     ]],

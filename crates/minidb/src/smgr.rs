@@ -851,6 +851,10 @@ impl Smgr {
         blkno: u64,
         buf: &mut [u8],
     ) -> DbResult<()> {
+        debug_assert!(
+            !crate::lock::order::is_held(crate::lock::order::BUFFER_SHARD),
+            "device read while holding a buffer shard latch"
+        );
         match &self.instr {
             Some((clock, stats)) => {
                 let (r, took) = clock.timed(|| self.with(dev, |m| m.read(rel, blkno, buf)));
@@ -867,6 +871,10 @@ impl Smgr {
     /// Writes a page through the switch, recording per-device counters and
     /// simulated latency when stats are attached.
     pub fn write_page(&self, dev: DeviceId, rel: RelId, blkno: u64, buf: &[u8]) -> DbResult<()> {
+        debug_assert!(
+            !crate::lock::order::is_held(crate::lock::order::BUFFER_SHARD),
+            "device write while holding a buffer shard latch"
+        );
         match &self.instr {
             Some((clock, stats)) => {
                 let (r, took) = clock.timed(|| self.with(dev, |m| m.write(rel, blkno, buf)));
@@ -883,6 +891,10 @@ impl Smgr {
     /// Appends a blank page through the switch, counted as a write (the
     /// block's contents reach the device at first flush).
     pub fn extend_page(&self, dev: DeviceId, rel: RelId) -> DbResult<u64> {
+        debug_assert!(
+            !crate::lock::order::is_held(crate::lock::order::BUFFER_SHARD),
+            "device extend while holding a buffer shard latch"
+        );
         match &self.instr {
             Some((clock, stats)) => {
                 let (r, took) = clock.timed(|| self.with(dev, |m| m.extend_blank(rel)));

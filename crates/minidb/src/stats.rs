@@ -358,6 +358,8 @@ impl StatsSnapshot {
                 misses: sub(self.buffer.misses, baseline.buffer.misses),
                 evictions: sub(self.buffer.evictions, baseline.buffer.evictions),
                 writebacks: sub(self.buffer.writebacks, baseline.buffer.writebacks),
+                prefetches: sub(self.buffer.prefetches, baseline.buffer.prefetches),
+                prefetch_hits: sub(self.buffer.prefetch_hits, baseline.buffer.prefetch_hits),
             },
             xact: XactStats {
                 commits: sub(self.xact.commits, baseline.xact.commits),
@@ -415,7 +417,8 @@ impl StatsSnapshot {
             })
             .collect();
         format!(
-            "{{\"buffer\":{{\"hits\":{},\"misses\":{},\"evictions\":{},\"writebacks\":{}}},\
+            "{{\"buffer\":{{\"hits\":{},\"misses\":{},\"evictions\":{},\"writebacks\":{},\
+             \"prefetches\":{},\"prefetch_hits\":{}}},\
              \"lock\":{{\"acquisitions\":{},\"waits\":{},\"deadlocks\":{},\"timeouts\":{}}},\
              \"xact\":{{\"commits\":{},\"aborts\":{},\"time_travel_reads\":{}}},\
              \"heap\":{{\"scans\":{},\"fetches\":{},\"appends\":{}}},\
@@ -426,6 +429,8 @@ impl StatsSnapshot {
             self.buffer.misses,
             self.buffer.evictions,
             self.buffer.writebacks,
+            self.buffer.prefetches,
+            self.buffer.prefetch_hits,
             self.lock.acquisitions,
             self.lock.waits,
             self.lock.deadlocks,

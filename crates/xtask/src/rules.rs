@@ -254,21 +254,21 @@ mod tests {
 
     #[test]
     fn lock_order_allows_increasing_and_flags_decreasing() {
-        let good = "fn f() { let _o = lock::order::token(lock::order::HEAP_PAGE); { let _p = lock::order::token(lock::order::BUFFER_POOL); } }";
+        let good = "fn f() { let _o = lock::order::token(lock::order::HEAP_PAGE); { let _p = lock::order::token(lock::order::BUFFER_SHARD); } }";
         assert!(lock_order_sites("x.rs", &clean(good), &[]).is_empty());
-        let bad = "fn f() { let _o = lock::order::token(lock::order::BUFFER_POOL); let _p = lock::order::token(lock::order::HEAP_PAGE); }";
+        let bad = "fn f() { let _o = lock::order::token(lock::order::BUFFER_SHARD); let _p = lock::order::token(lock::order::HEAP_PAGE); }";
         assert_eq!(lock_order_sites("x.rs", &clean(bad), &[]).len(), 1);
     }
 
     #[test]
     fn lock_order_scope_exit_releases() {
-        let src = "fn f() { { let _o = lock::order::token(lock::order::BUFFER_POOL); } let _p = lock::order::token(lock::order::HEAP_PAGE); }";
+        let src = "fn f() { { let _o = lock::order::token(lock::order::BUFFER_SHARD); } let _p = lock::order::token(lock::order::HEAP_PAGE); }";
         assert!(lock_order_sites("x.rs", &clean(src), &[]).is_empty());
     }
 
     #[test]
     fn lock_order_exempt_marker() {
-        let src = "fn f() { let _o = lock::order::token(lock::order::BUFFER_POOL);\n// lock-order: exempt (test)\nlet _p = lock::order::token(lock::order::HEAP_PAGE); }";
+        let src = "fn f() { let _o = lock::order::token(lock::order::BUFFER_SHARD);\n// lock-order: exempt (test)\nlet _p = lock::order::token(lock::order::HEAP_PAGE); }";
         // Marker lines are collected from the raw source by the caller.
         assert!(lock_order_sites("x.rs", &clean(src), &[2]).is_empty());
     }

@@ -68,7 +68,7 @@ fn show_stats(fs: &InversionFs) {
     let relations = [
         (
             "pg_stat_buffer",
-            "retrieve (s.hits, s.misses, s.evictions, s.writebacks, s.capacity, s.cached) from s in pg_stat_buffer",
+            "retrieve (s.hits, s.misses, s.evictions, s.writebacks, s.prefetches, s.prefetch_hits, s.capacity, s.cached) from s in pg_stat_buffer",
         ),
         (
             "pg_stat_lock",

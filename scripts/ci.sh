@@ -26,6 +26,9 @@ cargo test -q
 echo "== workspace tests =="
 cargo test --workspace -q
 
+echo "== buffer manager stress =="
+cargo test --release -q --test buffer_stress
+
 echo "== smoke: pg_check clean after crash recovery =="
 cargo run --release -q --example pg_check_smoke
 
@@ -39,6 +42,22 @@ grep -q '"minidb_stats_delta"' BENCH_fig3_create.json || {
     echo "BENCH_fig3_create.json lacks stats delta" >&2
     exit 1
 }
+
+echo "== smoke: fig5_reads --threads 4 --json =="
+cargo run --release -q -p bench --bin fig5_reads -- --threads 4 --json
+test -s BENCH_fig5_reads.json || {
+    echo "BENCH_fig5_reads.json missing or empty" >&2
+    exit 1
+}
+grep -q '"thread_scaling"' BENCH_fig5_reads.json || {
+    echo "BENCH_fig5_reads.json lacks thread_scaling section" >&2
+    exit 1
+}
+grep -q '"speedup_at_least_2x": true' BENCH_fig5_reads.json || {
+    echo "4 clients failed to double aggregate read throughput" >&2
+    exit 1
+}
+
 mkdir -p results
-mv BENCH_fig3_create.json results/
+mv BENCH_fig3_create.json BENCH_fig5_reads.json results/
 echo "CI OK"

@@ -171,6 +171,147 @@ proptest! {
     }
 }
 
+/// Operations for the buffer-pool model check.
+#[derive(Debug, Clone)]
+enum PoolOp {
+    /// Read a block and compare against the shadow.
+    Get { blk: u8 },
+    /// Read a block and overwrite it with fresh bytes (dirties the frame).
+    Dirty { blk: u8, fill: u8 },
+    /// Write every dirty page back.
+    Flush,
+    /// Flush then drop the entire cache.
+    FlushClear,
+    /// Drop one relation's pages without writeback.
+    Discard,
+    /// Read-ahead hint over the whole relation.
+    Prefetch,
+}
+
+fn pool_op_strategy(nblocks: u8) -> impl Strategy<Value = PoolOp> {
+    // The shim's `prop_oneof!` has no weights; repeating the read/write
+    // arms biases the mix toward them.
+    prop_oneof![
+        (0..nblocks).prop_map(|blk| PoolOp::Get { blk }),
+        (0..nblocks).prop_map(|blk| PoolOp::Get { blk }),
+        (0..nblocks, any::<u8>()).prop_map(|(blk, fill)| PoolOp::Dirty { blk, fill }),
+        (0..nblocks, any::<u8>()).prop_map(|(blk, fill)| PoolOp::Dirty { blk, fill }),
+        Just(PoolOp::Flush),
+        Just(PoolOp::FlushClear),
+        Just(PoolOp::Discard),
+        Just(PoolOp::Prefetch),
+    ]
+}
+
+// Model-checks the sharded buffer pool against a flat shadow map: whatever
+// interleaving of get/dirty/flush/clear/discard/prefetch runs (with a pool
+// far smaller than the block set, so evictions are constant), a read must
+// never serve stale bytes and a flush must never lose a dirty page.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn buffer_pool_matches_shadow_map(
+        ops in prop::collection::vec(pool_op_strategy(24), 1..60),
+        capacity in 4usize..10,
+        nshards in 1usize..4,
+    ) {
+        use minidb::buffer::BufferPool;
+        use minidb::smgr::{shared_device, GenericManager, Smgr};
+        use minidb::{DeviceId, Oid};
+        use simdev::{DiskProfile, MagneticDisk, SimClock};
+
+        const NBLOCKS: u8 = 24;
+        let dev = DeviceId::DEFAULT;
+        let rel = Oid(42);
+        let clock = SimClock::new();
+        let disk = shared_device(MagneticDisk::new(
+            "prop", clock, DiskProfile::tiny_for_tests(4096),
+        ));
+        let mut smgr = Smgr::new();
+        smgr.register(dev, Box::new(GenericManager::format(disk).unwrap())).unwrap();
+        smgr.with(dev, |m| m.create_rel(rel)).unwrap();
+
+        let pool = BufferPool::with_shards(capacity, nshards);
+        // The shadows: `mem` is what a reader through the pool must see,
+        // `disk_shadow` what a flush guarantees on the device. They diverge
+        // only between a dirty and its writeback.
+        let mut mem: std::collections::HashMap<u64, u8> = std::collections::HashMap::new();
+        let mut disk_shadow: std::collections::HashMap<u64, u8> = std::collections::HashMap::new();
+        for b in 0..NBLOCKS as u64 {
+            let (_, pin) = pool.new_page(&smgr, dev, rel).unwrap();
+            pin.write().data_mut().fill(b as u8);
+            mem.insert(b, b as u8);
+            disk_shadow.insert(b, b as u8);
+        }
+        pool.flush_all(&smgr).unwrap();
+
+        let mut accesses = 0u64;
+        for op in ops {
+            match op {
+                PoolOp::Get { blk } => {
+                    let blk = blk as u64;
+                    let pin = pool.get_page(&smgr, dev, rel, blk).unwrap();
+                    accesses += 1;
+                    let got = pin.read().data()[0];
+                    prop_assert_eq!(got, mem[&blk], "stale read of block {}", blk);
+                }
+                PoolOp::Dirty { blk, fill } => {
+                    let blk = blk as u64;
+                    let pin = pool.get_page(&smgr, dev, rel, blk).unwrap();
+                    accesses += 1;
+                    let before = pin.read().data()[0];
+                    prop_assert_eq!(before, mem[&blk]);
+                    pin.write().data_mut().fill(fill);
+                    mem.insert(blk, fill);
+                }
+                PoolOp::Flush => {
+                    pool.flush_all(&smgr).unwrap();
+                    disk_shadow = mem.clone();
+                }
+                PoolOp::FlushClear => {
+                    pool.flush_and_clear(&smgr).unwrap();
+                    disk_shadow = mem.clone();
+                }
+                PoolOp::Discard => {
+                    // Dropping the cache without writeback: unflushed
+                    // dirties are lost, but evicted-and-written-back pages
+                    // may have reached the device already — either shadow
+                    // is a legal next observation. Re-seed both from what
+                    // the device actually holds.
+                    pool.discard_rel(rel);
+                    let mut page = vec![0u8; minidb::page::PAGE_SIZE];
+                    for b in 0..NBLOCKS as u64 {
+                        smgr.with(dev, |m| m.read(rel, b, &mut page)).unwrap();
+                        let on_disk = page[0];
+                        prop_assert!(
+                            on_disk == disk_shadow[&b] || on_disk == mem[&b],
+                            "block {} on device is {}, expected {} (flushed) or {} (evicted)",
+                            b, on_disk, disk_shadow[&b], mem[&b]
+                        );
+                        mem.insert(b, on_disk);
+                        disk_shadow.insert(b, on_disk);
+                    }
+                }
+                PoolOp::Prefetch => {
+                    pool.prefetch(&smgr, dev, rel, 0, NBLOCKS as usize);
+                }
+            }
+            prop_assert_eq!(pool.check_consistency(), Vec::<String>::new());
+        }
+        // Invariants at the end of every interleaving: accounting balances
+        // and a final flush makes memory and device agree everywhere.
+        let s = pool.stats();
+        prop_assert_eq!(s.hits + s.misses, accesses, "accounting: {:?}", s);
+        pool.flush_all(&smgr).unwrap();
+        let mut page = vec![0u8; minidb::page::PAGE_SIZE];
+        for b in 0..NBLOCKS as u64 {
+            smgr.with(dev, |m| m.read(rel, b, &mut page)).unwrap();
+            prop_assert_eq!(page[0], mem[&b], "block {} lost after flush", b);
+        }
+    }
+}
+
 #[test]
 fn coalescer_equivalence_small_vs_large_writes() {
     // Writing N bytes as many small sequential writes must produce exactly
