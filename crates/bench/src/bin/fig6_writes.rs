@@ -3,24 +3,26 @@
 //! dramatic. ... the NFS measurements show no degradation due to random
 //! accesses, since the whole 1MByte write fits in the PRESTOserve cache."
 //!
-//! With `--threads N`, measures N concurrent clients doing page-sized
-//! writes to disjoint stripes of a cache-resident working set instead.
+//! With `--threads N`, measures N concurrent clients committing small
+//! write transactions through the real commit path instead: scoped
+//! force-at-commit plus the group-commit coordinator, whose batching of
+//! the status-log force is what multi-client write throughput hinges on.
 
+use bench::commit_scaling;
 use bench::report::{self, print_comparison, print_header, Comparison};
-use bench::scaling::{self, ScalingWorkload};
 use bench::testbed::{InversionTestbed, NfsTestbed};
 use bench::workload::{measure_create, measure_write_ops, InversionRemote, UltrixNfs, MB};
 
 fn thread_scaling(threads: usize) {
-    print_header("Figure 6 --threads: multi-client page writes, cache-resident");
-    let (base, multi) = scaling::measure_speedup(ScalingWorkload::Write, threads);
-    scaling::print_speedup(&base, &multi);
+    print_header("Figure 6 --threads: concurrent commits through group commit");
+    let (base, multi) = commit_scaling::measure_commit_speedup(threads);
+    commit_scaling::print_commit_speedup(&base, &multi);
     if report::wants_json() {
         let doc = report::bench_json(
             "fig6_writes",
             &["Inversion"],
             &[],
-            &[("thread_scaling", scaling::scaling_json(&base, &multi))],
+            &[("thread_scaling", commit_scaling::commit_json(&base, &multi))],
         );
         report::write_bench_json("fig6_writes", &doc).expect("write BENCH json");
     }

@@ -1,0 +1,217 @@
+//! Group-commit scaling — the fig6 `--threads` bench knob.
+//!
+//! Where `scaling.rs` measures the sharded buffer cache with a single-
+//! threaded virtual-time driver, this harness drives the *real* commit
+//! path end to end with real threads: N clients each run a closed loop of
+//! small write transactions against their own table, arriving at the
+//! commit point in lockstep rounds. Every transaction flushes its own
+//! dirty pages, and the group-commit coordinator merges the concurrent
+//! commit records into one status-log force per batch.
+//!
+//! The status log lives on a full-size RZ58 disk while the data heap sits
+//! on a small test disk, so the per-commit log force dominates each
+//! transaction — exactly the cost group commit exists to amortize. Time is
+//! the shared [`simdev::SimClock`]: every device operation from every
+//! thread charges the same virtual clock, so aggregate throughput rises
+//! only if batching genuinely removes device work, not because threads
+//! overlap host time.
+
+use std::sync::{Arc, Barrier};
+
+use minidb::{
+    shared_device, Datum, Db, DbConfig, DeviceId, GenericManager, Schema, Smgr, TypeId,
+};
+use simdev::{DiskProfile, MagneticDisk, SimClock};
+
+/// Transactions each client commits in the measured loop.
+const ROUNDS: u64 = 40;
+
+/// One measured configuration of the commit-path workload.
+#[derive(Debug, Clone)]
+pub struct CommitRun {
+    pub threads: usize,
+    /// Total transactions committed in the measured loop.
+    pub txns: u64,
+    /// Virtual time the whole loop took on the shared clock.
+    pub virtual_secs: f64,
+    pub txns_per_sec: f64,
+    /// Commit-path counter deltas for the measured loop.
+    pub commits: u64,
+    pub group_commits: u64,
+    pub batched_records: u64,
+    pub sync_calls: u64,
+    pub pages_flushed_at_commit: u64,
+}
+
+/// Runs `threads` concurrent committers and returns the aggregate
+/// throughput plus the commit-path counters for the measured loop.
+pub fn measure_commits(threads: usize) -> CommitRun {
+    let threads = threads.max(1);
+    let clock = SimClock::new();
+    let data = shared_device(MagneticDisk::new(
+        "data",
+        clock.clone(),
+        DiskProfile::tiny_for_tests(1 << 16),
+    ));
+    // The status log pays full magnetic-disk costs: this is the force each
+    // commit must wait for, and what the coordinator batches.
+    let log = shared_device(MagneticDisk::new("log", clock.clone(), DiskProfile::rz58()));
+    let catalog = shared_device(MagneticDisk::new(
+        "catalog",
+        clock.clone(),
+        DiskProfile::tiny_for_tests(1 << 12),
+    ));
+    let mut smgr = Smgr::new();
+    smgr.register(
+        DeviceId::DEFAULT,
+        Box::new(GenericManager::format(data).unwrap()),
+    )
+    .unwrap();
+    let db = Db::open(clock.clone(), smgr, log, catalog, DbConfig::default()).unwrap();
+
+    // Private tables: the workload contends on the commit path only.
+    let rels: Vec<_> = (0..threads)
+        .map(|t| {
+            db.create_table(&format!("w{t}"), Schema::new([("v", TypeId::INT8)]))
+                .unwrap()
+        })
+        .collect();
+
+    let before = db.stats();
+    let t0 = clock.now();
+    let barrier = Arc::new(Barrier::new(threads));
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let db = db.clone();
+            let rel = rels[t];
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                for round in 0..ROUNDS {
+                    let mut s = db.begin().unwrap();
+                    s.insert(rel, vec![Datum::Int8(round as i64)]).unwrap();
+                    barrier.wait();
+                    s.commit().unwrap();
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("committer panicked");
+    }
+    let elapsed = clock.now().since(t0);
+    let d = db.stats().delta(&before);
+
+    let txns = ROUNDS * threads as u64;
+    let secs = elapsed.as_secs_f64().max(1e-9);
+    CommitRun {
+        threads,
+        txns,
+        virtual_secs: secs,
+        txns_per_sec: txns as f64 / secs,
+        commits: d.xact.commits,
+        group_commits: d.xact.group_commits,
+        batched_records: d.xact.batched_records,
+        sync_calls: d.xact.sync_calls,
+        pages_flushed_at_commit: d.xact.pages_flushed_at_commit,
+    }
+}
+
+/// Measures the single-client baseline and the `threads`-client run.
+pub fn measure_commit_speedup(threads: usize) -> (CommitRun, CommitRun) {
+    (measure_commits(1), measure_commits(threads))
+}
+
+/// Prints the pair as a small table and returns the speedup factor.
+pub fn print_commit_speedup(base: &CommitRun, multi: &CommitRun) -> f64 {
+    println!(
+        "{:<10} {:>8} {:>14} {:>12} {:>8} {:>8} {:>8} {:>10}",
+        "clients", "txns", "txns/s", "virtual s", "commits", "groups", "syncs", "pages"
+    );
+    println!("{}", "-".repeat(86));
+    for run in [base, multi] {
+        println!(
+            "{:<10} {:>8} {:>14.1} {:>12.4} {:>8} {:>8} {:>8} {:>10}",
+            run.threads,
+            run.txns,
+            run.txns_per_sec,
+            run.virtual_secs,
+            run.commits,
+            run.group_commits,
+            run.sync_calls,
+            run.pages_flushed_at_commit,
+        );
+    }
+    let speedup = multi.txns_per_sec / base.txns_per_sec;
+    println!();
+    println!(
+        "aggregate commit throughput with {} clients: {speedup:.2}x the single client \
+         ({} data syncs for {} commits — group commit amortized the log force)",
+        multi.threads, multi.sync_calls, multi.commits,
+    );
+    speedup
+}
+
+/// Renders the pair as the `thread_scaling` JSON section of a BENCH report.
+pub fn commit_json(base: &CommitRun, multi: &CommitRun) -> String {
+    let speedup = multi.txns_per_sec / base.txns_per_sec;
+    format!(
+        "{{\"workload\": \"group_commit\", \"threads\": {}, \"baseline_threads\": {}, \
+         \"rounds_per_thread\": {}, \"txns\": {}, \
+         \"baseline_txns_per_sec\": {:.1}, \"txns_per_sec\": {:.1}, \
+         \"speedup\": {:.3}, \"speedup_at_least_1_5x\": {}, \
+         \"group_commit_engaged\": {}, \"commits\": {}, \"group_commits\": {}, \
+         \"batched_records\": {}, \"sync_calls\": {}, \
+         \"pages_flushed_at_commit\": {}, \"unit\": \"virtual_time\"}}",
+        multi.threads,
+        base.threads,
+        ROUNDS,
+        multi.txns,
+        base.txns_per_sec,
+        multi.txns_per_sec,
+        speedup,
+        speedup >= 1.5,
+        multi.sync_calls < multi.commits,
+        multi.commits,
+        multi.group_commits,
+        multi.batched_records,
+        multi.sync_calls,
+        multi.pages_flushed_at_commit,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_committers_amortize_the_log_force() {
+        let (base, multi) = measure_commit_speedup(4);
+        assert_eq!(base.txns, ROUNDS);
+        assert_eq!(multi.txns, 4 * ROUNDS);
+        assert_eq!(base.commits, base.txns);
+        assert_eq!(multi.commits, multi.txns);
+        assert_eq!(multi.batched_records, multi.commits, "no record lost");
+        assert!(
+            multi.sync_calls < multi.commits,
+            "group commit must engage: {} syncs for {} commits",
+            multi.sync_calls,
+            multi.commits
+        );
+        assert!(multi.group_commits > 0);
+        let speedup = multi.txns_per_sec / base.txns_per_sec;
+        assert!(
+            speedup >= 1.5,
+            "4 committers must raise write throughput at least 1.5x, got {speedup:.2}x"
+        );
+    }
+
+    #[test]
+    fn commit_json_is_well_formed() {
+        let (base, multi) = measure_commit_speedup(2);
+        let json = commit_json(&base, &multi);
+        assert!(json.contains("\"workload\": \"group_commit\""));
+        assert!(json.contains("\"speedup_at_least_1_5x\": "));
+        assert!(json.contains("\"group_commit_engaged\": "));
+        assert!(json.starts_with('{') && json.ends_with('}'));
+    }
+}

@@ -9,9 +9,13 @@
 //! # Commit protocol
 //!
 //! The no-overwrite storage manager needs no write-ahead log. Commit is:
-//! flush every dirty buffer, sync the device managers, then persist the
-//! transaction's `Committed` record in the status file — that last write is
-//! the commit point. Crash recovery is reopening the database: transactions
+//! flush the committing transaction's *own* dirty pages (recorded by the
+//! buffer pool's [`crate::buffer::DirtyScope`]), sync only the devices
+//! those pages live on, then persist the transaction's `Committed` record
+//! in the status file — that last write is the commit point. Concurrent
+//! committers batch their status records through the group-commit
+//! coordinator ([`DbConfig::group_commit_window`]) so one status-file sync
+//! commits them all. Crash recovery is reopening the database: transactions
 //! without a committed status record are invisible forever.
 
 use std::sync::Arc;
@@ -21,7 +25,7 @@ use parking_lot::{RwLock, RwLockReadGuard};
 use simdev::{DiskProfile, MagneticDisk, SimClock, SimDuration, SimInstant};
 
 use crate::btree::BTree;
-use crate::buffer::{BufferPool, DEFAULT_BUFFERS};
+use crate::buffer::{BufferPool, DirtyScope, DEFAULT_BUFFERS};
 use crate::catalog::{Catalog, IndexInfo, ProcEntry, RelKind, RelationEntry, RuleEntry};
 use crate::datum::{decode_row, Datum, Row, Schema, TypeId};
 use crate::error::{DbError, DbResult};
@@ -33,7 +37,7 @@ use crate::smgr::{read_meta, shared_device, write_meta, GenericManager, SharedDe
 use crate::stats::{
     DeviceIoStats, StatsRegistry, StatsSnapshot, VirtualRowsFn, VirtualTable, VirtualTables,
 };
-use crate::xact::{Snapshot, XactLog};
+use crate::xact::{GroupCommitter, PendingRecord, Snapshot, XactLog};
 
 /// Tunables for a [`Db`].
 #[derive(Debug, Clone)]
@@ -53,6 +57,11 @@ pub struct DbConfig {
     /// Blocks of sequential read-ahead past a detected scan run
     /// (0 disables prefetching).
     pub prefetch_window: usize,
+    /// How long (virtual time) a commit batch leader holds the window open
+    /// for concurrent committers before forcing the shared status-file
+    /// sync. Zero disables group commit: every transaction syncs its own
+    /// commit record.
+    pub group_commit_window: SimDuration,
 }
 
 impl Default for DbConfig {
@@ -62,6 +71,7 @@ impl Default for DbConfig {
             lock_timeout: Duration::from_secs(10),
             eager_index_writes: true,
             prefetch_window: crate::buffer::DEFAULT_PREFETCH_WINDOW,
+            group_commit_window: SimDuration::from_micros(50),
         }
     }
 }
@@ -77,6 +87,7 @@ pub(crate) struct DbInner {
     pub(crate) funcs: FunctionRegistry,
     pub(crate) stats: Arc<StatsRegistry>,
     pub(crate) virtuals: VirtualTables,
+    pub(crate) committer: GroupCommitter,
     catalog_dev: SharedDevice,
 }
 
@@ -106,6 +117,7 @@ impl Db {
         locks.share_stats(Arc::clone(&stats));
         let pool = BufferPool::new(config.buffers);
         pool.set_prefetch_window(config.prefetch_window);
+        let committer = GroupCommitter::new(clock.clone(), config.group_commit_window);
         let db = Db {
             inner: Arc::new(DbInner {
                 clock,
@@ -117,6 +129,7 @@ impl Db {
                 funcs: FunctionRegistry::with_builtins(),
                 stats,
                 virtuals: VirtualTables::new(),
+                committer,
                 catalog_dev,
                 config,
             }),
@@ -148,6 +161,7 @@ impl Db {
         locks.share_stats(Arc::clone(&stats));
         let pool = BufferPool::new(config.buffers);
         pool.set_prefetch_window(config.prefetch_window);
+        let committer = GroupCommitter::new(clock.clone(), config.group_commit_window);
         Ok(Db {
             inner: Arc::new(DbInner {
                 clock,
@@ -159,6 +173,7 @@ impl Db {
                 funcs: FunctionRegistry::with_builtins(),
                 stats,
                 virtuals: VirtualTables::new(),
+                committer,
                 catalog_dev,
                 config,
             }),
@@ -535,6 +550,7 @@ impl Db {
             snapshot: Snapshot::Current { xid, active },
             done: false,
             wrote: false,
+            dirty: Vec::new(),
         })
     }
 
@@ -547,6 +563,7 @@ impl Db {
             snapshot: Snapshot::AsOf(t),
             done: false,
             wrote: false,
+            dirty: Vec::new(),
         }
     }
 
@@ -607,6 +624,10 @@ pub struct Session {
     snapshot: Snapshot,
     done: bool,
     wrote: bool,
+    /// (device, relation, block) of every page this transaction dirtied —
+    /// recorded by [`DirtyScope`] around the write paths, unsorted and
+    /// with duplicates. Commit flushes and syncs exactly this set.
+    dirty: Vec<(DeviceId, RelId, u64)>,
 }
 
 impl Session {
@@ -676,6 +697,15 @@ impl Session {
 
     /// Inserts `row` into `rel`, maintaining its indices.
     pub fn insert(&mut self, rel: RelId, row: Row) -> DbResult<Tid> {
+        let scope = DirtyScope::begin();
+        let out = self.insert_inner(rel, row);
+        // Collect even on error: a half-done operation (say, one side of a
+        // b-tree split) still dirtied pages that commit must flush.
+        self.dirty.extend(scope.finish());
+        out
+    }
+
+    fn insert_inner(&mut self, rel: RelId, row: Row) -> DbResult<Tid> {
         let xid = self.writable_xid()?;
         let (dev, indexes) = self.db.heap_parts(rel)?;
         {
@@ -715,6 +745,13 @@ impl Session {
 
     /// Deletes the tuple at `tid`. Returns `false` if already deleted.
     pub fn delete(&mut self, rel: RelId, tid: Tid) -> DbResult<bool> {
+        let scope = DirtyScope::begin();
+        let out = self.delete_inner(rel, tid);
+        self.dirty.extend(scope.finish());
+        out
+    }
+
+    fn delete_inner(&mut self, rel: RelId, tid: Tid) -> DbResult<bool> {
         let xid = self.writable_xid()?;
         let (dev, _) = self.db.heap_parts(rel)?;
         self.lock(rel, LockMode::Exclusive)?;
@@ -965,8 +1002,10 @@ impl Session {
         })
     }
 
-    /// Commits the transaction: data to stable storage, then the status
-    /// record — the commit point.
+    /// Commits the transaction: its own dirty pages to stable storage (a
+    /// scoped flush and a sync of only the devices they touched), then the
+    /// status record — the commit point, shared with concurrent committers
+    /// via the group-commit coordinator when the window is open.
     pub fn commit(&mut self) -> DbResult<()> {
         if self.done {
             return Err(DbError::NoTransaction);
@@ -975,38 +1014,102 @@ impl Session {
         let Some(xid) = self.xid else {
             return Ok(()); // Historical sessions end trivially.
         };
+        let dirty = std::mem::take(&mut self.dirty);
+        let inner = &self.db.inner;
+        let t0 = inner.clock.now();
         // A hair of commit processing keeps commit timestamps strictly
         // monotone even if no device advanced the clock.
-        self.db.inner.clock.advance(SimDuration::from_micros(1));
+        inner.clock.advance(SimDuration::from_micros(1));
         let result = if self.wrote {
-            self.db
-                .inner
-                .pool
-                .flush_all(&self.db.inner.smgr)
-                .and_then(|_| self.db.inner.smgr.sync_all())
-                .and_then(|_| self.db.inner.xlog.commit(xid, self.db.inner.clock.now()))
+            Self::commit_written(inner, xid, dirty)
         } else {
-            // Read-only: no durability needed, no status-file write.
-            self.db
-                .inner
-                .xlog
-                .commit_readonly(xid, self.db.inner.clock.now())
+            // Read-only: nothing to flush, no sync, no status-file write.
+            inner.xlog.commit_readonly(xid, inner.clock.now())
         };
         if result.is_err() {
             // The commit never reached the status file, so the transaction
             // is aborted by definition; record that (best effort — a dead
             // log device changes nothing, absence of a commit record is
             // authoritative) and release the locks.
-            self.db.inner.xlog.abort(xid).ok();
-            self.db.inner.stats.xact.aborts.bump();
+            inner.xlog.abort(xid).ok();
+            inner.stats.xact.aborts.bump();
         } else {
-            self.db.inner.stats.xact.commits.bump();
+            inner.stats.xact.commits.bump();
         }
-        self.db.inner.locks.release_all(xid);
+        inner
+            .stats
+            .xact
+            .commit_latency
+            .record(inner.clock.now().since(t0).as_nanos());
+        inner.locks.release_all(xid);
         result
     }
 
+    /// The write-transaction commit path: flush the transaction's own dirty
+    /// set, sync only the devices it touched, persist the commit record —
+    /// directly when group commit is disabled, otherwise through the
+    /// coordinator so concurrent committers share one status-file sync.
+    fn commit_written(
+        inner: &DbInner,
+        xid: XactId,
+        mut dirty: Vec<(DeviceId, RelId, u64)>,
+    ) -> DbResult<()> {
+        // Register with the coordinator *before* flushing so a concurrent
+        // batch leader holds its window open for us.
+        let inflight = inner.committer.begin_commit();
+        dirty.sort_unstable();
+        dirty.dedup();
+        let flushed = inner.pool.flush_pages(&inner.smgr, &dirty)?;
+        inner.stats.xact.pages_flushed_at_commit.add(flushed as u64);
+        let mut devs: Vec<DeviceId> = dirty.iter().map(|&(d, _, _)| d).collect();
+        devs.sort_unstable();
+        devs.dedup();
+        if inner.committer.window().as_nanos() == 0 {
+            drop(inflight);
+            inner.smgr.sync_devices(&devs)?;
+            inner.stats.xact.sync_calls.add(devs.len() as u64);
+            inner.xlog.commit(xid, inner.clock.now())?;
+            inner.stats.xact.batched_records.bump();
+            Ok(())
+        } else {
+            inner.committer.submit(
+                PendingRecord {
+                    xid,
+                    devices: devs,
+                    commit: true,
+                },
+                inflight,
+                |batch| Self::process_batch(inner, batch),
+            )
+        }
+    }
+
+    /// Durably processes one commit batch on behalf of all its members:
+    /// one sync over the union of touched data devices, then one
+    /// status-file write-and-sync covering every record.
+    fn process_batch(inner: &DbInner, batch: &[PendingRecord]) -> DbResult<()> {
+        let mut devs: Vec<DeviceId> = batch
+            .iter()
+            .flat_map(|r| r.devices.iter().copied())
+            .collect();
+        devs.sort_unstable();
+        devs.dedup();
+        inner.smgr.sync_devices(&devs)?;
+        inner.stats.xact.sync_calls.add(devs.len() as u64);
+        let commits: Vec<XactId> = batch.iter().filter(|r| r.commit).map(|r| r.xid).collect();
+        let aborts: Vec<XactId> = batch.iter().filter(|r| !r.commit).map(|r| r.xid).collect();
+        inner.xlog.commit_batch(&commits, &aborts, inner.clock.now())?;
+        inner.stats.xact.batched_records.add(commits.len() as u64);
+        if batch.len() >= 2 {
+            inner.stats.xact.group_commits.bump();
+        }
+        Ok(())
+    }
+
     /// Aborts the transaction; all its updates become permanently invisible.
+    /// When the group-commit window is open, the abort record piggybacks on
+    /// the next commit batch instead of forcing its own status-file sync
+    /// (safe: a missing abort record already means aborted after a crash).
     pub fn abort(&mut self) -> DbResult<()> {
         if self.done {
             return Err(DbError::NoTransaction);
@@ -1015,10 +1118,22 @@ impl Session {
         let Some(xid) = self.xid else {
             return Ok(());
         };
-        self.db.inner.xlog.abort(xid)?;
-        self.db.inner.stats.xact.aborts.bump();
-        self.db.inner.locks.release_all(xid);
-        Ok(())
+        self.dirty.clear();
+        let inner = &self.db.inner;
+        let result = if inner.committer.window().as_nanos() == 0 {
+            inner.xlog.abort(xid)
+        } else {
+            // Mark aborted in memory and let the record ride with the next
+            // commit batch, without waiting for it: an aborted transaction
+            // is invisible whether or not its record ever reaches the disk,
+            // so the abort path never parks on the group-commit coordinator.
+            inner.xlog.mark_aborted(xid).map(|_| {
+                inner.committer.enqueue_abort(xid);
+            })
+        };
+        inner.stats.xact.aborts.bump();
+        inner.locks.release_all(xid);
+        result
     }
 }
 

@@ -217,11 +217,12 @@ impl LockManager {
 /// cycle-free.
 pub mod order {
     /// Lock families, outermost first. Index = rank.
-    pub const HIERARCHY: [&str; 8] = [
+    pub const HIERARCHY: [&str; 9] = [
         "catalog",
         "lock-manager",
         "heap-page",
         "btree-page",
+        "commit-coord",
         "xact-log",
         "buffer-shard",
         "buffer-frame",
@@ -236,16 +237,21 @@ pub mod order {
     pub const HEAP_PAGE: usize = 2;
     /// Rank of b-tree page latches (meta, internal, and leaf pages).
     pub const BTREE_PAGE: usize = 3;
+    /// Rank of the group-commit coordinator mutex. It sits *outside*
+    /// `xact-log` and the device ranks because the batch leader persists
+    /// commit records and syncs devices on behalf of the whole batch;
+    /// committers enter the coordinator holding no other ranked lock.
+    pub const COMMIT_COORD: usize = 4;
     /// Rank of the transaction status log mutex.
-    pub const XACT_LOG: usize = 4;
+    pub const XACT_LOG: usize = 5;
     /// Rank of the buffer pool's per-shard latches.
-    pub const BUFFER_SHARD: usize = 5;
+    pub const BUFFER_SHARD: usize = 6;
     /// Rank of frame locks taken *by the pool itself* (load, writeback,
     /// flush) — access methods lock the same frames as `heap-page` /
     /// `btree-page`.
-    pub const BUFFER_FRAME: usize = 6;
+    pub const BUFFER_FRAME: usize = 7;
     /// Rank of per-device locks (the smgr switch and `SharedDevice`s).
-    pub const SMGR_DEVICE: usize = 7;
+    pub const SMGR_DEVICE: usize = 8;
 
     #[cfg(debug_assertions)]
     thread_local! {

@@ -264,17 +264,29 @@ impl Session {
             }
             "pg_stat_xact" => {
                 let x = &db.inner.stats.xact;
+                let lat = x.commit_latency.snapshot();
+                let lat_text: Vec<String> = lat.iter().map(u64::to_string).collect();
                 Some((
                     Schema::new([
                         ("commits", TypeId::INT8),
                         ("aborts", TypeId::INT8),
                         ("time_travel_reads", TypeId::INT8),
+                        ("group_commits", TypeId::INT8),
+                        ("batched_records", TypeId::INT8),
+                        ("pages_flushed_at_commit", TypeId::INT8),
+                        ("sync_calls", TypeId::INT8),
+                        ("commit_latency_hist", TypeId::TEXT),
                         ("active", TypeId::INT4),
                     ]),
                     vec![vec![
                         int8(x.commits.get()),
                         int8(x.aborts.get()),
                         int8(x.time_travel_reads.get()),
+                        int8(x.group_commits.get()),
+                        int8(x.batched_records.get()),
+                        int8(x.pages_flushed_at_commit.get()),
+                        int8(x.sync_calls.get()),
+                        Datum::Text(format!("[{}]", lat_text.join(","))),
                         Datum::Int4(db.inner.xlog.active_set().len() as i32),
                     ]],
                 ))

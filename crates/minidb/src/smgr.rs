@@ -908,10 +908,22 @@ impl Smgr {
         }
     }
 
-    /// Syncs every registered device.
+    /// Syncs every registered device. Checkpoint/shutdown-grade: the commit
+    /// path uses the scoped [`Smgr::sync_devices`] instead.
     pub fn sync_all(&self) -> DbResult<()> {
+        let _order = crate::lock::order::token(crate::lock::order::SMGR_DEVICE);
         for mgr in self.mgrs.values() {
             mgr.lock().sync()?;
+        }
+        Ok(())
+    }
+
+    /// Syncs exactly the listed devices — the scoped force a commit issues
+    /// for the devices its dirty set actually touched. `devs` should be
+    /// deduplicated by the caller; unknown ids are an error.
+    pub fn sync_devices(&self, devs: &[DeviceId]) -> DbResult<()> {
+        for &dev in devs {
+            self.with(dev, |m| m.sync())?;
         }
         Ok(())
     }

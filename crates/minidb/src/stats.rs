@@ -110,6 +110,21 @@ pub struct XactCounters {
     pub aborts: Counter,
     /// Scans executed against an `AsOf` (time-travel) snapshot.
     pub time_travel_reads: Counter,
+    /// Commit batches that durably committed more than one record with a
+    /// single status-log sync.
+    pub group_commits: Counter,
+    /// Commit records persisted through the group-commit coordinator
+    /// (every committed write transaction counts once, batched or not).
+    pub batched_records: Counter,
+    /// Dirty pages written back by commits (scoped to each transaction's
+    /// own dirty set).
+    pub pages_flushed_at_commit: Counter,
+    /// Data-device syncs issued by commit processing; with scoped sync a
+    /// single-table commit costs exactly one, and group commit amortizes
+    /// the status-log force so this stays *below* `commits` under load.
+    pub sync_calls: Counter,
+    /// Commit latency (begin-to-durable, simulated time) distribution.
+    pub commit_latency: LatencyHistogram,
 }
 
 /// Heap access-method counters.
@@ -212,6 +227,16 @@ pub struct XactStats {
     pub aborts: u64,
     /// Time-travel scans.
     pub time_travel_reads: u64,
+    /// Multi-record commit batches.
+    pub group_commits: u64,
+    /// Commit records persisted via the coordinator.
+    pub batched_records: u64,
+    /// Dirty pages written back at commit.
+    pub pages_flushed_at_commit: u64,
+    /// Data-device syncs issued by commits.
+    pub sync_calls: u64,
+    /// Commit latency bucket counts (bounds in [`LATENCY_BOUNDS_NS`]).
+    pub commit_latency: [u64; LATENCY_BUCKETS],
 }
 
 /// Frozen heap counters.
@@ -305,6 +330,11 @@ impl StatsSnapshot {
                 commits: reg.xact.commits.get(),
                 aborts: reg.xact.aborts.get(),
                 time_travel_reads: reg.xact.time_travel_reads.get(),
+                group_commits: reg.xact.group_commits.get(),
+                batched_records: reg.xact.batched_records.get(),
+                pages_flushed_at_commit: reg.xact.pages_flushed_at_commit.get(),
+                sync_calls: reg.xact.sync_calls.get(),
+                commit_latency: reg.xact.commit_latency.snapshot(),
             },
             heap: HeapOpStats {
                 scans: reg.heap.scans.get(),
@@ -368,6 +398,16 @@ impl StatsSnapshot {
                     self.xact.time_travel_reads,
                     baseline.xact.time_travel_reads,
                 ),
+                group_commits: sub(self.xact.group_commits, baseline.xact.group_commits),
+                batched_records: sub(self.xact.batched_records, baseline.xact.batched_records),
+                pages_flushed_at_commit: sub(
+                    self.xact.pages_flushed_at_commit,
+                    baseline.xact.pages_flushed_at_commit,
+                ),
+                sync_calls: sub(self.xact.sync_calls, baseline.xact.sync_calls),
+                commit_latency: std::array::from_fn(|i| {
+                    sub(self.xact.commit_latency[i], baseline.xact.commit_latency[i])
+                }),
             },
             heap: HeapOpStats {
                 scans: sub(self.heap.scans, baseline.heap.scans),
@@ -420,7 +460,9 @@ impl StatsSnapshot {
             "{{\"buffer\":{{\"hits\":{},\"misses\":{},\"evictions\":{},\"writebacks\":{},\
              \"prefetches\":{},\"prefetch_hits\":{}}},\
              \"lock\":{{\"acquisitions\":{},\"waits\":{},\"deadlocks\":{},\"timeouts\":{}}},\
-             \"xact\":{{\"commits\":{},\"aborts\":{},\"time_travel_reads\":{}}},\
+             \"xact\":{{\"commits\":{},\"aborts\":{},\"time_travel_reads\":{},\
+             \"group_commits\":{},\"batched_records\":{},\"pages_flushed_at_commit\":{},\
+             \"sync_calls\":{},\"commit_latency\":{}}},\
              \"heap\":{{\"scans\":{},\"fetches\":{},\"appends\":{}}},\
              \"btree\":{{\"searches\":{},\"inserts\":{},\"splits\":{},\"page_writes\":{}}},\
              \"vacuum_passes\":{},\
@@ -438,6 +480,11 @@ impl StatsSnapshot {
             self.xact.commits,
             self.xact.aborts,
             self.xact.time_travel_reads,
+            self.xact.group_commits,
+            self.xact.batched_records,
+            self.xact.pages_flushed_at_commit,
+            self.xact.sync_calls,
+            hist(&self.xact.commit_latency),
             self.heap.scans,
             self.heap.fetches,
             self.heap.appends,

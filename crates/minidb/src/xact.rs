@@ -11,13 +11,14 @@
 //! the whole recovery story, and why the paper calls recovery "essentially
 //! instantaneous".
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicUsize, Ordering::SeqCst};
 
-use parking_lot::Mutex;
-use simdev::SimInstant;
+use parking_lot::{Condvar, Mutex};
+use simdev::{SimClock, SimDuration, SimInstant};
 
 use crate::error::{DbError, DbResult};
-use crate::ids::XactId;
+use crate::ids::{DeviceId, XactId};
 use crate::smgr::SharedDevice;
 
 /// Commit state of one transaction.
@@ -237,6 +238,82 @@ impl XactLog {
         self.persist_entry(xid)
     }
 
+    /// Marks `xid` aborted in memory only — used when the abort record will
+    /// piggyback on a group-commit batch instead of forcing its own sync.
+    /// Volatility is safe for aborts: after a crash the missing record reads
+    /// `Unknown`, which means exactly the same thing.
+    pub fn mark_aborted(&self, xid: XactId) -> DbResult<()> {
+        let _order = crate::lock::order::token(crate::lock::order::XACT_LOG);
+        let mut g = self.inner.lock();
+        let slot = g
+            .entries
+            .get_mut(xid.0 as usize)
+            .ok_or_else(|| DbError::Invalid(format!("abort of unknown {xid}")))?;
+        if !matches!(slot, XactState::InProgress) {
+            return Err(DbError::Invalid(format!("abort of non-running {xid}")));
+        }
+        *slot = XactState::Aborted;
+        Ok(())
+    }
+
+    /// Durably commits a whole batch with a *single* log-device sync: marks
+    /// every member of `commits` committed at `now`, then rewrites each
+    /// status block the batch touches — commit and piggybacked abort records
+    /// alike (`aborts` must already be marked via [`XactLog::mark_aborted`])
+    /// — and syncs the log device once. Data pages of every member must
+    /// already be on stable storage.
+    ///
+    /// If persisting fails, the commit members are re-marked aborted in
+    /// memory before the error returns: no durable record exists, so after
+    /// a crash they would read `Unknown` either way, and the in-memory state
+    /// must agree.
+    pub fn commit_batch(
+        &self,
+        commits: &[XactId],
+        aborts: &[XactId],
+        now: SimInstant,
+    ) -> DbResult<()> {
+        {
+            let _order = crate::lock::order::token(crate::lock::order::XACT_LOG);
+            let mut g = self.inner.lock();
+            for &xid in commits {
+                match g.entries.get(xid.0 as usize) {
+                    Some(XactState::InProgress) => {}
+                    other => {
+                        return Err(DbError::Invalid(format!(
+                            "batch commit of non-running {xid} ({other:?})"
+                        )))
+                    }
+                }
+            }
+            for &xid in commits {
+                if let Some(slot) = g.entries.get_mut(xid.0 as usize) {
+                    *slot = XactState::Committed(now);
+                }
+            }
+        }
+        let mut blknos: Vec<u64> = commits
+            .iter()
+            .chain(aborts)
+            .map(|x| (x.0 as usize / ENTRIES_PER_BLOCK) as u64)
+            .collect();
+        blknos.sort_unstable();
+        blknos.dedup();
+        match self.persist_blocks(&blknos) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                let _order = crate::lock::order::token(crate::lock::order::XACT_LOG);
+                let mut g = self.inner.lock();
+                for &xid in commits {
+                    if let Some(slot) = g.entries.get_mut(xid.0 as usize) {
+                        *slot = XactState::Aborted;
+                    }
+                }
+                Err(e)
+            }
+        }
+    }
+
     /// The set of transaction ids currently in progress.
     pub fn active_set(&self) -> HashSet<XactId> {
         let _order = crate::lock::order::token(crate::lock::order::XACT_LOG);
@@ -259,31 +336,249 @@ impl XactLog {
 
     /// Rewrites the status block containing `xid` on the log device.
     fn persist_entry(&self, xid: XactId) -> DbResult<()> {
-        let blkno = xid.0 as usize / ENTRIES_PER_BLOCK;
-        let first = blkno * ENTRIES_PER_BLOCK;
-        let mut blk = vec![0u8; simdev::BLOCK_SIZE];
+        self.persist_blocks(&[(xid.0 as usize / ENTRIES_PER_BLOCK) as u64])
+    }
+
+    /// Rewrites the listed status blocks (sorted, deduplicated by the
+    /// caller) on the log device and syncs it once.
+    fn persist_blocks(&self, blknos: &[u64]) -> DbResult<()> {
+        let mut blocks = Vec::with_capacity(blknos.len());
         {
             let _order = crate::lock::order::token(crate::lock::order::XACT_LOG);
             let g = self.inner.lock();
-            for i in 0..ENTRIES_PER_BLOCK {
-                let x = first + i;
-                let off = i * ENTRY_SIZE;
-                match g.entries.get(x).copied().unwrap_or(XactState::Unknown) {
-                    XactState::Committed(t) => {
-                        blk[off] = ST_COMMITTED;
-                        blk[off + 1..off + 9].copy_from_slice(&t.as_nanos().to_le_bytes());
+            for &blkno in blknos {
+                let first = blkno as usize * ENTRIES_PER_BLOCK;
+                let mut blk = vec![0u8; simdev::BLOCK_SIZE];
+                for i in 0..ENTRIES_PER_BLOCK {
+                    let x = first + i;
+                    let off = i * ENTRY_SIZE;
+                    match g.entries.get(x).copied().unwrap_or(XactState::Unknown) {
+                        XactState::Committed(t) => {
+                            blk[off] = ST_COMMITTED;
+                            blk[off + 1..off + 9].copy_from_slice(&t.as_nanos().to_le_bytes());
+                        }
+                        XactState::Aborted => blk[off] = ST_ABORTED,
+                        // In-progress is deliberately not persisted.
+                        XactState::InProgress | XactState::Unknown => blk[off] = ST_UNKNOWN,
                     }
-                    XactState::Aborted => blk[off] = ST_ABORTED,
-                    // In-progress is deliberately not persisted.
-                    XactState::InProgress | XactState::Unknown => blk[off] = ST_UNKNOWN,
                 }
+                blocks.push((blkno, blk));
             }
         }
         let _order = crate::lock::order::token(crate::lock::order::SMGR_DEVICE);
         let mut d = self.dev.lock();
-        d.write_block(blkno as u64, &blk)?;
+        for (blkno, blk) in &blocks {
+            d.write_block(*blkno, blk)?;
+        }
         d.sync()?;
         Ok(())
+    }
+}
+
+/// One record waiting in the group-commit coordinator's pending batch.
+#[derive(Debug, Clone)]
+pub struct PendingRecord {
+    /// The transaction whose status record rides in this batch.
+    pub xid: XactId,
+    /// Data devices the transaction's dirty set touched. The committer has
+    /// already *flushed* its pages to them; the batch leader issues one
+    /// sync over the union. Empty for piggybacked aborts.
+    pub devices: Vec<DeviceId>,
+    /// `true` for a commit record, `false` for a piggybacked abort.
+    pub commit: bool,
+}
+
+struct CoordState {
+    /// Records awaiting the next batch.
+    pending: Vec<PendingRecord>,
+    /// Whether some committer is currently driving a batch to disk.
+    leader_active: bool,
+    /// Results for batch members, delivered by the leader.
+    done: HashMap<XactId, DbResult<()>>,
+}
+
+/// RAII marker that a committer has started flushing its dirty pages and
+/// will submit a record shortly. The batch leader's straggler wait keeps
+/// the window open while any of these are live, which is what turns N
+/// concurrent committers into one batch instead of N. A guard dropped
+/// without reaching [`GroupCommitter::submit`] (a flush error, say)
+/// deregisters itself.
+#[must_use = "pass the guard to submit(), or drop it on the error path"]
+pub struct InFlight<'a> {
+    committer: &'a GroupCommitter,
+    armed: bool,
+}
+
+impl Drop for InFlight<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.committer.flushing.fetch_sub(1, SeqCst);
+        }
+    }
+}
+
+/// The group-commit coordinator.
+///
+/// Committers flush their own dirty pages first, then [`submit`] their
+/// status record. Whoever finds no leader active becomes the batch leader:
+/// it holds the commit window open for stragglers (in virtual time —
+/// advancing the [`SimClock`] by `window` when concurrent committers are
+/// observed), drains the pending queue, and runs the caller-supplied batch
+/// processor (device sync + [`XactLog::commit_batch`]) once for everyone.
+/// Followers park on a condvar and wake with their result.
+///
+/// Its mutex ranks `commit-coord` in the lock hierarchy, *outside*
+/// `xact-log` and the device ranks, because the leader persists records and
+/// syncs devices on the batch's behalf; committers must enter holding no
+/// other ranked lock.
+///
+/// [`submit`]: GroupCommitter::submit
+pub struct GroupCommitter {
+    state: Mutex<CoordState>,
+    cond: Condvar,
+    /// Committers between [`GroupCommitter::begin_commit`] and their
+    /// [`GroupCommitter::submit`] — mid-flush, record not yet pending.
+    flushing: AtomicUsize,
+    clock: SimClock,
+    window: SimDuration,
+}
+
+impl GroupCommitter {
+    /// A coordinator batching over `window` of virtual time; a zero window
+    /// disables batching (callers then commit directly, one sync each).
+    pub fn new(clock: SimClock, window: SimDuration) -> GroupCommitter {
+        GroupCommitter {
+            state: Mutex::new(CoordState {
+                pending: Vec::new(),
+                leader_active: false,
+                done: HashMap::new(),
+            }),
+            cond: Condvar::new(),
+            flushing: AtomicUsize::new(0),
+            clock,
+            window,
+        }
+    }
+
+    /// The configured batching window.
+    pub fn window(&self) -> SimDuration {
+        self.window
+    }
+
+    /// Announces a commit in flight (about to flush its pages). Call
+    /// *before* the flush so a concurrent leader holds the batch open.
+    pub fn begin_commit(&self) -> InFlight<'_> {
+        self.flushing.fetch_add(1, SeqCst);
+        InFlight {
+            committer: self,
+            armed: true,
+        }
+    }
+
+    /// Queues an abort record to ride along with the next commit batch,
+    /// without waiting for it. Fire-and-forget is *correct* for aborts: the
+    /// transaction is already marked aborted in memory, and on disk the
+    /// absence of any record means exactly the same thing — so there is
+    /// nothing to wait for. (If no commit ever comes, the record simply
+    /// never hits the disk, which changes nothing.)
+    pub fn enqueue_abort(&self, xid: XactId) {
+        let _order = crate::lock::order::token(crate::lock::order::COMMIT_COORD);
+        self.state.lock().pending.push(PendingRecord {
+            xid,
+            devices: Vec::new(),
+            commit: false,
+        });
+    }
+
+    /// Submits a commit `record` and blocks until a batch containing it has
+    /// been durably processed, returning that batch's result. `process`
+    /// runs on whichever committer ends up leading the batch.
+    pub fn submit(
+        &self,
+        record: PendingRecord,
+        mut inflight: InFlight<'_>,
+        process: impl Fn(&[PendingRecord]) -> DbResult<()>,
+    ) -> DbResult<()> {
+        let xid = record.xid;
+        let _order = crate::lock::order::token(crate::lock::order::COMMIT_COORD);
+        let mut g = self.state.lock();
+        g.pending.push(record);
+        if inflight.armed {
+            inflight.armed = false;
+            self.flushing.fetch_sub(1, SeqCst);
+        }
+        loop {
+            if let Some(result) = g.done.remove(&xid) {
+                return result;
+            }
+            if !g.leader_active && !g.pending.is_empty() {
+                g.leader_active = true;
+                drop(g);
+                self.await_stragglers();
+                let batch = {
+                    let mut g2 = self.state.lock();
+                    std::mem::take(&mut g2.pending)
+                };
+                let result = process(&batch);
+                g = self.state.lock();
+                for r in &batch {
+                    // Only commit submitters wait for a result; abort
+                    // records are fire-and-forget (see `enqueue_abort`),
+                    // and a `done` entry for them would never be drained.
+                    if r.commit {
+                        g.done.insert(r.xid, result.clone());
+                    }
+                }
+                g.leader_active = false;
+                self.cond.notify_all();
+            } else {
+                self.cond.wait(&mut g);
+            }
+        }
+    }
+
+    /// The leader's window: while concurrent committers are mid-flush (or
+    /// the pending queue keeps growing), keep the batch open. Charges the
+    /// virtual clock `window` once iff stragglers were actually observed,
+    /// so a solo commit pays nothing. Host-side, "waiting" is a bounded
+    /// yield loop — committers between `begin_commit` and `submit` only
+    /// run device models and never block on this coordinator — with a hard
+    /// iteration cap so a storm of arrivals (e.g. abort/retry loops) can
+    /// only delay a batch, never hold it open forever.
+    fn await_stragglers(&self) {
+        if self.window.as_nanos() == 0 {
+            return;
+        }
+        let mut advanced = false;
+        let mut quiet = 0u32;
+        let mut last_len = self.pending_len();
+        for _ in 0..4096 {
+            if quiet >= 64 {
+                break;
+            }
+            if self.flushing.load(SeqCst) > 0 {
+                if !advanced {
+                    self.clock.advance(self.window);
+                    advanced = true;
+                }
+                quiet = 0;
+                std::thread::yield_now();
+                continue;
+            }
+            let len = self.pending_len();
+            if len != last_len {
+                last_len = len;
+                quiet = 0;
+            } else {
+                quiet += 1;
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    fn pending_len(&self) -> usize {
+        let _order = crate::lock::order::token(crate::lock::order::COMMIT_COORD);
+        self.state.lock().pending.len()
     }
 }
 

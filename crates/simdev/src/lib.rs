@@ -25,6 +25,8 @@
 //! * [`cpu`] — per-byte and per-call CPU cost helpers (buffer copies were a
 //!   measured Inversion overhead in the paper).
 //! * [`fault`] — fault injection used by crash-recovery tests.
+//! * [`writecache`] — [`WriteCacheDisk`], a volatile write-back cache wrapper
+//!   whose [`CacheCrashHandle`] lets tests drop unsynced state ("power cut").
 //!
 //! # Example
 //!
@@ -50,6 +52,7 @@ pub mod fault;
 pub mod jukebox;
 pub mod net;
 pub mod nvram;
+pub mod writecache;
 
 pub use block::{BlockDevice, MemBlockStore};
 pub use clock::{SimClock, SimDuration, SimInstant};
@@ -60,6 +63,7 @@ pub use fault::FaultPlan;
 pub use jukebox::{JukeboxProfile, OpticalJukebox, TapeJukebox, TapeProfile};
 pub use net::{Endpoint, NetProfile, Network};
 pub use nvram::Nvram;
+pub use writecache::{CacheCrashHandle, WriteCacheDisk};
 
 /// The page/block size shared by POSTGRES, Inversion, and the FFS baseline.
 ///

@@ -29,6 +29,9 @@ cargo test --workspace -q
 echo "== buffer manager stress =="
 cargo test --release -q --test buffer_stress
 
+echo "== commit path stress (group commit) =="
+cargo test --release -q --test commit_stress
+
 echo "== smoke: pg_check clean after crash recovery =="
 cargo run --release -q --example pg_check_smoke
 
@@ -58,6 +61,21 @@ grep -q '"speedup_at_least_2x": true' BENCH_fig5_reads.json || {
     exit 1
 }
 
+echo "== smoke: fig6_writes --threads 4 --json =="
+cargo run --release -q -p bench --bin fig6_writes -- --threads 4 --json
+test -s BENCH_fig6_writes.json || {
+    echo "BENCH_fig6_writes.json missing or empty" >&2
+    exit 1
+}
+grep -q '"speedup_at_least_1_5x": true' BENCH_fig6_writes.json || {
+    echo "4 committers failed to raise write throughput 1.5x" >&2
+    exit 1
+}
+grep -q '"group_commit_engaged": true' BENCH_fig6_writes.json || {
+    echo "group commit never batched: sync_calls not below commits" >&2
+    exit 1
+}
+
 mkdir -p results
-mv BENCH_fig3_create.json BENCH_fig5_reads.json results/
+mv BENCH_fig3_create.json BENCH_fig5_reads.json BENCH_fig6_writes.json results/
 echo "CI OK"

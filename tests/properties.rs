@@ -312,6 +312,204 @@ proptest! {
     }
 }
 
+/// Actions for the commit-path crash test: up to one open transaction per
+/// table, interleaved freely, with power failures anywhere in between.
+#[derive(Debug, Clone)]
+enum CrashOp {
+    Begin(u8),
+    Insert(u8),
+    Commit(u8),
+    Abort(u8),
+    Crash,
+}
+
+fn crash_op_strategy() -> impl Strategy<Value = CrashOp> {
+    prop_oneof![
+        (0u8..2).prop_map(CrashOp::Begin),
+        (0u8..2).prop_map(CrashOp::Insert),
+        (0u8..2).prop_map(CrashOp::Insert),
+        (0u8..2).prop_map(CrashOp::Commit),
+        (0u8..2).prop_map(CrashOp::Abort),
+        Just(CrashOp::Crash),
+    ]
+}
+
+/// Devices whose writes sit in a volatile cache until synced, so a crash
+/// loses exactly what the commit path failed to force.
+struct CrashRig {
+    clock: simdev::SimClock,
+    data: minidb::SharedDevice,
+    log: minidb::SharedDevice,
+    catalog: minidb::SharedDevice,
+    handles: Vec<simdev::CacheCrashHandle>,
+}
+
+impl CrashRig {
+    fn new() -> CrashRig {
+        let clock = simdev::SimClock::new();
+        let mut handles = Vec::new();
+        let mut cached = |name: &str, nblocks: u64| {
+            let disk = simdev::MagneticDisk::new(
+                name,
+                clock.clone(),
+                simdev::DiskProfile::tiny_for_tests(nblocks),
+            );
+            let (dev, handle) = simdev::WriteCacheDisk::new(Box::new(disk));
+            handles.push(handle);
+            minidb::shared_device(dev)
+        };
+        let data = cached("data", 1 << 16);
+        let log = cached("log", 1 << 12);
+        let catalog = cached("catalog", 1 << 12);
+        CrashRig { clock, data, log, catalog, handles }
+    }
+
+    fn open(&self, fresh: bool, window_us: u64) -> minidb::Db {
+        let mut smgr = minidb::Smgr::new();
+        let mgr = if fresh {
+            minidb::GenericManager::format(self.data.clone()).unwrap()
+        } else {
+            minidb::GenericManager::attach(self.data.clone()).unwrap()
+        };
+        smgr.register(minidb::DeviceId::DEFAULT, Box::new(mgr)).unwrap();
+        let config = minidb::DbConfig {
+            group_commit_window: simdev::SimDuration::from_micros(window_us),
+            ..minidb::DbConfig::default()
+        };
+        let open = if fresh { minidb::Db::open } else { minidb::Db::recover };
+        open(
+            self.clock.clone(),
+            smgr,
+            self.log.clone(),
+            self.catalog.clone(),
+            config,
+        )
+        .unwrap()
+    }
+
+    /// Power failure: every unsynced write on every device vanishes.
+    fn crash(&self) {
+        for h in &self.handles {
+            h.drop_unsynced();
+        }
+    }
+}
+
+/// Runs one interleaving and checks, after every crash and at the end,
+/// that acknowledged commits are visible, unacknowledged work is not, and
+/// the structural verifier finds nothing wrong.
+fn run_crash_ops(ops: Vec<CrashOp>, window_us: u64) {
+    let rig = CrashRig::new();
+    let mut db = rig.open(true, window_us);
+    for t in 0..2 {
+        db.create_table(&format!("t{t}"), minidb::Schema::new([("v", minidb::TypeId::INT8)]))
+            .unwrap();
+    }
+    db.flush_caches().unwrap(); // Setup must survive the first crash.
+
+    let rels = |db: &minidb::Db| {
+        [db.relation_id("t0").unwrap(), db.relation_id("t1").unwrap()]
+    };
+    let verify = |db: &minidb::Db, committed: &[Vec<i64>; 2]| {
+        assert!(db.check_all().is_empty(), "verifier: {:?}", db.check_all());
+        let rel = rels(db);
+        let mut s = db.begin().unwrap();
+        for t in 0..2 {
+            let mut got: Vec<i64> = s
+                .seq_scan(rel[t])
+                .unwrap()
+                .into_iter()
+                .map(|(_, row)| match row[0] {
+                    minidb::Datum::Int8(v) => v,
+                    ref other => panic!("bad datum {other:?}"),
+                })
+                .collect();
+            got.sort_unstable();
+            let mut want = committed[t].clone();
+            want.sort_unstable();
+            assert_eq!(
+                got, want,
+                "table t{t}: acknowledged commits must be exactly the visible rows"
+            );
+        }
+        s.commit().unwrap();
+    };
+
+    let mut sessions: [Option<minidb::Session>; 2] = [None, None];
+    let mut committed: [Vec<i64>; 2] = [Vec::new(), Vec::new()];
+    let mut pending: [Vec<i64>; 2] = [Vec::new(), Vec::new()];
+    let mut next = 0i64;
+
+    for op in ops {
+        match op {
+            CrashOp::Begin(t) => {
+                let t = t as usize;
+                if sessions[t].is_none() {
+                    sessions[t] = Some(db.begin().unwrap());
+                }
+            }
+            CrashOp::Insert(t) => {
+                let t = t as usize;
+                if let Some(s) = sessions[t].as_mut() {
+                    next += 1;
+                    s.insert(rels(&db)[t], vec![minidb::Datum::Int8(next)]).unwrap();
+                    pending[t].push(next);
+                }
+            }
+            CrashOp::Commit(t) => {
+                let t = t as usize;
+                if let Some(mut s) = sessions[t].take() {
+                    s.commit().unwrap();
+                    committed[t].append(&mut pending[t]);
+                }
+            }
+            CrashOp::Abort(t) => {
+                let t = t as usize;
+                if let Some(mut s) = sessions[t].take() {
+                    s.abort().unwrap();
+                    pending[t].clear();
+                }
+            }
+            CrashOp::Crash => {
+                // The process dies with transactions open: leak them, drop
+                // the volatile caches, reattach.
+                for slot in sessions.iter_mut() {
+                    if let Some(s) = slot.take() {
+                        std::mem::forget(s);
+                    }
+                }
+                pending = [Vec::new(), Vec::new()];
+                rig.crash();
+                drop(db);
+                db = rig.open(false, window_us);
+                verify(&db, &committed);
+            }
+        }
+    }
+    for slot in sessions.iter_mut() {
+        if let Some(mut s) = slot.take() {
+            s.abort().unwrap();
+        }
+    }
+    verify(&db, &committed);
+}
+
+// The commit path's whole durability contract, under both the direct
+// (window 0) and group-commit paths: scoped flushes and batched records
+// must never acknowledge a commit the devices can lose, and must never
+// resurrect work that was aborted or in flight at the crash.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn acknowledged_commits_survive_crashes(
+        ops in prop::collection::vec(crash_op_strategy(), 1..40),
+        group_commit in any::<bool>(),
+    ) {
+        run_crash_ops(ops, if group_commit { 50 } else { 0 });
+    }
+}
+
 #[test]
 fn coalescer_equivalence_small_vs_large_writes() {
     // Writing N bytes as many small sequential writes must produce exactly

@@ -281,6 +281,134 @@ fn snapshots_safe_under_concurrent_workload() {
     assert!(fs.stats().creats.get() >= 24);
 }
 
+/// Scoped force-at-commit: a transaction that touches one table flushes
+/// only its own dirty pages and syncs exactly one device, no matter how
+/// much unrelated data is resident in the buffer cache.
+#[test]
+fn single_table_commit_syncs_exactly_one_device() {
+    let db = Db::open_in_memory().unwrap();
+    let big = db
+        .create_table("big", Schema::new([("v", TypeId::TEXT)]))
+        .unwrap();
+    let small = db
+        .create_table("small", Schema::new([("v", TypeId::INT4)]))
+        .unwrap();
+
+    // Populate `big` across many heap pages so the cache is full of it.
+    let mut s = db.begin().unwrap();
+    for i in 0..260 {
+        s.insert(big, vec![Datum::Text(format!("{i:0>400}"))]).unwrap();
+    }
+    s.commit().unwrap();
+
+    // Re-dirty a pile of big's pages in a transaction that stays open, so
+    // the pool holds dirty pages a whole-pool flush would have written.
+    let mut bystander = db.begin().unwrap();
+    for i in 0..40 {
+        bystander
+            .insert(big, vec![Datum::Text(format!("x{i:0>400}"))])
+            .unwrap();
+    }
+
+    let before = db.stats();
+    let mut s = db.begin().unwrap();
+    s.insert(small, vec![Datum::Int4(7)]).unwrap();
+    s.commit().unwrap();
+    let d = db.stats().delta(&before);
+
+    assert_eq!(d.xact.commits, 1);
+    assert_eq!(
+        d.xact.sync_calls, 1,
+        "one table on one device must cost exactly one data sync"
+    );
+    assert_eq!(d.xact.batched_records, 1);
+    assert!(
+        d.xact.pages_flushed_at_commit >= 1 && d.xact.pages_flushed_at_commit <= 4,
+        "commit must flush only its own dirty set, flushed {}",
+        d.xact.pages_flushed_at_commit
+    );
+    bystander.abort().unwrap();
+}
+
+/// The read-only fast path through the POSTQUEL executor: a retrieve-only
+/// transaction flushes nothing and syncs nothing at commit.
+#[test]
+fn retrieve_only_transaction_commits_without_io() {
+    let db = Db::open_in_memory().unwrap();
+    let rel = db
+        .create_table("t", Schema::new([("v", TypeId::INT4)]))
+        .unwrap();
+    let mut s = db.begin().unwrap();
+    for i in 0..10 {
+        s.insert(rel, vec![Datum::Int4(i)]).unwrap();
+    }
+    s.commit().unwrap();
+
+    let before = db.stats();
+    let mut s = db.begin().unwrap();
+    let res = s.query("retrieve (t.v) from t in t").unwrap();
+    s.commit().unwrap();
+    let d = db.stats().delta(&before);
+
+    assert_eq!(res.rows.len(), 10);
+    assert_eq!(d.xact.commits, 1);
+    assert_eq!(d.xact.pages_flushed_at_commit, 0, "read-only: nothing to flush");
+    assert_eq!(d.xact.sync_calls, 0, "read-only: no device sync");
+    assert_eq!(d.xact.batched_records, 0, "read-only: no commit record");
+}
+
+/// The same fast path end-to-end through the file system: a transaction
+/// that only reads commits via `p_commit` with zero flushes and syncs.
+#[test]
+fn readonly_file_transaction_commits_without_io() {
+    let fs = InversionFs::format(Devices::new().format()).unwrap();
+    let mut c = fs.client();
+    let data = vec![3u8; CHUNK_SIZE];
+    c.write_all("/ro", CreateMode::default(), &data).unwrap();
+
+    let before = fs.db().stats();
+    c.p_begin().unwrap();
+    let fd = c.p_open("/ro", inversion::OpenMode::Read, None).unwrap();
+    let mut buf = vec![0u8; data.len()];
+    let n = c.p_read(fd, &mut buf).unwrap();
+    // No p_close before the commit: atime-only writeback is deferred to
+    // close, so this transaction is genuinely read-only end to end.
+    c.p_commit().unwrap();
+    let d = fs.db().stats().delta(&before);
+
+    assert_eq!(n, data.len());
+    assert_eq!(d.xact.commits, 1);
+    assert_eq!(d.xact.pages_flushed_at_commit, 0, "p_commit of a read: no flush");
+    assert_eq!(d.xact.sync_calls, 0, "p_commit of a read: no sync");
+    assert_eq!(d.xact.batched_records, 0, "p_commit of a read: no record");
+}
+
+/// The new commit-path counters are queryable through `pg_stat_xact`.
+#[test]
+fn commit_counters_queryable_through_pg_stat_xact() {
+    let db = Db::open_in_memory().unwrap();
+    let rel = db
+        .create_table("t", Schema::new([("v", TypeId::INT4)]))
+        .unwrap();
+    let mut s = db.begin().unwrap();
+    s.insert(rel, vec![Datum::Int4(1)]).unwrap();
+    s.commit().unwrap();
+
+    let mut s = db.begin().unwrap();
+    let res = s
+        .query(
+            "retrieve (x.commits, x.group_commits, x.batched_records, \
+             x.pages_flushed_at_commit, x.sync_calls) from x in pg_stat_xact",
+        )
+        .unwrap();
+    s.commit().unwrap();
+    let row = &res.rows[0];
+    assert!(int8(&row[0]) >= 1, "commits");
+    assert!(int8(&row[2]) >= 1, "batched_records");
+    assert!(int8(&row[3]) >= 1, "pages_flushed_at_commit");
+    assert!(int8(&row[4]) >= 1, "sync_calls");
+}
+
 /// Virtual relations have no history: time-travel brackets are rejected
 /// instead of silently returning current counters.
 #[test]
