@@ -1,0 +1,425 @@
+//! Multi-client **remote** scaling — the `--remote --threads N` bench knob.
+//!
+//! Where [`crate::scaling`] measures concurrent clients hammering the buffer
+//! cache in-process, this harness puts the *protocol* in the loop: every
+//! operation is a real [`inversion::wire`] frame — encoded by the client,
+//! decoded on the server, executed by a per-client [`InvServer`] session
+//! (own fd table, own transaction scope), and answered with a real encoded
+//! response. The byte counts that drive the network model are the actual
+//! frame lengths, not estimates; deriving one from the other is the whole
+//! point of `Request::wire_size`.
+//!
+//! Like the rest of the crate, time is *virtual* so results are
+//! deterministic and host-independent (the container may well have a single
+//! CPU; real-thread correctness is `tests/server_stress.rs`'s job). The
+//! driver is single-threaded with one virtual clock per client and a
+//! horizon per contended resource:
+//!
+//! * each client has a private **switched full-duplex link** to a
+//!   multi-queue server port (the ROADMAP's production-scale fabric, not
+//!   the paper's shared 10 Mbit Ethernet — which would serialize everything
+//!   and cap any fleet at 1×);
+//! * the worker pool is `N` horizons: a request is serviced by the
+//!   earliest-free worker, paying decode + execution + copy costs there —
+//!   this is the shared server CPU that bounds read scaling;
+//! * for the write workload, the **status-log force** is one horizon with
+//!   group-commit semantics: a commit arriving before a force *starts*
+//!   joins it; one arriving while a force is in flight waits and shares the
+//!   next one (PR 4's leader/follower protocol).
+//!
+//! Aggregate throughput is total operations over the slowest client's
+//! clock, exactly as in `scaling.rs`.
+
+use inversion::client::SEGMENT;
+use inversion::server::{InvServer, Request, Response};
+use inversion::{wire, CreateMode, InversionFs, SeekWhence};
+
+/// Segments per private file (cache-resident working set).
+const FILE_SEGMENTS: u64 = 16;
+/// Operations per client in the measured loop.
+const OPS_PER_CLIENT: u64 = 256;
+/// Writes between commits in the write workload.
+const WRITES_PER_COMMIT: u64 = 8;
+/// Fixed client-library crossing cost per call (DECsystem 5900-class).
+const CLIENT_CALL_NS: u64 = 30_000;
+/// Per-byte cost of encoding/copying at either end, ~40 MB/s.
+const PER_BYTE_COPY_NS: u64 = 25;
+/// One-way latency of a switched link.
+const LINK_LATENCY_NS: u64 = 50_000;
+/// Per-byte wire time on a ~1 Gbit/s full-duplex port.
+const LINK_NS_PER_BYTE: u64 = 8;
+/// Fixed server dispatch cost per request (queue, decode header, schedule).
+const SERVICE_NS: u64 = 10_000;
+/// One status-log force (RZ58-class synchronous write).
+const FORCE_NS: u64 = 10_000_000;
+
+/// Which remote workload to measure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RemoteWorkload {
+    /// fig5: pipelined sequential `SEGMENT` reads from private files.
+    SequentialRead,
+    /// fig6: `SEGMENT` writes grouped into committing transactions.
+    WriteCommit,
+}
+
+impl RemoteWorkload {
+    /// The workload's name as it appears in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            RemoteWorkload::SequentialRead => "remote_sequential_read",
+            RemoteWorkload::WriteCommit => "remote_write_commit",
+        }
+    }
+}
+
+/// One measured remote configuration.
+#[derive(Debug, Clone)]
+pub struct RemoteRun {
+    pub workload: &'static str,
+    pub threads: usize,
+    pub workers: usize,
+    pub total_ops: u64,
+    /// Request + response frames actually encoded and decoded.
+    pub frames: u64,
+    /// Real wire bytes moved in each direction.
+    pub bytes_to_server: u64,
+    pub bytes_to_client: u64,
+    /// Status-log forces (write workload; 0 for reads).
+    pub log_forces: u64,
+    /// Commits executed (write workload; 0 for reads).
+    pub commits: u64,
+    /// Slowest client's virtual elapsed time.
+    pub virtual_secs: f64,
+    pub ops_per_sec: f64,
+    pub mb_per_sec: f64,
+}
+
+/// The group-commit log-force horizon (see module docs).
+struct LogForce {
+    /// When the most recent force begins; commits arriving earlier join it.
+    start: u64,
+    /// When it completes.
+    end: u64,
+    forces: u64,
+}
+
+impl LogForce {
+    fn new() -> LogForce {
+        LogForce {
+            start: 0,
+            end: 0,
+            forces: 0,
+        }
+    }
+
+    /// A commit record arrives at `at`; returns when it is durable.
+    fn commit(&mut self, at: u64) -> u64 {
+        if at < self.start {
+            // The batch leader has not forced yet: ride along.
+            return self.end;
+        }
+        // Either the log is idle or a force is in flight; the next force
+        // begins once the current one (if any) completes.
+        self.start = at.max(self.end);
+        self.end = self.start + FORCE_NS;
+        self.forces += 1;
+        self.end
+    }
+}
+
+/// Runs `workload` with `threads` remote clients (and as many pool
+/// workers), every message passing through the real wire codec and a real
+/// per-client server session.
+pub fn measure_remote(workload: RemoteWorkload, threads: usize) -> RemoteRun {
+    let threads = threads.max(1);
+    let fs = InversionFs::open_in_memory().expect("in-memory fs");
+    let seg_bytes: Vec<u8> = (0..SEGMENT).map(|i| (i % 249) as u8).collect();
+
+    // One real server session per connection: private fd table and
+    // transaction scope, exactly what InvServerPool gives each socket.
+    let mut sessions: Vec<InvServer> = (0..threads).map(|_| InvServer::new(&fs)).collect();
+    let mut fds = Vec::with_capacity(threads);
+    for (c, srv) in sessions.iter_mut().enumerate() {
+        let path = format!("/remote{c}");
+        let Response::Fd(fd) = srv
+            .handle(Request::Creat(path, CreateMode::default()))
+            .expect("creat")
+        else {
+            panic!("creat returned a non-fd response")
+        };
+        for _ in 0..FILE_SEGMENTS {
+            srv.handle(Request::Write(fd, seg_bytes.clone())).expect("prefill");
+        }
+        srv.handle(Request::Lseek(fd, 0, SeekWhence::Set)).expect("rewind");
+        if workload == RemoteWorkload::SequentialRead {
+            // Warm: one full pass so the measured loop is cache-resident.
+            for _ in 0..FILE_SEGMENTS {
+                srv.handle(Request::Read(fd, SEGMENT)).expect("warm read");
+            }
+            srv.handle(Request::Lseek(fd, 0, SeekWhence::Set)).expect("rewind");
+        }
+        fds.push(fd);
+    }
+    if workload == RemoteWorkload::WriteCommit {
+        for srv in sessions.iter_mut() {
+            srv.handle(Request::Begin).expect("begin");
+        }
+    }
+
+    // Virtual clocks and horizons, all in nanoseconds.
+    let mut t = vec![0u64; threads];
+    let mut worker_free = vec![0u64; threads];
+    let mut log = LogForce::new();
+    let mut frames = 0u64;
+    let mut bytes_up = 0u64;
+    let mut bytes_down = 0u64;
+    let mut commits = 0u64;
+    let mut payload_bytes = 0u64;
+
+    let mut run_request = |srv: &mut InvServer,
+                           req: Request,
+                           t_client: &mut u64,
+                           worker_free: &mut [u64],
+                           log: &mut LogForce|
+     -> Response {
+        let is_commit = matches!(req, Request::Commit);
+        let req_frame = wire::encode_request(&req);
+        frames += 1;
+        bytes_up += req_frame.len() as u64;
+        // Client: library crossing + marshalling the payload.
+        *t_client += CLIENT_CALL_NS + PER_BYTE_COPY_NS * req_frame.len() as u64;
+        // Private uplink (full duplex: no contention with responses).
+        let at_server =
+            *t_client + LINK_LATENCY_NS + LINK_NS_PER_BYTE * req_frame.len() as u64;
+        // Earliest-free worker picks it up.
+        let (wi, wfree) = worker_free
+            .iter()
+            .copied()
+            .enumerate()
+            .min_by_key(|&(_, free)| free)
+            .unwrap_or((0, 0));
+        let start = wfree.max(at_server);
+        // The request REALLY decodes and executes here.
+        let decoded = wire::decode_request(&req_frame).expect("self-encoded frame");
+        let resp = srv.handle(decoded).expect("remote op");
+        let resp_frame = wire::encode_response(&Ok(resp.clone()));
+        frames += 1;
+        bytes_down += resp_frame.len() as u64;
+        let svc = SERVICE_NS
+            + PER_BYTE_COPY_NS * (req_frame.len() + resp_frame.len()) as u64;
+        let mut done = start + svc;
+        if is_commit {
+            // The force is a shared horizon, not worker time: the worker
+            // parks (PR 4's follower path) while the log device runs.
+            done = log.commit(done).max(done);
+        }
+        worker_free[wi] = if is_commit { start + svc } else { done };
+        // Private downlink (multi-queue egress) + client-side unmarshalling.
+        let sent = done + LINK_NS_PER_BYTE * resp_frame.len() as u64;
+        *t_client = sent + LINK_LATENCY_NS + PER_BYTE_COPY_NS * resp_frame.len() as u64;
+        resp
+    };
+
+    for op in 0..OPS_PER_CLIENT {
+        for c in 0..threads {
+            match workload {
+                RemoteWorkload::SequentialRead => {
+                    if op % FILE_SEGMENTS == 0 && op > 0 {
+                        run_request(
+                            &mut sessions[c],
+                            Request::Lseek(fds[c], 0, SeekWhence::Set),
+                            &mut t[c],
+                            &mut worker_free,
+                            &mut log,
+                        );
+                    }
+                    let resp = run_request(
+                        &mut sessions[c],
+                        Request::Read(fds[c], SEGMENT),
+                        &mut t[c],
+                        &mut worker_free,
+                        &mut log,
+                    );
+                    match resp {
+                        Response::Data(d) => {
+                            assert_eq!(d.len(), SEGMENT, "short read in resident set");
+                            payload_bytes += d.len() as u64;
+                        }
+                        other => panic!("read returned {other:?}"),
+                    }
+                }
+                RemoteWorkload::WriteCommit => {
+                    let resp = run_request(
+                        &mut sessions[c],
+                        Request::Write(fds[c], seg_bytes.clone()),
+                        &mut t[c],
+                        &mut worker_free,
+                        &mut log,
+                    );
+                    match resp {
+                        Response::Count(n) => payload_bytes += n,
+                        other => panic!("write returned {other:?}"),
+                    }
+                    if (op + 1) % WRITES_PER_COMMIT == 0 {
+                        run_request(
+                            &mut sessions[c],
+                            Request::Commit,
+                            &mut t[c],
+                            &mut worker_free,
+                            &mut log,
+                        );
+                        commits += 1;
+                        if op + 1 < OPS_PER_CLIENT {
+                            run_request(
+                                &mut sessions[c],
+                                Request::Begin,
+                                &mut t[c],
+                                &mut worker_free,
+                                &mut log,
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+    if workload == RemoteWorkload::WriteCommit && !OPS_PER_CLIENT.is_multiple_of(WRITES_PER_COMMIT) {
+        for c in 0..threads {
+            run_request(
+                &mut sessions[c],
+                Request::Commit,
+                &mut t[c],
+                &mut worker_free,
+                &mut log,
+            );
+            commits += 1;
+        }
+    }
+
+    let elapsed_ns = t.iter().copied().max().unwrap_or(1).max(1);
+    let secs = elapsed_ns as f64 / 1e9;
+    let total_ops = OPS_PER_CLIENT * threads as u64;
+    RemoteRun {
+        workload: workload.name(),
+        threads,
+        workers: threads,
+        total_ops,
+        frames,
+        bytes_to_server: bytes_up,
+        bytes_to_client: bytes_down,
+        log_forces: log.forces,
+        commits,
+        virtual_secs: secs,
+        ops_per_sec: total_ops as f64 / secs,
+        mb_per_sec: payload_bytes as f64 / (1 << 20) as f64 / secs,
+    }
+}
+
+/// Measures the single-remote-client baseline and the `threads`-client run.
+pub fn measure_remote_speedup(workload: RemoteWorkload, threads: usize) -> (RemoteRun, RemoteRun) {
+    (measure_remote(workload, 1), measure_remote(workload, threads))
+}
+
+/// Prints the pair as a small table and returns the speedup factor.
+pub fn print_remote_speedup(base: &RemoteRun, multi: &RemoteRun) -> f64 {
+    println!(
+        "{:<10} {:>8} {:>16} {:>12} {:>12} {:>10} {:>8}",
+        "clients", "workers", "aggregate ops/s", "MB/s", "virtual s", "frames", "forces"
+    );
+    println!("{}", "-".repeat(84));
+    for run in [base, multi] {
+        println!(
+            "{:<10} {:>8} {:>16.0} {:>12.2} {:>12.4} {:>10} {:>8}",
+            run.threads,
+            run.workers,
+            run.ops_per_sec,
+            run.mb_per_sec,
+            run.virtual_secs,
+            run.frames,
+            run.log_forces
+        );
+    }
+    let speedup = multi.ops_per_sec / base.ops_per_sec;
+    println!();
+    println!(
+        "aggregate remote throughput with {} clients: {speedup:.2}x one remote client \
+         ({} real wire bytes to the server, {} back)",
+        multi.threads, multi.bytes_to_server, multi.bytes_to_client
+    );
+    speedup
+}
+
+/// Renders the pair as the `remote_scaling` JSON section of a BENCH report.
+pub fn remote_json(base: &RemoteRun, multi: &RemoteRun) -> String {
+    let speedup = multi.ops_per_sec / base.ops_per_sec;
+    format!(
+        "{{\"workload\": \"{}\", \"threads\": {}, \"workers\": {}, \
+         \"baseline_threads\": {}, \"ops\": {}, \"frames\": {}, \
+         \"bytes_to_server\": {}, \"bytes_to_client\": {}, \
+         \"log_forces\": {}, \"commits\": {}, \
+         \"baseline_ops_per_sec\": {:.1}, \"ops_per_sec\": {:.1}, \
+         \"baseline_mb_per_sec\": {:.3}, \"mb_per_sec\": {:.3}, \
+         \"speedup\": {:.3}, \"remote_speedup_at_least_2x\": {}, \
+         \"unit\": \"virtual_time\"}}",
+        multi.workload,
+        multi.threads,
+        multi.workers,
+        base.threads,
+        multi.total_ops,
+        multi.frames,
+        multi.bytes_to_server,
+        multi.bytes_to_client,
+        multi.log_forces,
+        multi.commits,
+        base.ops_per_sec,
+        multi.ops_per_sec,
+        base.mb_per_sec,
+        multi.mb_per_sec,
+        speedup,
+        speedup >= 2.0,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_remote_readers_at_least_double_throughput() {
+        let (base, multi) = measure_remote_speedup(RemoteWorkload::SequentialRead, 4);
+        let speedup = multi.ops_per_sec / base.ops_per_sec;
+        assert!(
+            speedup >= 2.0,
+            "4 remote clients must at least double aggregate reads, got {speedup:.2}x"
+        );
+        // Two frames (request + response) per operation, plus rewinds.
+        assert!(multi.frames >= 2 * multi.total_ops);
+        assert!(multi.bytes_to_client > multi.total_ops * SEGMENT as u64);
+    }
+
+    #[test]
+    fn remote_writers_share_log_forces() {
+        let (base, multi) = measure_remote_speedup(RemoteWorkload::WriteCommit, 4);
+        assert!(multi.commits > 0);
+        assert!(
+            multi.log_forces < multi.commits,
+            "group commit must batch: {} forces for {} commits",
+            multi.log_forces,
+            multi.commits
+        );
+        let speedup = multi.ops_per_sec / base.ops_per_sec;
+        assert!(
+            speedup >= 1.5,
+            "4 remote writers should beat 1.5x, got {speedup:.2}x"
+        );
+    }
+
+    #[test]
+    fn remote_json_is_well_formed() {
+        let (base, multi) = measure_remote_speedup(RemoteWorkload::SequentialRead, 2);
+        let json = remote_json(&base, &multi);
+        assert!(json.contains("\"workload\": \"remote_sequential_read\""));
+        assert!(json.contains("\"remote_speedup_at_least_2x\": "));
+        assert!(json.starts_with('{') && json.ends_with('}'));
+    }
+}

@@ -91,6 +91,12 @@ pub fn threads_arg() -> Option<usize> {
     None
 }
 
+/// Whether the process was invoked with `--remote` (combine the in-process
+/// `--threads` scaling with the wire-protocol remote scaling measurement).
+pub fn wants_remote() -> bool {
+    std::env::args().any(|a| a == "--remote")
+}
+
 /// Renders the comparison rows as a JSON array (paper and measured seconds
 /// keyed by system name).
 pub fn comparison_json(systems: &[&str], rows: &[Comparison]) -> String {

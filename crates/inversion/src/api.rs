@@ -96,6 +96,27 @@ impl InvClient {
         self.session.is_some()
     }
 
+    /// How many file descriptors are currently open.
+    pub fn open_fd_count(&self) -> usize {
+        self.fds.len()
+    }
+
+    /// Tears the client down after its connection vanished: any open
+    /// transaction is aborted (releasing its locks), buffered writes are
+    /// discarded, and every descriptor is reclaimed. Returns `true` when an
+    /// in-flight transaction had to be aborted.
+    pub fn disconnect(&mut self) -> bool {
+        let aborted = match self.session.take() {
+            Some(mut s) => {
+                s.abort().ok();
+                true
+            }
+            None => false,
+        };
+        self.fds.clear();
+        aborted
+    }
+
     /// Begins a transaction covering subsequent operations.
     pub fn p_begin(&mut self) -> InvResult<()> {
         if self.session.is_some() {

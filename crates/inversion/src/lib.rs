@@ -68,8 +68,10 @@ pub mod migrate;
 pub mod naming;
 pub mod nfsfront;
 pub mod server;
+pub mod pool;
 pub mod stats;
 pub mod types;
+pub mod wire;
 
 pub use api::{Fd, InvClient, OpenMode, SeekWhence};
 pub use chunk::CHUNK_SIZE;
@@ -77,5 +79,7 @@ pub use client::RemoteClient;
 pub use fs::{CreateMode, FileKind, FileStat, InvError, InvResult, InversionFs};
 pub use largeobj::LargeObject;
 pub use nfsfront::{NfsFront, NfsHandle};
+pub use pool::{InvServerPool, PoolConfig, WireClient};
 pub use server::InvServer;
 pub use stats::InvStats;
+pub use wire::{FrameEvent, WireError};

@@ -46,22 +46,11 @@ pub enum Request {
 }
 
 impl Request {
-    /// Approximate encoded size in bytes (header + payload), used to charge
-    /// the simulated network.
+    /// Exact encoded size in bytes (header + payload), derived from the real
+    /// [`crate::wire`] encoder so the simulated network and the framing can
+    /// never disagree.
     pub fn wire_size(&self) -> usize {
-        const HDR: usize = 40; // Op, fd, lengths, TCP framing overhead.
-        HDR + match self {
-            Request::Begin | Request::Commit | Request::Abort => 0,
-            Request::Creat(p, _) => p.len() + 16,
-            Request::Open(p, _, _) => p.len() + 16,
-            Request::Close(_) => 4,
-            Request::Read(_, _) => 12,
-            Request::Write(_, data) => 12 + data.len(),
-            Request::Lseek(_, _, _) => 16,
-            Request::Stat(p) | Request::Mkdir(p) | Request::Unlink(p) | Request::Readdir(p) => {
-                p.len()
-            }
-        }
+        crate::wire::encode_request(self).len()
     }
 }
 
@@ -83,17 +72,10 @@ pub enum Response {
 }
 
 impl Response {
-    /// Approximate encoded size in bytes.
+    /// Exact encoded size in bytes, derived from the real [`crate::wire`]
+    /// encoder.
     pub fn wire_size(&self) -> usize {
-        const HDR: usize = 40;
-        HDR + match self {
-            Response::Ok => 0,
-            Response::Fd(_) => 4,
-            Response::Data(d) => d.len(),
-            Response::Count(_) => 8,
-            Response::Stat(_) => 96,
-            Response::Entries(es) => es.iter().map(|(n, _)| n.len() + 8).sum(),
-        }
+        crate::wire::encode_response(&Ok(self.clone())).len()
     }
 }
 
@@ -116,6 +98,23 @@ impl InvServer {
     /// architecture").
     pub fn local(&mut self) -> &mut InvClient {
         &mut self.client
+    }
+
+    /// Whether this session has an explicit transaction open.
+    pub fn in_transaction(&self) -> bool {
+        self.client.in_transaction()
+    }
+
+    /// How many descriptors this session holds open.
+    pub fn open_fd_count(&self) -> usize {
+        self.client.open_fd_count()
+    }
+
+    /// Tears the session down after its connection dropped: aborts any
+    /// in-flight transaction (releasing locks), discards buffered writes and
+    /// reclaims every fd. Returns `true` when a transaction was aborted.
+    pub fn disconnect(&mut self) -> bool {
+        self.client.disconnect()
     }
 
     /// Executes one request, charging the RPC and its wire bytes to the
@@ -204,6 +203,70 @@ mod tests {
         assert!(Request::Stat("/a/long/path".into()).wire_size() > Request::Begin.wire_size());
         let entries = Response::Entries(vec![("file".into(), Oid(1))]).wire_size();
         assert!(entries > Response::Ok.wire_size());
+    }
+
+    #[test]
+    fn wire_size_equals_real_encoding_for_every_variant() {
+        let requests = vec![
+            Request::Begin,
+            Request::Commit,
+            Request::Abort,
+            Request::Creat("/a/b".into(), CreateMode::default()),
+            Request::Open("/a/b".into(), OpenMode::ReadWrite, None),
+            Request::Open("/a".into(), OpenMode::Read, Some(SimInstant::from_nanos(7))),
+            Request::Close(3),
+            Request::Read(3, 8192),
+            Request::Write(3, vec![9u8; 777]),
+            Request::Lseek(3, -1, SeekWhence::Cur),
+            Request::Stat("/s".into()),
+            Request::Mkdir("/d".into()),
+            Request::Unlink("/u".into()),
+            Request::Readdir("/".into()),
+        ];
+        for req in requests {
+            assert_eq!(
+                req.wire_size(),
+                crate::wire::encode_request(&req).len(),
+                "{req:?}"
+            );
+        }
+        let stat = {
+            let fs = InversionFs::open_in_memory().unwrap();
+            let mut c = fs.client();
+            c.p_creat("/f", CreateMode::default()).unwrap();
+            c.p_stat("/f", None).unwrap()
+        };
+        let responses = vec![
+            Response::Ok,
+            Response::Fd(5),
+            Response::Data(vec![1u8; 300]),
+            Response::Count(42),
+            Response::Stat(Box::new(stat)),
+            Response::Entries(vec![("x".into(), Oid(1)), ("yy".into(), Oid(2))]),
+        ];
+        for resp in responses {
+            assert_eq!(
+                resp.wire_size(),
+                crate::wire::encode_response(&Ok(resp.clone())).len(),
+                "{resp:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn disconnect_aborts_and_reclaims() {
+        let fs = InversionFs::open_in_memory().unwrap();
+        let mut srv = InvServer::new(&fs);
+        srv.handle(Request::Begin).unwrap();
+        srv.handle(Request::Creat("/gone".into(), CreateMode::default()))
+            .unwrap();
+        assert!(srv.in_transaction());
+        assert_eq!(srv.open_fd_count(), 1);
+        assert!(srv.disconnect());
+        assert!(!srv.in_transaction());
+        assert_eq!(srv.open_fd_count(), 0);
+        assert!(srv.handle(Request::Stat("/gone".into())).is_err());
+        assert!(!srv.disconnect());
     }
 
     #[test]

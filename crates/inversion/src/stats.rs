@@ -11,10 +11,12 @@
 //! retrieve (s.op, s.count) from s in inv_stat
 //! ```
 
+use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
 use std::sync::Arc;
 
 use minidb::stats::Counter;
 use minidb::{Datum, Db, Row, Schema, TypeId};
+use parking_lot::Mutex;
 
 /// Counters for every file system operation, chunk-level I/O, and the
 /// client/server protocol. All updates are relaxed atomics — cheap enough to
@@ -62,6 +64,26 @@ pub struct InvStats {
     pub rpc_bytes_in: Counter,
     /// Response bytes sent by the server (wire sizes).
     pub rpc_bytes_out: Counter,
+    /// Connections accepted by the session pool.
+    pub sessions_opened: Counter,
+    /// Sessions torn down (clean close or disconnect).
+    pub sessions_closed: Counter,
+    /// Frames read off the wire across all sessions.
+    pub net_frames_in: Counter,
+    /// Frames written to the wire across all sessions.
+    pub net_frames_out: Counter,
+    /// Bytes read off the wire across all sessions.
+    pub net_bytes_in: Counter,
+    /// Bytes written to the wire across all sessions.
+    pub net_bytes_out: Counter,
+    /// Frames that failed to decode (bad opcode, checksum, malformed body).
+    pub net_decode_errors: Counter,
+    /// Times a reader blocked because its session queue was full.
+    pub net_queue_full: Counter,
+    /// In-flight transactions aborted because the client disconnected.
+    pub net_disconnect_aborts: Counter,
+    /// Per-session network counters, queryable as `pg_stat_net`.
+    pub net: NetRegistry,
 }
 
 impl InvStats {
@@ -93,6 +115,15 @@ impl InvStats {
             ("rpcs", self.rpcs.get()),
             ("rpc_bytes_in", self.rpc_bytes_in.get()),
             ("rpc_bytes_out", self.rpc_bytes_out.get()),
+            ("sessions_opened", self.sessions_opened.get()),
+            ("sessions_closed", self.sessions_closed.get()),
+            ("net_frames_in", self.net_frames_in.get()),
+            ("net_frames_out", self.net_frames_out.get()),
+            ("net_bytes_in", self.net_bytes_in.get()),
+            ("net_bytes_out", self.net_bytes_out.get()),
+            ("net_decode_errors", self.net_decode_errors.get()),
+            ("net_queue_full", self.net_queue_full.get()),
+            ("net_disconnect_aborts", self.net_disconnect_aborts.get()),
         ]
     }
 
@@ -115,15 +146,116 @@ impl InvStats {
     }
 }
 
+/// Wire-level counters for one server-side session, published while the
+/// connection lives and retained (marked closed) afterwards so post-mortem
+/// queries still see the totals.
+#[derive(Debug, Default)]
+pub struct SessionNetStats {
+    /// Pool-assigned session number.
+    pub session: u64,
+    /// Frames read from this connection.
+    pub frames_in: Counter,
+    /// Frames written to this connection.
+    pub frames_out: Counter,
+    /// Bytes read from this connection (headers + payloads).
+    pub bytes_in: Counter,
+    /// Bytes written to this connection.
+    pub bytes_out: Counter,
+    /// Frames that arrived but failed to decode.
+    pub decode_errors: Counter,
+    /// Times the reader blocked on a full request queue (backpressure).
+    pub queue_full: Counter,
+    /// 1 if the session's transaction was aborted by a disconnect.
+    pub disconnect_aborts: Counter,
+    closed: AtomicBool,
+}
+
+impl SessionNetStats {
+    /// Marks the session torn down.
+    pub fn mark_closed(&self) {
+        self.closed.store(true, Relaxed);
+    }
+
+    /// Whether the session has been torn down.
+    pub fn is_closed(&self) -> bool {
+        self.closed.load(Relaxed)
+    }
+}
+
+/// The live list of per-session counters behind `pg_stat_net`.
+#[derive(Debug, Default)]
+pub struct NetRegistry {
+    sessions: Mutex<Vec<Arc<SessionNetStats>>>,
+}
+
+impl NetRegistry {
+    /// Adds a session's counters to the registry.
+    pub fn register(&self, session: u64) -> Arc<SessionNetStats> {
+        let st = Arc::new(SessionNetStats {
+            session,
+            ..SessionNetStats::default()
+        });
+        self.sessions.lock().push(Arc::clone(&st));
+        st
+    }
+
+    /// Snapshot of every session ever registered (open and closed).
+    pub fn sessions(&self) -> Vec<Arc<SessionNetStats>> {
+        self.sessions.lock().clone()
+    }
+
+    /// The registry as `pg_stat_net` rows.
+    pub fn rows(&self) -> Vec<Row> {
+        self.sessions()
+            .iter()
+            .map(|s| {
+                vec![
+                    Datum::Int8(s.session as i64),
+                    Datum::Text(if s.is_closed() { "closed" } else { "open" }.into()),
+                    Datum::Int8(s.frames_in.get() as i64),
+                    Datum::Int8(s.frames_out.get() as i64),
+                    Datum::Int8(s.bytes_in.get() as i64),
+                    Datum::Int8(s.bytes_out.get() as i64),
+                    Datum::Int8(s.decode_errors.get() as i64),
+                    Datum::Int8(s.queue_full.get() as i64),
+                    Datum::Int8(s.disconnect_aborts.get() as i64),
+                ]
+            })
+            .collect()
+    }
+}
+
 /// The `inv_stat` relation schema: `(op = text, count = int8)`.
 pub fn inv_stat_schema() -> Schema {
     Schema::new([("op", TypeId::TEXT), ("count", TypeId::INT8)])
 }
 
-/// Registers `stats` with `db` as the virtual relation `inv_stat`.
+/// The `pg_stat_net` relation schema: one row per server session.
+pub fn pg_stat_net_schema() -> Schema {
+    Schema::new([
+        ("session", TypeId::INT8),
+        ("state", TypeId::TEXT),
+        ("frames_in", TypeId::INT8),
+        ("frames_out", TypeId::INT8),
+        ("bytes_in", TypeId::INT8),
+        ("bytes_out", TypeId::INT8),
+        ("decode_errors", TypeId::INT8),
+        ("queue_full", TypeId::INT8),
+        ("disconnect_aborts", TypeId::INT8),
+    ])
+}
+
+/// Registers `stats` with `db` as the virtual relations `inv_stat` and
+/// `pg_stat_net`.
 pub(crate) fn register_inv_stat(db: &Db, stats: &Arc<InvStats>) {
     let st = Arc::clone(stats);
     db.register_virtual("inv_stat", inv_stat_schema(), Arc::new(move || st.rows()));
+    let st = Arc::clone(stats);
+    db.register_virtual(
+        "pg_stat_net",
+        pg_stat_net_schema(),
+        Arc::new(move || st.net.rows()),
+    );
 }
 
 #[cfg(test)]
@@ -196,7 +328,10 @@ mod tests {
         let st = fs.stats();
         assert_eq!(st.rpcs.get(), 5);
         assert!(st.rpc_bytes_in.get() > 1000, "write payload counted");
-        assert!(st.rpc_bytes_out.get() >= 5 * 40, "response headers counted");
+        assert!(
+            st.rpc_bytes_out.get() >= 5 * crate::wire::HEADER_LEN as u64,
+            "response headers counted"
+        );
     }
 
     #[test]

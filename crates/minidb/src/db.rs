@@ -255,6 +255,13 @@ impl Db {
         self.inner.pool.stats()
     }
 
+    /// Total relation locks currently held across all transactions — zero
+    /// once every session has ended (the no-leaked-locks invariant the
+    /// server disconnect tests assert).
+    pub fn held_lock_count(&self) -> usize {
+        self.inner.locks.held_lock_count()
+    }
+
     /// The live counter registry every layer reports into.
     pub fn stats_registry(&self) -> &StatsRegistry {
         &self.inner.stats

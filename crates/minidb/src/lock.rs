@@ -185,6 +185,19 @@ impl LockManager {
             .and_then(|h| h.get(&xid))
             .copied()
     }
+
+    /// Total locks currently held across all transactions. Zero once every
+    /// session has committed, aborted, or been disconnected — the invariant
+    /// the server's teardown tests assert.
+    pub fn held_lock_count(&self) -> usize {
+        let _order = order::token(order::LOCK_MANAGER);
+        self.inner
+            .lock()
+            .holders
+            .values()
+            .map(|held| held.len())
+            .sum()
+    }
 }
 
 /// The declared lock hierarchy, shared between the static `xtask lint`

@@ -1,0 +1,288 @@
+//! An in-memory, full-duplex byte stream — the transport the concurrent
+//! Inversion server listens on in tests and benchmarks.
+//!
+//! [`duplex_pair`] returns two connected [`DuplexStream`]s; bytes written to
+//! one side become readable on the other, in order, through a bounded pipe
+//! (so a fast writer blocks instead of buffering without limit — the same
+//! backpressure a real socket send buffer applies). Both ends implement
+//! `io::Read`/`io::Write`, are `Clone` (clones share the connection, like
+//! `dup(2)` on a socket fd), and observe disconnects: reading from a pipe
+//! whose writer hung up yields `Ok(0)` (EOF) once drained, and writing into
+//! a pipe whose reader hung up fails with `BrokenPipe`.
+
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+/// Default pipe capacity: one bulk segment plus framing headroom.
+pub const PIPE_CAPACITY: usize = 64 * 1024;
+
+struct PipeState {
+    buf: VecDeque<u8>,
+    /// The writing side has hung up; drain then EOF.
+    write_closed: bool,
+    /// The reading side has hung up; writes fail with `BrokenPipe`.
+    read_closed: bool,
+}
+
+/// One direction of the connection.
+struct Pipe {
+    state: Mutex<PipeState>,
+    readable: Condvar,
+    writable: Condvar,
+    capacity: usize,
+}
+
+impl Pipe {
+    fn new(capacity: usize) -> Pipe {
+        Pipe {
+            state: Mutex::new(PipeState {
+                buf: VecDeque::new(),
+                write_closed: false,
+                read_closed: false,
+            }),
+            readable: Condvar::new(),
+            writable: Condvar::new(),
+            capacity,
+        }
+    }
+
+    fn read(&self, out: &mut [u8]) -> io::Result<usize> {
+        if out.is_empty() {
+            return Ok(0);
+        }
+        let mut st = self.state.lock();
+        loop {
+            if !st.buf.is_empty() {
+                let n = out.len().min(st.buf.len());
+                for b in out.iter_mut().take(n) {
+                    *b = st.buf.pop_front().unwrap_or(0);
+                }
+                self.writable.notify_all();
+                return Ok(n);
+            }
+            if st.write_closed || st.read_closed {
+                return Ok(0);
+            }
+            self.readable.wait(&mut st);
+        }
+    }
+
+    fn write(&self, data: &[u8]) -> io::Result<usize> {
+        if data.is_empty() {
+            return Ok(0);
+        }
+        let mut st = self.state.lock();
+        loop {
+            if st.read_closed || st.write_closed {
+                return Err(io::Error::new(
+                    io::ErrorKind::BrokenPipe,
+                    "peer disconnected",
+                ));
+            }
+            let room = self.capacity.saturating_sub(st.buf.len());
+            if room > 0 {
+                let n = room.min(data.len());
+                st.buf.extend(&data[..n]);
+                self.readable.notify_all();
+                return Ok(n);
+            }
+            self.writable.wait(&mut st);
+        }
+    }
+
+    fn close_write(&self) {
+        let mut st = self.state.lock();
+        st.write_closed = true;
+        self.readable.notify_all();
+        self.writable.notify_all();
+    }
+
+    fn close_read(&self) {
+        let mut st = self.state.lock();
+        st.read_closed = true;
+        self.readable.notify_all();
+        self.writable.notify_all();
+    }
+}
+
+/// One end of an in-memory full-duplex connection.
+///
+/// Cloning yields another handle to the same end (shared offsets, like a
+/// `dup`'d socket). Call [`DuplexStream::shutdown`] — or drop every clone of
+/// this end — to disconnect: the peer then sees EOF on read and
+/// `BrokenPipe` on write.
+pub struct DuplexStream {
+    /// Peer → us.
+    rx: Arc<Pipe>,
+    /// Us → peer.
+    tx: Arc<Pipe>,
+    /// Clone-count for this end, so only the last drop hangs up.
+    liveness: Arc<()>,
+}
+
+/// Creates a connected pair of in-memory streams with the default
+/// per-direction capacity ([`PIPE_CAPACITY`]).
+pub fn duplex_pair() -> (DuplexStream, DuplexStream) {
+    duplex_pair_with_capacity(PIPE_CAPACITY)
+}
+
+/// Creates a connected pair whose per-direction pipes hold at most
+/// `capacity` bytes before writers block.
+pub fn duplex_pair_with_capacity(capacity: usize) -> (DuplexStream, DuplexStream) {
+    let a_to_b = Arc::new(Pipe::new(capacity));
+    let b_to_a = Arc::new(Pipe::new(capacity));
+    let a = DuplexStream {
+        rx: Arc::clone(&b_to_a),
+        tx: Arc::clone(&a_to_b),
+        liveness: Arc::new(()),
+    };
+    let b = DuplexStream {
+        rx: a_to_b,
+        tx: b_to_a,
+        liveness: Arc::new(()),
+    };
+    (a, b)
+}
+
+impl DuplexStream {
+    /// Disconnects this end: the peer's reads see EOF after draining, its
+    /// writes fail with `BrokenPipe`, and any thread blocked on either pipe
+    /// wakes up. Idempotent; affects every clone of this end.
+    pub fn shutdown(&self) {
+        self.tx.close_write();
+        self.rx.close_read();
+    }
+}
+
+impl Clone for DuplexStream {
+    fn clone(&self) -> DuplexStream {
+        DuplexStream {
+            rx: Arc::clone(&self.rx),
+            tx: Arc::clone(&self.tx),
+            liveness: Arc::clone(&self.liveness),
+        }
+    }
+}
+
+impl Drop for DuplexStream {
+    fn drop(&mut self) {
+        // Hang up only when the last clone of this end goes away: one
+        // liveness Arc per clone, plus none held elsewhere.
+        if Arc::strong_count(&self.liveness) == 1 {
+            self.shutdown();
+        }
+    }
+}
+
+impl Read for DuplexStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        self.rx.read(buf)
+    }
+}
+
+impl Write for DuplexStream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.tx.write(buf)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+impl Read for &DuplexStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        self.rx.read(buf)
+    }
+}
+
+impl Write for &DuplexStream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.tx.write(buf)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn bytes_cross_in_order_both_ways() {
+        let (mut a, mut b) = duplex_pair();
+        a.write_all(b"ping").unwrap();
+        let mut buf = [0u8; 4];
+        b.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"ping");
+        b.write_all(b"pong").unwrap();
+        a.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"pong");
+    }
+
+    #[test]
+    fn bounded_pipe_applies_backpressure() {
+        let (mut a, mut b) = duplex_pair_with_capacity(8);
+        let writer = thread::spawn(move || {
+            let data = [7u8; 64];
+            a.write_all(&data).unwrap();
+            64usize
+        });
+        let mut got = Vec::new();
+        let mut buf = [0u8; 16];
+        while got.len() < 64 {
+            let n = b.read(&mut buf).unwrap();
+            assert!(n > 0);
+            got.extend_from_slice(&buf[..n]);
+        }
+        assert_eq!(writer.join().unwrap(), 64);
+        assert!(got.iter().all(|&x| x == 7));
+    }
+
+    #[test]
+    fn drop_signals_eof_and_broken_pipe() {
+        let (mut a, mut b) = duplex_pair();
+        b.write_all(b"last").unwrap();
+        drop(b);
+        let mut buf = [0u8; 4];
+        a.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"last");
+        assert_eq!(a.read(&mut buf).unwrap(), 0, "EOF after peer hangs up");
+        assert!(a.write_all(b"x").is_err(), "write to dropped peer fails");
+    }
+
+    #[test]
+    fn shutdown_wakes_blocked_reader() {
+        let (mut a, b) = duplex_pair();
+        let t = thread::spawn(move || {
+            let mut buf = [0u8; 1];
+            a.read(&mut buf).unwrap()
+        });
+        thread::sleep(std::time::Duration::from_millis(20));
+        b.shutdown();
+        assert_eq!(t.join().unwrap(), 0);
+    }
+
+    #[test]
+    fn clones_share_the_connection() {
+        let (mut a, mut b) = duplex_pair();
+        let mut b2 = b.clone();
+        a.write_all(b"xy").unwrap();
+        let mut one = [0u8; 1];
+        b.read_exact(&mut one).unwrap();
+        assert_eq!(one[0], b'x');
+        b2.read_exact(&mut one).unwrap();
+        assert_eq!(one[0], b'y');
+        drop(b);
+        // The connection survives while a clone lives.
+        a.write_all(b"z").unwrap();
+        b2.read_exact(&mut one).unwrap();
+        assert_eq!(one[0], b'z');
+    }
+}

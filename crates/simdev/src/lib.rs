@@ -47,6 +47,7 @@ pub mod block;
 pub mod clock;
 pub mod cpu;
 pub mod disk;
+pub mod duplex;
 pub mod error;
 pub mod fault;
 pub mod jukebox;
@@ -58,6 +59,7 @@ pub use block::{BlockDevice, MemBlockStore};
 pub use clock::{SimClock, SimDuration, SimInstant};
 pub use cpu::CpuModel;
 pub use disk::{DiskProfile, MagneticDisk};
+pub use duplex::{duplex_pair, duplex_pair_with_capacity, DuplexStream};
 pub use error::{DevError, DevResult};
 pub use fault::FaultPlan;
 pub use jukebox::{JukeboxProfile, OpticalJukebox, TapeJukebox, TapeProfile};

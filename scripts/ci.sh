@@ -32,6 +32,12 @@ cargo test --release -q --test buffer_stress
 echo "== commit path stress (group commit) =="
 cargo test --release -q --test commit_stress
 
+echo "== wire protocol fuzz battery =="
+cargo test --release -q --test wire
+
+echo "== multi-session server stress =="
+cargo test --release -q --test server_stress
+
 echo "== smoke: pg_check clean after crash recovery =="
 cargo run --release -q --example pg_check_smoke
 
@@ -46,8 +52,8 @@ grep -q '"minidb_stats_delta"' BENCH_fig3_create.json || {
     exit 1
 }
 
-echo "== smoke: fig5_reads --threads 4 --json =="
-cargo run --release -q -p bench --bin fig5_reads -- --threads 4 --json
+echo "== smoke: fig5_reads --remote --threads 4 --json =="
+cargo run --release -q -p bench --bin fig5_reads -- --remote --threads 4 --json
 test -s BENCH_fig5_reads.json || {
     echo "BENCH_fig5_reads.json missing or empty" >&2
     exit 1
@@ -60,11 +66,23 @@ grep -q '"speedup_at_least_2x": true' BENCH_fig5_reads.json || {
     echo "4 clients failed to double aggregate read throughput" >&2
     exit 1
 }
+grep -q '"remote_scaling"' BENCH_fig5_reads.json || {
+    echo "BENCH_fig5_reads.json lacks remote_scaling section" >&2
+    exit 1
+}
+grep -q '"remote_speedup_at_least_2x": true' BENCH_fig5_reads.json || {
+    echo "4 wire-protocol clients failed to double aggregate read throughput" >&2
+    exit 1
+}
 
-echo "== smoke: fig6_writes --threads 4 --json =="
-cargo run --release -q -p bench --bin fig6_writes -- --threads 4 --json
+echo "== smoke: fig6_writes --remote --threads 4 --json =="
+cargo run --release -q -p bench --bin fig6_writes -- --remote --threads 4 --json
 test -s BENCH_fig6_writes.json || {
     echo "BENCH_fig6_writes.json missing or empty" >&2
+    exit 1
+}
+grep -q '"remote_scaling"' BENCH_fig6_writes.json || {
+    echo "BENCH_fig6_writes.json lacks remote_scaling section" >&2
     exit 1
 }
 grep -q '"speedup_at_least_1_5x": true' BENCH_fig6_writes.json || {

@@ -424,3 +424,136 @@ fn virtual_relations_reject_time_travel() {
         "got unexpected error: {err}"
     );
 }
+
+// ---------------------------------------------------------------------------
+// Wire/session-pool network counters (`pg_stat_net`).
+
+/// Every frame the client sends is a frame the server counts in, and vice
+/// versa — the aggregate counters and the per-session `pg_stat_net` row
+/// must both agree exactly with the client's own accounting.
+#[test]
+fn net_counters_match_the_client_exactly() {
+    use inversion::{InvServerPool, PoolConfig, WireClient};
+    use simdev::duplex_pair;
+
+    let fs = InversionFs::open_in_memory().unwrap();
+    let pool = InvServerPool::new(&fs, PoolConfig::default());
+    let (client_end, server_end) = duplex_pair();
+    pool.serve_duplex(server_end);
+    let mut c = WireClient::new(client_end);
+
+    let fd = c.creat("/net", CreateMode::default()).unwrap();
+    let payload = vec![7u8; 3 * 8192 + 100];
+    assert_eq!(c.write_bulk(fd, &payload).unwrap(), payload.len());
+    c.close(fd).unwrap();
+    c.stat("/net").unwrap();
+    assert!(c.stat("/does-not-exist").is_err()); // Errors are frames too.
+
+    let st = fs.stats();
+    let cs = c.stats();
+    assert!(cs.frames_out.get() >= 8, "bulk write must pipeline frames");
+    assert_eq!(st.net_frames_in.get(), cs.frames_out.get());
+    assert_eq!(st.net_frames_out.get(), cs.frames_in.get());
+    assert_eq!(st.net_bytes_in.get(), cs.bytes_out.get());
+    assert_eq!(st.net_bytes_out.get(), cs.bytes_in.get());
+
+    // The same numbers through the query language, per session.
+    let mut s = fs.db().begin().unwrap();
+    let res = s
+        .query(
+            "retrieve (n.session, n.state, n.frames_in, n.frames_out, \
+             n.bytes_in, n.bytes_out) from n in pg_stat_net",
+        )
+        .unwrap();
+    s.commit().unwrap();
+    assert_eq!(res.rows.len(), 1, "one live session");
+    let row = &res.rows[0];
+    assert_eq!(int8(&row[2]) as u64, cs.frames_out.get());
+    assert_eq!(int8(&row[3]) as u64, cs.frames_in.get());
+    assert_eq!(int8(&row[4]) as u64, cs.bytes_out.get());
+    assert_eq!(int8(&row[5]) as u64, cs.bytes_in.get());
+
+    drop(c);
+    pool.shutdown();
+}
+
+/// With a one-slot queue and the workers paused, a burst of pipelined
+/// requests must block the connection's reader and count `queue_full`
+/// events; once the gate opens, every queued request is still answered.
+#[test]
+fn tiny_queue_bound_counts_queue_full_events() {
+    use inversion::pool::ServiceGate;
+    use inversion::server::Request;
+    use inversion::{InvServerPool, PoolConfig, WireClient};
+    use simdev::duplex_pair;
+    use std::time::{Duration, Instant};
+
+    let gate = Arc::new(ServiceGate::new());
+    let fs = InversionFs::open_in_memory().unwrap();
+    let pool = InvServerPool::new(
+        &fs,
+        PoolConfig {
+            workers: 1,
+            queue_bound: 1,
+            service_gate: Some(Arc::clone(&gate)),
+        },
+    );
+    let (client_end, server_end) = duplex_pair();
+    pool.serve_duplex(server_end);
+    let mut c = WireClient::new(client_end);
+
+    gate.pause();
+    const BURST: usize = 6;
+    for _ in 0..BURST {
+        c.send(&Request::Stat("/".into())).unwrap();
+    }
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while fs.stats().net_queue_full.get() == 0 {
+        assert!(Instant::now() < deadline, "queue_full never counted");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    gate.resume();
+    for _ in 0..BURST {
+        c.recv().unwrap();
+    }
+    drop(c);
+    pool.shutdown();
+    assert!(fs.stats().net_queue_full.get() >= 1);
+}
+
+/// Malformed frames are counted per session and in the aggregate, and the
+/// session keeps serving; the `pg_stat_net` row carries the tally.
+#[test]
+fn decode_errors_counted_and_session_survives() {
+    use inversion::server::Request;
+    use inversion::wire;
+    use inversion::{InvServerPool, PoolConfig, WireClient};
+    use simdev::duplex_pair;
+    use std::io::Write;
+
+    let fs = InversionFs::open_in_memory().unwrap();
+    let pool = InvServerPool::new(&fs, PoolConfig::default());
+    let (client_end, server_end) = duplex_pair();
+    pool.serve_duplex(server_end);
+    let raw = client_end.clone();
+    let mut c = WireClient::new(client_end);
+
+    for _ in 0..3 {
+        let mut bad = wire::encode_request(&Request::Readdir("/".into()));
+        let last = bad.len() - 1;
+        bad[last] ^= 0x01; // Checksum no longer matches.
+        (&raw).write_all(&bad).unwrap();
+        assert!(c.recv().is_err(), "corrupt frame must answer with an error");
+    }
+    c.stat("/").unwrap(); // Still in business.
+
+    assert_eq!(fs.stats().net_decode_errors.get(), 3);
+    let mut s = fs.db().begin().unwrap();
+    let res = s
+        .query("retrieve (n.decode_errors) from n in pg_stat_net")
+        .unwrap();
+    s.commit().unwrap();
+    assert_eq!(int8(&res.rows[0][0]), 3);
+    drop(c);
+    pool.shutdown();
+}

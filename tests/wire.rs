@@ -1,0 +1,424 @@
+//! Protocol fuzz battery for `inversion::wire`: round-trips arbitrary
+//! requests and responses through the one real encoder/decoder, then feeds
+//! the decoder a malformed corpus — truncations, oversized length prefixes,
+//! unknown opcodes, corrupted checksums, random byte flips — and checks it
+//! always returns an error instead of panicking. The final tests drive the
+//! same corpus at a live `InvServerPool` session over a duplex stream and
+//! assert the session survives recoverable corruption without leaking its
+//! transaction, while unrecoverable framing damage tears the session down
+//! through the same abort path as a disconnect.
+
+use std::io::Write;
+
+use inversion::server::{Request, Response};
+use inversion::wire::{self, FrameEvent, WireError, HEADER_LEN, MAX_PAYLOAD};
+use inversion::{
+    CreateMode, FileKind, FileStat, InvError, InvServerPool, InversionFs, OpenMode, PoolConfig,
+    SeekWhence, WireClient,
+};
+use minidb::{DbError, DeviceId, Oid, TypeId};
+use proptest::prelude::*;
+use simdev::{duplex_pair, SimInstant};
+
+// ---------------------------------------------------------------------------
+// Strategies.
+
+fn create_mode() -> impl Strategy<Value = CreateMode> {
+    (
+        (any::<u8>(), ".{0,12}", any::<u32>()),
+        (prop::bool::ANY, prop::bool::ANY, prop::bool::ANY),
+    )
+        .prop_map(|((dev, owner, ftype), (comp, selfid, nohist))| {
+            let mut m = CreateMode::default()
+                .on_device(DeviceId(dev))
+                .owned_by(owner);
+            if ftype != 0 {
+                m = m.with_type(TypeId(ftype));
+            }
+            if comp {
+                m = m.compressed();
+            }
+            if selfid {
+                m = m.self_identifying();
+            }
+            if nohist {
+                m = m.without_history();
+            }
+            m
+        })
+}
+
+fn timestamp() -> impl Strategy<Value = Option<SimInstant>> {
+    prop_oneof![
+        Just(None),
+        any::<u64>().prop_map(|n| Some(SimInstant::from_nanos(n))),
+    ]
+}
+
+fn whence() -> impl Strategy<Value = SeekWhence> {
+    prop_oneof![
+        Just(SeekWhence::Set),
+        Just(SeekWhence::Cur),
+        Just(SeekWhence::End),
+    ]
+}
+
+fn request_strategy() -> impl Strategy<Value = Request> {
+    prop_oneof![
+        Just(Request::Begin),
+        Just(Request::Commit),
+        Just(Request::Abort),
+        (".{0,24}", create_mode()).prop_map(|(p, m)| Request::Creat(p, m)),
+        (".{0,24}", prop::bool::ANY, timestamp()).prop_map(|(p, rw, ts)| Request::Open(
+            p,
+            if rw { OpenMode::ReadWrite } else { OpenMode::Read },
+            ts
+        )),
+        any::<i32>().prop_map(Request::Close),
+        (any::<i32>(), 0usize..100_000).prop_map(|(fd, n)| Request::Read(fd, n)),
+        (any::<i32>(), prop::collection::vec(any::<u8>(), 0..4000))
+            .prop_map(|(fd, d)| Request::Write(fd, d)),
+        (any::<i32>(), any::<i64>(), whence()).prop_map(|(fd, off, w)| Request::Lseek(fd, off, w)),
+        ".{0,24}".prop_map(Request::Stat),
+        ".{0,24}".prop_map(Request::Mkdir),
+        ".{0,24}".prop_map(Request::Unlink),
+        ".{0,24}".prop_map(Request::Readdir),
+    ]
+}
+
+fn file_stat() -> impl Strategy<Value = FileStat> {
+    (
+        (any::<u32>(), prop::bool::ANY, ".{0,12}", any::<u32>()),
+        (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+        (any::<u32>(), any::<u32>(), any::<u8>()),
+        (prop::bool::ANY, prop::bool::ANY),
+    )
+        .prop_map(
+            |(
+                (oid, dir, owner, ftype),
+                (size, ctime, mtime, atime),
+                (datarel, chunkidx, device),
+                (comp, selfid),
+            )| FileStat {
+                oid: Oid(oid),
+                kind: if dir { FileKind::Directory } else { FileKind::Regular },
+                owner,
+                ftype: if ftype == 0 { None } else { Some(TypeId(ftype)) },
+                size,
+                ctime: SimInstant::from_nanos(ctime),
+                mtime: SimInstant::from_nanos(mtime),
+                atime: SimInstant::from_nanos(atime),
+                compressed: comp,
+                self_identifying: selfid,
+                datarel: Oid(datarel),
+                chunkidx: Oid(chunkidx),
+                device: DeviceId(device),
+            },
+        )
+}
+
+fn response_strategy() -> impl Strategy<Value = Response> {
+    prop_oneof![
+        Just(Response::Ok),
+        any::<i32>().prop_map(Response::Fd),
+        prop::collection::vec(any::<u8>(), 0..4000).prop_map(Response::Data),
+        any::<u64>().prop_map(Response::Count),
+        file_stat().prop_map(|s| Response::Stat(Box::new(s))),
+        prop::collection::vec((".{0,12}", any::<u32>()), 0..8).prop_map(|es| Response::Entries(
+            es.into_iter().map(|(n, o)| (n, Oid(o))).collect()
+        )),
+    ]
+}
+
+/// Errors whose wire representation is exact (the `DbError` catch-all arm
+/// normalizes other engine variants to their display text; see
+/// `db_error_catch_all_normalizes_to_text`).
+fn exact_error() -> impl Strategy<Value = InvError> {
+    prop_oneof![
+        ".{0,24}".prop_map(InvError::NoSuchPath),
+        ".{0,24}".prop_map(InvError::NotADirectory),
+        ".{0,24}".prop_map(InvError::IsADirectory),
+        ".{0,24}".prop_map(InvError::Exists),
+        ".{0,24}".prop_map(InvError::NotEmpty),
+        any::<i32>().prop_map(InvError::BadFd),
+        any::<i32>().prop_map(InvError::ReadOnlyFd),
+        ".{0,24}".prop_map(InvError::BadPath),
+        ".{0,24}".prop_map(InvError::Invalid),
+        Just(InvError::Db(DbError::Deadlock)),
+        Just(InvError::Db(DbError::LockTimeout)),
+        Just(InvError::Db(DbError::NoTransaction)),
+        Just(InvError::Db(DbError::TransactionActive)),
+        Just(InvError::Db(DbError::ReadOnly)),
+        ".{0,24}".prop_map(|m| InvError::Db(DbError::Corrupt(m))),
+    ]
+}
+
+// ---------------------------------------------------------------------------
+// Round-trip properties. `Request`/`Response` do not implement `PartialEq`
+// (they carry engine types that have no business being comparable), so
+// equality is checked on the debug rendering and on re-encoded bytes — the
+// encoder is deterministic, so byte equality is the stronger statement.
+
+proptest! {
+    #[test]
+    fn request_roundtrip_is_exact(req in request_strategy()) {
+        let bytes = wire::encode_request(&req);
+        prop_assert_eq!(req.wire_size(), bytes.len(), "wire_size must be the encoder's size");
+        let decoded = match wire::decode_request(&bytes) {
+            Ok(d) => d,
+            Err(e) => return Err(proptest::test_runner::TestCaseError::fail(
+                format!("decode failed on {req:?}: {e}"),
+            )),
+        };
+        prop_assert_eq!(format!("{req:?}"), format!("{decoded:?}"));
+        prop_assert_eq!(&bytes, &wire::encode_request(&decoded));
+    }
+
+    #[test]
+    fn response_roundtrip_is_exact(resp in response_strategy()) {
+        let bytes = wire::encode_response(&Ok(resp.clone()));
+        prop_assert_eq!(resp.wire_size(), bytes.len());
+        let decoded = match wire::decode_response(&bytes) {
+            Ok(Ok(d)) => d,
+            other => return Err(proptest::test_runner::TestCaseError::fail(
+                format!("decode failed on {resp:?}: {other:?}"),
+            )),
+        };
+        prop_assert_eq!(format!("{resp:?}"), format!("{decoded:?}"));
+        prop_assert_eq!(&bytes, &wire::encode_response(&Ok(decoded)));
+    }
+
+    #[test]
+    fn error_roundtrip_is_exact(err in exact_error()) {
+        let bytes = wire::encode_response(&Err(err.clone()));
+        let decoded = match wire::decode_response(&bytes) {
+            Ok(Err(d)) => d,
+            other => return Err(proptest::test_runner::TestCaseError::fail(
+                format!("decode failed on {err:?}: {other:?}"),
+            )),
+        };
+        prop_assert_eq!(format!("{err:?}"), format!("{decoded:?}"));
+    }
+
+    // ------------------------------------------------------------------
+    // Malformed corpus: the decoder must reject, never panic.
+
+    #[test]
+    fn truncation_always_errors(req in request_strategy(), skew in any::<u16>()) {
+        let bytes = wire::encode_request(&req);
+        // Every header boundary, plus a sampled interior cut.
+        let mut cuts: Vec<usize> = (0..HEADER_LEN.min(bytes.len())).collect();
+        cuts.push(HEADER_LEN + (skew as usize) % bytes.len().saturating_sub(HEADER_LEN).max(1));
+        for cut in cuts {
+            let cut = cut.min(bytes.len().saturating_sub(1));
+            let prefix = &bytes[..cut];
+            prop_assert!(
+                wire::decode_request(prefix).is_err(),
+                "prefix of {} / {} bytes must not decode", cut, bytes.len()
+            );
+            let mut r = std::io::Cursor::new(prefix.to_vec());
+            match wire::read_frame(&mut r) {
+                Ok(FrameEvent::Eof) => prop_assert!(cut == 0, "mid-frame cut read as clean EOF"),
+                Ok(other) => return Err(proptest::test_runner::TestCaseError::fail(
+                    format!("truncated stream produced {other:?}"),
+                )),
+                Err(_) => {}
+            }
+        }
+    }
+
+    #[test]
+    fn corrupted_checksum_is_detected_and_recoverable(
+        req in request_strategy(),
+        flip in any::<u8>(),
+    ) {
+        let mut bytes = wire::encode_request(&req);
+        if bytes.len() == HEADER_LEN {
+            return Ok(()); // No payload byte to corrupt.
+        }
+        let idx = HEADER_LEN + (flip as usize) % (bytes.len() - HEADER_LEN);
+        bytes[idx] ^= 0x40;
+        prop_assert!(matches!(wire::decode_request(&bytes), Err(WireError::Checksum)));
+        // Streaming: the corrupt frame is consumed, the next frame is fine.
+        let mut stream = bytes.clone();
+        stream.extend_from_slice(&wire::encode_request(&Request::Begin));
+        let mut r = std::io::Cursor::new(stream);
+        prop_assert!(matches!(
+            wire::read_frame(&mut r),
+            Ok(FrameEvent::Corrupt(WireError::Checksum))
+        ));
+        match wire::read_frame(&mut r) {
+            Ok(FrameEvent::Frame { opcode, payload }) => {
+                prop_assert!(wire::decode_request_frame(opcode, &payload).is_ok());
+            }
+            other => return Err(proptest::test_runner::TestCaseError::fail(
+                format!("stream out of sync after corrupt frame: {other:?}"),
+            )),
+        }
+    }
+
+    #[test]
+    fn random_mutations_never_panic(
+        req in request_strategy(),
+        pos in any::<u16>(),
+        mask in 1..256u16,
+    ) {
+        let mut bytes = wire::encode_request(&req);
+        let idx = (pos as usize) % bytes.len();
+        bytes[idx] ^= mask as u8;
+        // Any Result is acceptable (a payload flip under a luckily-matching
+        // checksum can legally decode); what is being tested is "no panic,
+        // no hang, no over-read".
+        let _ = wire::decode_request(&bytes);
+        let mut r = std::io::Cursor::new(bytes);
+        let _ = wire::read_frame(&mut r);
+    }
+
+    #[test]
+    fn random_garbage_never_panics(junk in prop::collection::vec(any::<u8>(), 0..600)) {
+        let _ = wire::decode_request(&junk);
+        let _ = wire::decode_response(&junk);
+        let mut r = std::io::Cursor::new(junk);
+        // Drain the stream: every event must be an error, a corrupt-frame
+        // notice, a (coincidentally) well-formed frame, or EOF.
+        for _ in 0..4 {
+            match wire::read_frame(&mut r) {
+                Ok(FrameEvent::Eof) | Err(_) => break,
+                Ok(_) => {}
+            }
+        }
+    }
+}
+
+#[test]
+fn oversized_length_prefix_is_rejected_before_allocation() {
+    let mut bytes = wire::encode_request(&Request::Begin);
+    // Rewrite the length field (offset 8) to something absurd, far past
+    // MAX_PAYLOAD; a naive decoder would try to allocate it.
+    bytes[8..12].copy_from_slice(&(u32::MAX - 7).to_le_bytes());
+    assert!(matches!(
+        wire::decode_request(&bytes),
+        Err(WireError::Oversize(_))
+    ));
+    let mut r = std::io::Cursor::new(bytes);
+    assert!(matches!(wire::read_frame(&mut r), Err(WireError::Oversize(_))));
+    assert!(MAX_PAYLOAD < (u32::MAX - 7) as usize);
+}
+
+#[test]
+fn unknown_opcode_and_bad_magic_are_distinct_failures() {
+    let good = wire::frame(0x0EEE, b"mystery");
+    assert!(matches!(
+        wire::decode_request(&good),
+        Err(WireError::BadOpcode(0x0EEE))
+    ));
+    let mut bad_magic = wire::encode_request(&Request::Begin);
+    bad_magic[0] ^= 0xFF;
+    assert!(matches!(
+        wire::decode_request(&bad_magic),
+        Err(WireError::BadMagic(_))
+    ));
+    let mut bad_version = wire::encode_request(&Request::Begin);
+    bad_version[4] = 99;
+    assert!(matches!(
+        wire::decode_request(&bad_version),
+        Err(WireError::BadVersion(99))
+    ));
+}
+
+/// The `DbError` catch-all arm carries the display text across the wire;
+/// one more round does not change it (normalization is idempotent).
+#[test]
+fn db_error_catch_all_normalizes_to_text() {
+    let original = InvError::Db(DbError::NotFound("relation pg_shadow".into()));
+    let once = wire::decode_response(&wire::encode_response(&Err(original)))
+        .expect("frame intact")
+        .expect_err("error response");
+    match &once {
+        InvError::Db(DbError::Invalid(text)) => assert!(text.contains("pg_shadow")),
+        other => panic!("expected normalized Db text, got {other:?}"),
+    }
+    let twice = wire::decode_response(&wire::encode_response(&Err(once.clone())))
+        .expect("frame intact")
+        .expect_err("error response");
+    assert_eq!(format!("{once:?}"), format!("{twice:?}"));
+}
+
+// ---------------------------------------------------------------------------
+// The corpus against a live server session.
+
+/// A checksum-corrupted frame is recoverable at the framing layer: the
+/// session answers it with an error response, keeps its transaction, and
+/// serves the next well-formed request normally.
+#[test]
+fn session_survives_recoverable_corruption_without_losing_its_transaction() {
+    let fs = InversionFs::open_in_memory().unwrap();
+    let pool = InvServerPool::new(&fs, PoolConfig::default());
+    let (client_end, server_end) = duplex_pair();
+    pool.serve_duplex(server_end);
+    let raw = client_end.clone(); // Clones share the connection.
+    let mut c = WireClient::new(client_end);
+
+    c.begin().unwrap();
+    let fd = c.creat("/survivor", CreateMode::default()).unwrap();
+    c.call(&Request::Write(fd, b"still here".to_vec())).unwrap();
+
+    // Three corrupted frames, each answered with a decode error.
+    for i in 0..3u8 {
+        let mut bad = wire::encode_request(&Request::Stat(format!("/survivor{i}")));
+        let last = bad.len() - 1;
+        bad[last] ^= 0x55;
+        (&raw).write_all(&bad).unwrap();
+        match c.recv() {
+            Err(InvError::Invalid(msg)) => assert!(msg.contains("wire"), "unexpected: {msg}"),
+            other => panic!("corrupt frame must answer with a wire error, got {other:?}"),
+        }
+    }
+
+    // The session is intact: same transaction, same fd table.
+    c.call(&Request::Write(fd, b", all of it".to_vec())).unwrap();
+    c.close(fd).unwrap();
+    c.commit().unwrap();
+    assert_eq!(
+        c.stat("/survivor").unwrap().size,
+        "still here, all of it".len() as u64
+    );
+    assert!(fs.stats().net_decode_errors.get() >= 3);
+    pool.shutdown();
+    assert!(fs.db().check_all().is_empty(), "structural damage");
+}
+
+/// Unrecoverable framing damage (bad magic: the stream can never re-sync)
+/// tears the session down exactly like a disconnect: the in-flight
+/// transaction aborts, nothing it wrote becomes visible, no lock survives.
+#[test]
+fn session_dies_cleanly_on_unrecoverable_framing_damage() {
+    let fs = InversionFs::open_in_memory().unwrap();
+    let pool = InvServerPool::new(&fs, PoolConfig::default());
+    let (client_end, server_end) = duplex_pair();
+    pool.serve_duplex(server_end);
+    let raw = client_end.clone();
+    let mut c = WireClient::new(client_end);
+
+    c.begin().unwrap();
+    c.creat("/never-lands", CreateMode::default()).unwrap();
+    (&raw).write_all(b"NOPE: this is not an Inversion frame").unwrap();
+
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    while fs.stats().net_disconnect_aborts.get() == 0 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "framing damage never tore the session down"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    assert!(fs.stats().net_decode_errors.get() >= 1);
+    let mut probe = fs.client();
+    assert!(
+        probe.p_stat("/never-lands", None).is_err(),
+        "aborted transaction's rows are visible"
+    );
+    assert_eq!(fs.db().held_lock_count(), 0, "locks leaked");
+    assert!(fs.db().check_all().is_empty());
+    pool.shutdown();
+}
