@@ -103,9 +103,53 @@ pub struct BTree<'a> {
     pub rel: RelId,
     /// Where search/insert/split counts go.
     pub stats: &'a StatsRegistry,
+    /// The write-ahead log, when mutations must be logged. `None` runs
+    /// unlogged — read paths, checks, and bulk builds that flush and sync
+    /// explicitly before the index becomes reachable.
+    pub wal: Option<&'a crate::wal::Wal>,
+}
+
+/// How [`BTree::insert_sorted`] placed an item — the cheap append case logs
+/// an item-sized record, a rewrite logs the page image.
+enum Sorted {
+    /// Appended in slot order; the new item landed in this slot.
+    Appended(u16),
+    /// The page was rewritten to restore key order.
+    Rewrote,
 }
 
 impl<'a> BTree<'a> {
+    /// Logs a full after-image of `data` (structure changes — splits, page
+    /// rewrites, meta updates) and stamps its page LSN.
+    fn log_image(&self, data: &mut [u8], blkno: u64) -> DbResult<()> {
+        if let Some(wal) = self.wal {
+            let end = wal.append(&crate::wal::WalRecord::PageImage {
+                dev: self.dev,
+                rel: self.rel,
+                blkno,
+                image: data.to_vec(),
+            })?;
+            page::set_lsn(data, end);
+        }
+        Ok(())
+    }
+
+    /// Logs a slot-order append of `item` (the common sequential-insert
+    /// case) and stamps the page LSN.
+    fn log_append(&self, data: &mut [u8], blkno: u64, slot: u16, item: &[u8]) -> DbResult<()> {
+        if let Some(wal) = self.wal {
+            let end = wal.append(&crate::wal::WalRecord::Insert {
+                dev: self.dev,
+                rel: self.rel,
+                blkno,
+                slot,
+                tuple: item.to_vec(),
+            })?;
+            page::set_lsn(data, end);
+        }
+        Ok(())
+    }
+
     /// Initializes an empty index: a meta page and one empty leaf root.
     pub fn create(&self) -> DbResult<()> {
         let (meta_blk, meta_ref) = self.pool.new_page(self.smgr, self.dev, self.rel)?;
@@ -127,6 +171,7 @@ impl<'a> BTree<'a> {
                     right: 0,
                 },
             );
+            self.log_image(data, root_blk)?;
         }
         let _order = crate::lock::order::token(crate::lock::order::BTREE_PAGE);
         let mut meta = meta_ref.write();
@@ -135,6 +180,7 @@ impl<'a> BTree<'a> {
         let sp = page::special_mut(data);
         sp[..4].copy_from_slice(&META_MAGIC.to_le_bytes());
         sp[4..12].copy_from_slice(&root_blk.to_le_bytes());
+        self.log_image(data, meta_blk)?;
         Ok(())
     }
 
@@ -156,8 +202,10 @@ impl<'a> BTree<'a> {
         let meta_ref = self.pool.get_page(self.smgr, self.dev, self.rel, 0)?;
         let _order = crate::lock::order::token(crate::lock::order::BTREE_PAGE);
         let mut meta = meta_ref.write();
-        let sp = page::special_mut(meta.data_mut());
+        let data = meta.data_mut();
+        let sp = page::special_mut(data);
         sp[4..12].copy_from_slice(&root.to_le_bytes());
+        self.log_image(data, 0)?;
         Ok(())
     }
 
@@ -233,7 +281,10 @@ impl<'a> BTree<'a> {
         let mut pbuf = pref.write();
         let data = pbuf.data_mut();
         if page::fits(data, item.len()) {
-            Self::insert_sorted(data, key, item)?;
+            match Self::insert_sorted(data, key, item)? {
+                Sorted::Appended(slot) => self.log_append(data, blk, slot, item)?,
+                Sorted::Rewrote => self.log_image(data, blk)?,
+            }
             return Ok(());
         }
         // Split: collect all items (plus the new one) in key order, keep the
@@ -264,6 +315,7 @@ impl<'a> BTree<'a> {
         for (_, it) in &items[mid..] {
             page::insert(rdata, it)?;
         }
+        self.log_image(rdata, right_blk)?;
         let split_key = items[mid].0.clone();
 
         // Rewrite the left node with the lower half.
@@ -278,6 +330,7 @@ impl<'a> BTree<'a> {
         for (_, it) in &items[..mid] {
             page::insert(data, it)?;
         }
+        self.log_image(data, blk)?;
         drop(pbuf);
         drop(right);
 
@@ -303,6 +356,7 @@ impl<'a> BTree<'a> {
                 let left_fence = encode_item(&[], &blk.to_le_bytes());
                 page::insert(rdata, &left_fence)?;
                 page::insert(rdata, &fence)?;
+                self.log_image(rdata, new_root)?;
                 drop(root);
                 self.set_root(new_root)
             }
@@ -314,7 +368,7 @@ impl<'a> BTree<'a> {
     /// Slotted pages append items; to preserve sorted order under arbitrary
     /// interleavings we rewrite the page when the insertion point is not at
     /// the end. Pages are 8 KB and in cache, so this is a memcpy, not I/O.
-    fn insert_sorted(data: &mut [u8], key: &[Datum], item: &[u8]) -> DbResult<()> {
+    fn insert_sorted(data: &mut [u8], key: &[Datum], item: &[u8]) -> DbResult<Sorted> {
         let n = page::nslots(data);
         let mut at_end = true;
         for s in (0..n).rev() {
@@ -329,8 +383,8 @@ impl<'a> BTree<'a> {
             }
         }
         if at_end {
-            page::insert(data, item)?;
-            return Ok(());
+            let slot = page::insert(data, item)?;
+            return Ok(Sorted::Appended(slot));
         }
         let meta = read_node_meta(data)?;
         let mut items: Vec<(Key, Vec<u8>)> = Vec::with_capacity(n as usize + 1);
@@ -345,7 +399,7 @@ impl<'a> BTree<'a> {
         for (_, it) in &items {
             page::insert(data, it)?;
         }
-        Ok(())
+        Ok(Sorted::Rewrote)
     }
 
     /// Structurally verifies the whole tree, returning findings plus every
@@ -688,6 +742,7 @@ impl<'a> BTree<'a> {
                     Ordering::Equal => {
                         if Tid::decode(payload) == Some(tid) {
                             page::set_dead(data, s)?;
+                            self.log_image(data, blk)?;
                             return Ok(true);
                         }
                     }
@@ -758,6 +813,7 @@ mod tests {
 
         fn btree(&self) -> BTree<'_> {
             BTree {
+                wal: None,
                 pool: &self.pool,
                 smgr: &self.smgr,
                 dev: DeviceId::DEFAULT,

@@ -319,6 +319,11 @@ pub struct BufferPool {
     /// Consulted only on misses and prefetch hits — cache hits need no
     /// read-ahead, so they skip this lock entirely.
     runs: Mutex<HashMap<RelId, (u64, u32)>>,
+    /// The write-ahead log, when one governs this pool: every writeback
+    /// forces the log up to the page's stamped LSN first (the
+    /// LSN-before-write rule). Read-mostly and unranked — the ranked WAL
+    /// mutex is taken inside [`crate::wal::Wal::force_up_to`].
+    wal: RwLock<Option<Arc<crate::wal::Wal>>>,
 }
 
 impl BufferPool {
@@ -340,7 +345,28 @@ impl BufferPool {
             shards: (0..nshards).map(|_| Mutex::new(ShardInner::new())).collect(),
             prefetch_window: AtomicUsize::new(DEFAULT_PREFETCH_WINDOW),
             runs: Mutex::new(HashMap::new()),
+            wal: RwLock::new(None),
         }
+    }
+
+    /// Attaches the write-ahead log: from here on, no dirty page reaches a
+    /// device before the log covering its last change is durable. Pools
+    /// without a WAL (standalone tests) skip the rule.
+    pub fn attach_wal(&self, wal: Arc<crate::wal::Wal>) {
+        *self.wal.write() = Some(wal);
+    }
+
+    /// The LSN-before-write rule: force the log up to `buf`'s stamped LSN.
+    /// Unlogged pages (LSN 0) need no force.
+    fn force_wal_for(&self, buf: &[u8]) -> DbResult<()> {
+        let lsn = crate::page::lsn(buf);
+        if lsn == 0 {
+            return Ok(());
+        }
+        if let Some(wal) = self.wal.read().as_ref() {
+            wal.force_up_to(lsn)?;
+        }
+        Ok(())
     }
 
     /// The configured capacity in frames.
@@ -538,6 +564,13 @@ impl BufferPool {
         si: usize,
         smgr: &Smgr,
     ) -> DbResult<(order::LevelToken, MutexGuard<'_, ShardInner>)> {
+        // Sweeps that find every frame pinned wait and retry before giving
+        // up: transient all-pinned shards are normal while the background
+        // checkpointer walks the pool (it pins frames it has yet to
+        // flush). Only a pin held *forever* — a leak, or genuinely more
+        // concurrent pins than frames — should surface as an error.
+        let mut stalls: u32 = 0;
+        const MAX_STALLS: u32 = 1 << 16;
         'retry: loop {
             let tok = order::token(order::BUFFER_SHARD);
             let mut shard = self.shards[si].lock();
@@ -551,6 +584,17 @@ impl BufferPool {
             let max_steps = 2 * shard.ring.len() + 1;
             loop {
                 if steps > max_steps {
+                    stalls += 1;
+                    if stalls < MAX_STALLS {
+                        drop(shard);
+                        drop(tok);
+                        if stalls.is_multiple_of(64) {
+                            std::thread::sleep(std::time::Duration::from_micros(100));
+                        } else {
+                            std::thread::yield_now();
+                        }
+                        continue 'retry;
+                    }
                     return Err(DbError::Invalid(
                         "buffer pool exhausted: every page is pinned".into(),
                     ));
@@ -599,7 +643,9 @@ impl BufferPool {
                 drop(tok);
                 let io = {
                     let (d, r, b) = (vbuf.dev, vbuf.rel, vbuf.blkno);
-                    let res = smgr.write_page(d, r, b, &vbuf.data);
+                    let res = self
+                        .force_wal_for(&vbuf.data)
+                        .and_then(|()| smgr.write_page(d, r, b, &vbuf.data));
                     if res.is_ok() {
                         vbuf.dirty = false;
                     }
@@ -734,24 +780,31 @@ impl BufferPool {
     fn flush_frames(&self, smgr: &Smgr, frames: Vec<Arc<Frame>>) -> DbResult<usize> {
         let mut result = Ok(());
         let mut written = vec![0u64; self.shards.len()];
+        // Unpin each frame as soon as it is handled, not at the end: the
+        // checkpointer flushes the *whole* pool concurrently with
+        // foreground work, and holding every pin for the full sweep would
+        // starve eviction (`lock_with_room`) for the sweep's duration. A
+        // frame only needs its pin while we might still write it — once
+        // unpinned, eviction writing it back first just leaves it clean
+        // and we skip it.
         for frame in &frames {
-            if result.is_err() {
-                break;
-            }
-            let _fl = order::token(order::BUFFER_FRAME);
-            let mut buf = frame.buf.write();
-            if buf.dirty {
-                let (d, r, b) = (buf.dev, buf.rel, buf.blkno);
-                match smgr.write_page(d, r, b, &buf.data) {
-                    Ok(()) => {
-                        buf.dirty = false;
-                        written[self.shard_index(r, b)] += 1;
+            if result.is_ok() {
+                let _fl = order::token(order::BUFFER_FRAME);
+                let mut buf = frame.buf.write();
+                if buf.dirty {
+                    let (d, r, b) = (buf.dev, buf.rel, buf.blkno);
+                    match self
+                        .force_wal_for(&buf.data)
+                        .and_then(|()| smgr.write_page(d, r, b, &buf.data))
+                    {
+                        Ok(()) => {
+                            buf.dirty = false;
+                            written[self.shard_index(r, b)] += 1;
+                        }
+                        Err(e) => result = Err(e),
                     }
-                    Err(e) => result = Err(e),
                 }
             }
-        }
-        for frame in &frames {
             frame.unpin();
         }
         let total = written.iter().sum::<u64>() as usize;
@@ -766,14 +819,15 @@ impl BufferPool {
 
     /// Writes every dirty page back through `smgr` (without evicting), in
     /// (relation, block) order — the elevator sweep a real commit-time sync
-    /// performs so flushes stream rather than seek.
-    pub fn flush_all(&self, smgr: &Smgr) -> DbResult<()> {
+    /// performs so flushes stream rather than seek. Returns the number of
+    /// pages written (the checkpointer's drain count).
+    pub fn flush_all(&self, smgr: &Smgr) -> DbResult<usize> {
         let mut frames = self.pin_all(None);
         frames.sort_by_key(|f| {
             let b = f.buf.read();
             (b.rel, b.blkno)
         });
-        self.flush_frames(smgr, frames).map(|_| ())
+        self.flush_frames(smgr, frames)
     }
 
     /// Writes back exactly the listed pages — a committing transaction's

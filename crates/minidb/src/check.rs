@@ -151,6 +151,7 @@ pub fn check_all(db: &Db) -> Vec<Finding> {
         match e.kind {
             RelKind::Heap => {
                 let heap = Heap {
+                    wal: None,
                     pool: &db.inner.pool,
                     smgr: &db.inner.smgr,
                     xlog: &db.inner.xlog,
@@ -162,6 +163,7 @@ pub fn check_all(db: &Db) -> Vec<Finding> {
             }
             RelKind::BTreeIndex => {
                 let bt = BTree {
+                    wal: None,
                     pool: &db.inner.pool,
                     smgr: &db.inner.smgr,
                     dev: e.device,
@@ -306,6 +308,7 @@ fn heap_to_index(
         return Ok(());
     }
     let heap = Heap {
+        wal: None,
         pool: &db.inner.pool,
         smgr: &db.inner.smgr,
         xlog: &db.inner.xlog,
@@ -333,6 +336,7 @@ fn heap_to_index(
                 continue;
             }
             let bt = BTree {
+                wal: None,
                 pool: &db.inner.pool,
                 smgr: &db.inner.smgr,
                 dev: ie.device,
@@ -430,9 +434,10 @@ mod tests {
             .unwrap();
         {
             let mut pbuf = pref.write();
-            // Scribble the slot array: point slot 0 past the page end.
+            // Scribble the slot array (it starts right after the 20-byte
+            // header): point slot 0 past the page end.
             let data = pbuf.data_mut();
-            data[12..14].copy_from_slice(&(crate::page::PAGE_SIZE as u16 - 2).to_le_bytes());
+            data[20..22].copy_from_slice(&(crate::page::PAGE_SIZE as u16 - 2).to_le_bytes());
         }
         let findings = db.check_all();
         assert!(
@@ -481,6 +486,7 @@ mod tests {
             (ie, vec![row[0].clone()], tid)
         };
         let bt = BTree {
+            wal: None,
             pool: &db.inner.pool,
             smgr: &db.inner.smgr,
             dev: idx_entry.device,

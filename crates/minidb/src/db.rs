@@ -8,20 +8,26 @@
 //!
 //! # Commit protocol
 //!
-//! The no-overwrite storage manager needs no write-ahead log. Commit is:
-//! flush the committing transaction's *own* dirty pages (recorded by the
-//! buffer pool's [`crate::buffer::DirtyScope`]), sync only the devices
-//! those pages live on, then persist the transaction's `Committed` record
-//! in the status file — that last write is the commit point. Concurrent
-//! committers batch their status records through the group-commit
-//! coordinator ([`DbConfig::group_commit_window`]) so one status-file sync
-//! commits them all. Crash recovery is reopening the database: transactions
-//! without a committed status record are invisible forever.
+//! Commit is *no-force*: no data page is written at commit. Every page
+//! mutation already appended a physiological REDO record to the
+//! [`crate::wal`], so commit appends a `Commit` record and forces the log
+//! tail once — that force is the commit point. Concurrent committers batch
+//! their records through the group-commit coordinator
+//! ([`DbConfig::group_commit_window`]) so one log force commits them all;
+//! the in-memory status-file entry is marked only after the force
+//! succeeds, and reaches the on-device status file lazily, at checkpoints.
+//! Dirty data pages drain through the background checkpointer, which then
+//! truncates the log. Crash recovery is reopening the database
+//! ([`Db::recover`]): the log is scanned once, transaction outcomes are
+//! re-applied from `Commit`/`Abort` records, and page records replay
+//! *on first touch* of each stale page while new sessions run — the
+//! paper's "essentially instantaneous" recovery.
 
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, Ordering::SeqCst};
+use std::sync::{Arc, Weak};
 use std::time::Duration;
 
-use parking_lot::{RwLock, RwLockReadGuard};
+use parking_lot::{Condvar, Mutex, RwLock, RwLockReadGuard};
 use simdev::{DiskProfile, MagneticDisk, SimClock, SimDuration, SimInstant};
 
 use crate::btree::BTree;
@@ -33,11 +39,13 @@ use crate::funcs::{FuncDef, FunctionRegistry};
 use crate::heap::Heap;
 use crate::ids::{DeviceId, RelId, Tid, XactId};
 use crate::lock::{LockManager, LockMode};
+use crate::recovery::Redo;
 use crate::smgr::{read_meta, shared_device, write_meta, GenericManager, SharedDevice, Smgr};
+use crate::wal::{Wal, WalRecord};
 use crate::stats::{
     DeviceIoStats, StatsRegistry, StatsSnapshot, VirtualRowsFn, VirtualTable, VirtualTables,
 };
-use crate::xact::{GroupCommitter, PendingRecord, Snapshot, XactLog};
+use crate::xact::{GroupCommitter, PendingRecord, Snapshot, XactLog, XactState};
 
 /// Tunables for a [`Db`].
 #[derive(Debug, Clone)]
@@ -58,10 +66,18 @@ pub struct DbConfig {
     /// (0 disables prefetching).
     pub prefetch_window: usize,
     /// How long (virtual time) a commit batch leader holds the window open
-    /// for concurrent committers before forcing the shared status-file
-    /// sync. Zero disables group commit: every transaction syncs its own
-    /// commit record.
+    /// for concurrent committers before forcing the shared log sync. Zero
+    /// disables group commit: every transaction forces its own commit
+    /// record.
     pub group_commit_window: SimDuration,
+    /// How often (virtual time) the background checkpointer drains dirty
+    /// pages and truncates the log, absent log-space pressure. Pressure
+    /// (the log epoch passing half its region) wakes it regardless.
+    pub checkpoint_interval: SimDuration,
+    /// How many unforced log bytes may accumulate before an append forces
+    /// the log inline, bounding what one force has to write. Zero lets the
+    /// buffer grow until a commit or page writeback forces it.
+    pub wal_buffer_size: usize,
 }
 
 impl Default for DbConfig {
@@ -72,7 +88,50 @@ impl Default for DbConfig {
             eager_index_writes: true,
             prefetch_window: crate::buffer::DEFAULT_PREFETCH_WINDOW,
             group_commit_window: SimDuration::from_micros(50),
+            checkpoint_interval: SimDuration::from_millis(100),
+            wal_buffer_size: 256 * 1024,
         }
+    }
+}
+
+/// Shared state between a database and its background checkpointer thread.
+/// Lives in its own `Arc` so the thread can park on the condvar holding
+/// only a [`Weak`] reference to the database itself.
+struct CheckpointState {
+    /// Serializes checkpoint cycles (the thread vs. explicit
+    /// [`Db::checkpoint`] calls). Rank: `checkpointer`.
+    cycle: Mutex<()>,
+    /// The background thread's handle, joined on shutdown.
+    thread: Mutex<Option<std::thread::JoinHandle<()>>>,
+    /// Wake flag the thread sleeps on (leaf mutex: nothing is acquired
+    /// while it is held).
+    wake: Mutex<bool>,
+    cv: Condvar,
+    /// Tells the thread to exit.
+    stop: AtomicBool,
+    /// Set by [`Db::simulate_crash`]: shutdown must not write anything.
+    crashed: AtomicBool,
+    /// Virtual time of the last completed checkpoint.
+    last: Mutex<SimInstant>,
+}
+
+impl CheckpointState {
+    fn new(now: SimInstant) -> Arc<CheckpointState> {
+        Arc::new(CheckpointState {
+            cycle: Mutex::new(()),
+            thread: Mutex::new(None),
+            wake: Mutex::new(false),
+            cv: Condvar::new(),
+            stop: AtomicBool::new(false),
+            crashed: AtomicBool::new(false),
+            last: Mutex::new(now),
+        })
+    }
+
+    fn signal(&self) {
+        let mut wake = self.wake.lock();
+        *wake = true;
+        self.cv.notify_all();
     }
 }
 
@@ -88,7 +147,47 @@ pub(crate) struct DbInner {
     pub(crate) stats: Arc<StatsRegistry>,
     pub(crate) virtuals: VirtualTables,
     pub(crate) committer: GroupCommitter,
+    pub(crate) wal: Arc<Wal>,
+    pub(crate) redo: Arc<Redo>,
+    ckpt: Arc<CheckpointState>,
     catalog_dev: SharedDevice,
+}
+
+impl DbInner {
+    /// Wakes the checkpointer when the log is under space pressure or the
+    /// checkpoint interval has elapsed — called from the write paths, so a
+    /// long transaction's log appetite triggers draining mid-transaction.
+    pub(crate) fn maybe_signal_checkpoint(&self) {
+        let due = {
+            let interval = self.config.checkpoint_interval;
+            interval.as_nanos() > 0
+                && self.clock.now().since(*self.ckpt.last.lock()) >= interval
+        };
+        if self.wal.over_pressure() || due {
+            self.ckpt.signal();
+        }
+    }
+}
+
+impl Drop for DbInner {
+    fn drop(&mut self) {
+        self.ckpt.stop.store(true, SeqCst);
+        self.ckpt.signal();
+        let handle = self.ckpt.thread.lock().take();
+        if let Some(h) = handle {
+            // The last reference can die on the checkpointer thread itself
+            // (it upgrades its Weak during a cycle); never self-join.
+            if h.thread().id() != std::thread::current().id() {
+                h.join().ok();
+            }
+        }
+        if !self.ckpt.crashed.load(SeqCst) {
+            // Clean shutdown: one final drain leaves every page durable and
+            // the log empty. Best effort — recovery replays whatever this
+            // misses.
+            Db::checkpoint_cycle(self).ok();
+        }
+    }
 }
 
 /// A database instance. Cheap to clone; clones share everything.
@@ -110,14 +209,20 @@ impl Db {
         catalog_dev: SharedDevice,
         config: DbConfig,
     ) -> DbResult<Db> {
-        let xlog = XactLog::create(log_dev)?;
+        let xlog = XactLog::create(log_dev.clone())?;
         let stats = Arc::new(StatsRegistry::new());
+        let wal = Arc::new(Wal::create(log_dev, Arc::clone(&stats))?);
+        wal.set_buffer_cap(config.wal_buffer_size as u64);
+        let redo = Arc::new(Redo::empty(Arc::clone(&stats)));
         smgr.attach_stats(clock.clone(), Arc::clone(&stats));
+        smgr.attach_redo(Arc::clone(&redo));
         let mut locks = LockManager::with_timeout(config.lock_timeout);
         locks.share_stats(Arc::clone(&stats));
         let pool = BufferPool::new(config.buffers);
         pool.set_prefetch_window(config.prefetch_window);
+        pool.attach_wal(Arc::clone(&wal));
         let committer = GroupCommitter::new(clock.clone(), config.group_commit_window);
+        let ckpt = CheckpointState::new(clock.now());
         let db = Db {
             inner: Arc::new(DbInner {
                 clock,
@@ -130,11 +235,15 @@ impl Db {
                 stats,
                 virtuals: VirtualTables::new(),
                 committer,
+                wal,
+                redo,
+                ckpt,
                 catalog_dev,
                 config,
             }),
         };
         db.persist_catalog()?;
+        db.spawn_checkpointer();
         Ok(db)
     }
 
@@ -151,18 +260,60 @@ impl Db {
         catalog_dev: SharedDevice,
         config: DbConfig,
     ) -> DbResult<Db> {
-        let xlog = XactLog::recover(log_dev)?;
+        let xlog = XactLog::recover(log_dev.clone())?;
         let cat_bytes = read_meta(&catalog_dev, 0)?
             .ok_or_else(|| DbError::Corrupt("no catalog found on catalog device".into()))?;
         let catalog = Catalog::decode(&cat_bytes)?;
         let stats = Arc::new(StatsRegistry::new());
+        let (wal, records) = Wal::recover(log_dev, Arc::clone(&stats))?;
+        let wal = Arc::new(wal);
+        wal.set_buffer_cap(config.wal_buffer_size as u64);
+        // Transaction outcomes come from the log, not the status file: the
+        // forced `Commit` record *is* the commit point, and the on-device
+        // status file only reflects outcomes up to the last checkpoint.
+        for (_end, rec) in &records {
+            match rec {
+                WalRecord::Commit { xid, time_ns } => xlog.apply_recovered(
+                    *xid,
+                    XactState::Committed(SimInstant::from_nanos(*time_ns)),
+                ),
+                WalRecord::Abort { xid } => xlog.apply_recovered(*xid, XactState::Aborted),
+                _ => {}
+            }
+        }
+        let redo = Arc::new(Redo::from_records(&records, Arc::clone(&stats)));
+        // Allocation fixup: a logged page may lie past the relation's
+        // current end (the extension never hit the disk) — extend with
+        // blank blocks so first-touch replay finds a readable page. Pages
+        // of relations dropped after their records were logged (DDL is not
+        // logged; the durable catalog is authoritative) are unreachable —
+        // forget them rather than resurrect storage.
+        for (dev, rel, blkno) in redo.pages() {
+            let present = smgr.devices().contains(&dev)
+                && smgr.with(dev, |m| Ok(m.has_rel(rel)))?;
+            if !present {
+                redo.forget((dev, rel, blkno));
+                continue;
+            }
+            smgr.with(dev, |m| {
+                let mut n = m.nblocks(rel)?;
+                while n <= blkno {
+                    m.extend_blank(rel)?;
+                    n += 1;
+                }
+                Ok(())
+            })?;
+        }
         smgr.attach_stats(clock.clone(), Arc::clone(&stats));
+        smgr.attach_redo(Arc::clone(&redo));
         let mut locks = LockManager::with_timeout(config.lock_timeout);
         locks.share_stats(Arc::clone(&stats));
         let pool = BufferPool::new(config.buffers);
         pool.set_prefetch_window(config.prefetch_window);
+        pool.attach_wal(Arc::clone(&wal));
         let committer = GroupCommitter::new(clock.clone(), config.group_commit_window);
-        Ok(Db {
+        let ckpt = CheckpointState::new(clock.now());
+        let db = Db {
             inner: Arc::new(DbInner {
                 clock,
                 pool,
@@ -174,10 +325,15 @@ impl Db {
                 stats,
                 virtuals: VirtualTables::new(),
                 committer,
+                wal,
+                redo,
+                ckpt,
                 catalog_dev,
                 config,
             }),
-        })
+        };
+        db.spawn_checkpointer();
+        Ok(db)
     }
 
     /// Opens a small self-contained database on fast in-memory disks —
@@ -332,10 +488,116 @@ impl Db {
     }
 
     /// Flushes and empties every cache (buffer pool, device managers) —
-    /// the benchmark's "all caches were flushed before each test".
+    /// the benchmark's "all caches were flushed before each test". Runs a
+    /// checkpoint first so the cleared pages' log records are not needed.
     pub fn flush_caches(&self) -> DbResult<()> {
+        self.checkpoint()?;
         self.inner.pool.flush_and_clear(&self.inner.smgr)?;
         self.inner.smgr.sync_all()
+    }
+
+    /// Runs one checkpoint cycle now, on the calling thread: drain every
+    /// dirty page, persist transaction outcomes, truncate the log.
+    pub fn checkpoint(&self) -> DbResult<()> {
+        Self::checkpoint_cycle(&self.inner)
+    }
+
+    /// Drops the database abruptly, as a crash would: the background
+    /// checkpointer stops and the shutdown path is forbidden from writing
+    /// anything (no final checkpoint). Crash tests call this before
+    /// dropping the [`Db`] and discarding the devices' volatile caches.
+    pub fn simulate_crash(&self) {
+        self.inner.ckpt.crashed.store(true, SeqCst);
+        self.inner.ckpt.stop.store(true, SeqCst);
+        self.inner.ckpt.signal();
+        let handle = self.inner.ckpt.thread.lock().take();
+        if let Some(h) = handle {
+            h.join().ok();
+        }
+    }
+
+    /// One checkpoint cycle. The ordering is the whole correctness
+    /// argument:
+    ///
+    /// 1. Capture the truncation cut — the log's append horizon *now*.
+    ///    Every record below the cut stamped its page and marked it dirty
+    ///    before this instant, and every commit below it is marked in the
+    ///    in-memory status file.
+    /// 2. Sweep the pending-REDO map: touching each page runs first-touch
+    ///    replay, and dirty-marking it puts it in the flush set.
+    /// 3. Flush every dirty page (LSN-before-write forces the log first)
+    ///    and sync the data devices — now every record below the cut is
+    ///    reflected in durable pages.
+    /// 4. Persist the status file's dirty blocks — now every commit below
+    ///    the cut is durable there.
+    /// 5. Truncate `[epoch, cut)`. Records at or above the cut (appended
+    ///    while we flushed) survive in the log.
+    fn checkpoint_cycle(inner: &DbInner) -> DbResult<()> {
+        let _order = crate::lock::order::token(crate::lock::order::CHECKPOINTER);
+        let _cycle = inner.ckpt.cycle.lock();
+        let cut = inner.wal.next_lsn();
+        for (dev, rel, blkno) in inner.redo.pages() {
+            let present = inner.smgr.devices().contains(&dev)
+                && inner.smgr.with(dev, |m| Ok(m.has_rel(rel)))?;
+            if !present {
+                // Dropped since recovery indexed it; nothing to sweep.
+                inner.redo.forget((dev, rel, blkno));
+                continue;
+            }
+            let frame = inner.pool.get_page(&inner.smgr, dev, rel, blkno)?;
+            let _fl = crate::lock::order::token(crate::lock::order::BUFFER_FRAME);
+            let mut guard = frame.write();
+            // Replay ran inside the read; dirty-mark so the flush below
+            // writes the replayed image out.
+            guard.data_mut();
+        }
+        let drained = inner.pool.flush_all(&inner.smgr)?;
+        inner.stats.wal.ckpt_pages_drained.add(drained as u64);
+        inner.smgr.sync_all()?;
+        inner.xlog.persist_dirty()?;
+        inner.wal.truncate_to(cut)?;
+        inner.redo.clear();
+        inner.stats.wal.checkpoints.bump();
+        *inner.ckpt.last.lock() = inner.clock.now();
+        Ok(())
+    }
+
+    /// Starts the background checkpointer. It parks on a condvar; the
+    /// write paths signal it on log-space pressure or when the checkpoint
+    /// interval has elapsed ([`DbInner::maybe_signal_checkpoint`]).
+    fn spawn_checkpointer(&self) {
+        let weak = Arc::downgrade(&self.inner);
+        let ckpt = Arc::clone(&self.inner.ckpt);
+        let spawned = std::thread::Builder::new()
+            .name("checkpointer".into())
+            .spawn(move || Self::checkpointer_loop(weak, ckpt));
+        // A spawn failure (OS thread exhaustion) degrades gracefully: pages
+        // drain through explicit checkpoints and eviction instead, and
+        // recovery replays whatever never drained.
+        if let Ok(handle) = spawned {
+            *self.inner.ckpt.thread.lock() = Some(handle);
+        }
+    }
+
+    fn checkpointer_loop(weak: Weak<DbInner>, ckpt: Arc<CheckpointState>) {
+        loop {
+            {
+                let mut wake = ckpt.wake.lock();
+                while !*wake && !ckpt.stop.load(SeqCst) {
+                    ckpt.cv.wait(&mut wake);
+                }
+                *wake = false;
+            }
+            if ckpt.stop.load(SeqCst) {
+                return;
+            }
+            // Holding only a Weak while parked lets the database die while
+            // the thread sleeps; holding an Arc only inside a cycle means
+            // the final drop (and its join) can land on this thread — the
+            // shutdown path self-join-guards for exactly that.
+            let Some(inner) = weak.upgrade() else { return };
+            Self::checkpoint_cycle(&inner).ok();
+        }
     }
 
     /// Creates a heap table on the default device.
@@ -436,6 +698,9 @@ impl Db {
             stats: &self.inner.stats,
             dev,
             rel: id,
+            // Unlogged on purpose: the bulk build below flushes the relation
+            // and syncs the device before the catalog advertises the index.
+            wal: None,
         };
         bt.create()?;
         // Backfill from every tuple version in the heap.
@@ -446,6 +711,7 @@ impl Db {
             stats: &self.inner.stats,
             dev,
             rel: table,
+            wal: None,
         };
         heap.scan_all_raw(|tid, _hdr, row_bytes| {
             let row = decode_row(row_bytes)?;
@@ -548,7 +814,7 @@ impl Db {
 
     /// Begins a read/write transaction.
     pub fn begin(&self) -> DbResult<Session> {
-        let xid = self.inner.xlog.start();
+        let xid = self.inner.xlog.start()?;
         let mut active = self.inner.xlog.active_set();
         active.remove(&xid);
         Ok(Session {
@@ -689,6 +955,7 @@ impl Session {
             stats: &self.db.inner.stats,
             dev,
             rel,
+            wal: Some(&self.db.inner.wal),
         }
     }
 
@@ -699,6 +966,7 @@ impl Session {
             stats: &self.db.inner.stats,
             dev,
             rel,
+            wal: Some(&self.db.inner.wal),
         }
     }
 
@@ -707,8 +975,9 @@ impl Session {
         let scope = DirtyScope::begin();
         let out = self.insert_inner(rel, row);
         // Collect even on error: a half-done operation (say, one side of a
-        // b-tree split) still dirtied pages that commit must flush.
+        // b-tree split) still dirtied pages the checkpointer must drain.
         self.dirty.extend(scope.finish());
+        self.db.inner.maybe_signal_checkpoint();
         out
     }
 
@@ -755,6 +1024,7 @@ impl Session {
         let scope = DirtyScope::begin();
         let out = self.delete_inner(rel, tid);
         self.dirty.extend(scope.finish());
+        self.db.inner.maybe_signal_checkpoint();
         out
     }
 
@@ -1009,10 +1279,12 @@ impl Session {
         })
     }
 
-    /// Commits the transaction: its own dirty pages to stable storage (a
-    /// scoped flush and a sync of only the devices they touched), then the
-    /// status record — the commit point, shared with concurrent committers
-    /// via the group-commit coordinator when the window is open.
+    /// Commits the transaction. No-force: no data page is written. The
+    /// transaction's REDO records are already in the log, so commit is one
+    /// `Commit` record and one log force — shared with concurrent
+    /// committers via the group-commit coordinator when the window is
+    /// open. The in-memory status entry is marked only after the force
+    /// succeeds; the durable commit point is the force itself.
     pub fn commit(&mut self) -> DbResult<()> {
         if self.done {
             return Err(DbError::NoTransaction);
@@ -1021,20 +1293,20 @@ impl Session {
         let Some(xid) = self.xid else {
             return Ok(()); // Historical sessions end trivially.
         };
-        let dirty = std::mem::take(&mut self.dirty);
+        self.dirty.clear();
         let inner = &self.db.inner;
         let t0 = inner.clock.now();
         // A hair of commit processing keeps commit timestamps strictly
         // monotone even if no device advanced the clock.
         inner.clock.advance(SimDuration::from_micros(1));
         let result = if self.wrote {
-            Self::commit_written(inner, xid, dirty)
+            Self::commit_written(inner, xid)
         } else {
-            // Read-only: nothing to flush, no sync, no status-file write.
+            // Read-only: nothing to log, no force, no status-file write.
             inner.xlog.commit_readonly(xid, inner.clock.now())
         };
         if result.is_err() {
-            // The commit never reached the status file, so the transaction
+            // The commit record never became durable, so the transaction
             // is aborted by definition; record that (best effort — a dead
             // log device changes nothing, absence of a commit record is
             // authoritative) and release the locks.
@@ -1049,40 +1321,37 @@ impl Session {
             .commit_latency
             .record(inner.clock.now().since(t0).as_nanos());
         inner.locks.release_all(xid);
+        inner.maybe_signal_checkpoint();
         result
     }
 
-    /// The write-transaction commit path: flush the transaction's own dirty
-    /// set, sync only the devices it touched, persist the commit record —
-    /// directly when group commit is disabled, otherwise through the
-    /// coordinator so concurrent committers share one status-file sync.
-    fn commit_written(
-        inner: &DbInner,
-        xid: XactId,
-        mut dirty: Vec<(DeviceId, RelId, u64)>,
-    ) -> DbResult<()> {
-        // Register with the coordinator *before* flushing so a concurrent
-        // batch leader holds its window open for us.
+    /// The write-transaction commit path: append a `Commit` record and
+    /// force the log — directly when group commit is disabled, otherwise
+    /// through the coordinator so concurrent committers share one force.
+    /// The in-memory status mark follows the force, never precedes it:
+    /// a checkpoint persisting in-memory marks must never make a
+    /// transaction durable whose tail records could still be lost.
+    fn commit_written(inner: &DbInner, xid: XactId) -> DbResult<()> {
+        // Register with the coordinator first so a concurrent batch leader
+        // holds its window open for us.
         let inflight = inner.committer.begin_commit();
-        dirty.sort_unstable();
-        dirty.dedup();
-        let flushed = inner.pool.flush_pages(&inner.smgr, &dirty)?;
-        inner.stats.xact.pages_flushed_at_commit.add(flushed as u64);
-        let mut devs: Vec<DeviceId> = dirty.iter().map(|&(d, _, _)| d).collect();
-        devs.sort_unstable();
-        devs.dedup();
         if inner.committer.window().as_nanos() == 0 {
             drop(inflight);
-            inner.smgr.sync_devices(&devs)?;
-            inner.stats.xact.sync_calls.add(devs.len() as u64);
-            inner.xlog.commit(xid, inner.clock.now())?;
+            let now = inner.clock.now();
+            inner.wal.append(&WalRecord::Commit {
+                xid,
+                time_ns: now.as_nanos(),
+            })?;
+            inner.wal.force()?;
+            inner.stats.xact.sync_calls.add(1);
+            inner.xlog.mark_committed(xid, now)?;
             inner.stats.xact.batched_records.bump();
             Ok(())
         } else {
             inner.committer.submit(
                 PendingRecord {
                     xid,
-                    devices: devs,
+                    devices: vec![],
                     commit: true,
                 },
                 inflight,
@@ -1092,20 +1361,28 @@ impl Session {
     }
 
     /// Durably processes one commit batch on behalf of all its members:
-    /// one sync over the union of touched data devices, then one
-    /// status-file write-and-sync covering every record.
+    /// append every member's `Commit`/`Abort` record, force the log once,
+    /// then mark the commits in the in-memory status file.
     fn process_batch(inner: &DbInner, batch: &[PendingRecord]) -> DbResult<()> {
-        let mut devs: Vec<DeviceId> = batch
-            .iter()
-            .flat_map(|r| r.devices.iter().copied())
-            .collect();
-        devs.sort_unstable();
-        devs.dedup();
-        inner.smgr.sync_devices(&devs)?;
-        inner.stats.xact.sync_calls.add(devs.len() as u64);
+        let now = inner.clock.now();
         let commits: Vec<XactId> = batch.iter().filter(|r| r.commit).map(|r| r.xid).collect();
-        let aborts: Vec<XactId> = batch.iter().filter(|r| !r.commit).map(|r| r.xid).collect();
-        inner.xlog.commit_batch(&commits, &aborts, inner.clock.now())?;
+        for rec in batch {
+            let record = if rec.commit {
+                WalRecord::Commit {
+                    xid: rec.xid,
+                    time_ns: now.as_nanos(),
+                }
+            } else {
+                // Informational: after a crash, a transaction with no
+                // durable `Commit` record is aborted whether or not its
+                // `Abort` record survived.
+                WalRecord::Abort { xid: rec.xid }
+            };
+            inner.wal.append(&record)?;
+        }
+        inner.wal.force()?;
+        inner.stats.xact.sync_calls.add(1);
+        inner.xlog.mark_committed_batch(&commits, now)?;
         inner.stats.xact.batched_records.add(commits.len() as u64);
         if batch.len() >= 2 {
             inner.stats.xact.group_commits.bump();

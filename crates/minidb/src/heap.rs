@@ -34,9 +34,24 @@ pub struct Heap<'a> {
     pub rel: RelId,
     /// Where scan/fetch/append counts go.
     pub stats: &'a StatsRegistry,
+    /// The write-ahead log, when mutations must be logged. `None` runs
+    /// unlogged — read paths, integrity checks, and vacuum rewrites that
+    /// checkpoint before and after instead.
+    pub wal: Option<&'a crate::wal::Wal>,
 }
 
 impl<'a> Heap<'a> {
+    /// Appends `rec` to the WAL (if one is attached) and stamps `data`'s
+    /// page LSN with the record's end, upholding the LSN-before-write rule
+    /// the buffer manager enforces on writeback.
+    fn log(&self, data: &mut [u8], rec: &crate::wal::WalRecord) -> DbResult<()> {
+        if let Some(wal) = self.wal {
+            let end = wal.append(rec)?;
+            page::set_lsn(data, end);
+        }
+        Ok(())
+    }
+
     /// Number of pages in the relation.
     pub fn nblocks(&self) -> DbResult<u64> {
         self.smgr.with(self.dev, |m| m.nblocks(self.rel))
@@ -179,9 +194,11 @@ impl<'a> Heap<'a> {
             let data = pbuf.data_mut();
             if !page::is_initialized(data) {
                 page::init(data, 0);
+                self.log_init(data, blkno)?;
             }
             if page::fits(data, tuple.len()) {
                 let slot = page::insert(data, &tuple)?;
+                self.log_insert(data, blkno, slot, &tuple)?;
                 return Ok(Tid::new(blkno as u32, slot));
             }
         }
@@ -190,8 +207,35 @@ impl<'a> Heap<'a> {
         let mut pbuf = pref.write();
         let data = pbuf.data_mut();
         page::init(data, 0);
+        self.log_init(data, blkno)?;
         let slot = page::insert(data, &tuple)?;
+        self.log_insert(data, blkno, slot, &tuple)?;
         Ok(Tid::new(blkno as u32, slot))
+    }
+
+    fn log_init(&self, data: &mut [u8], blkno: u64) -> DbResult<()> {
+        self.log(
+            data,
+            &crate::wal::WalRecord::PageInit {
+                dev: self.dev,
+                rel: self.rel,
+                blkno,
+                special_size: 0,
+            },
+        )
+    }
+
+    fn log_insert(&self, data: &mut [u8], blkno: u64, slot: u16, tuple: &[u8]) -> DbResult<()> {
+        self.log(
+            data,
+            &crate::wal::WalRecord::Insert {
+                dev: self.dev,
+                rel: self.rel,
+                blkno,
+                slot,
+                tuple: tuple.to_vec(),
+            },
+        )
     }
 
     /// Marks the tuple at `tid` as deleted by `xid`.
@@ -220,6 +264,17 @@ impl<'a> Heap<'a> {
             xmax: xid,
         };
         item[..TupleHeader::SIZE].copy_from_slice(&new_hdr.encode());
+        self.log(
+            data,
+            &crate::wal::WalRecord::Overwrite {
+                dev: self.dev,
+                rel: self.rel,
+                blkno: tid.blkno as u64,
+                slot: tid.slot,
+                offset: 0,
+                bytes: new_hdr.encode().to_vec(),
+            },
+        )?;
         Ok(true)
     }
 
@@ -401,11 +456,12 @@ mod tests {
                 dev: DeviceId::DEFAULT,
                 rel: self.rel,
                 stats: &self.stats,
+                wal: None,
             }
         }
 
         fn begin(&self) -> (XactId, Snapshot) {
-            let xid = self.xlog.start();
+            let xid = self.xlog.start().unwrap();
             let mut active = self.xlog.active_set();
             active.remove(&xid);
             (xid, Snapshot::Current { xid, active })

@@ -66,10 +66,12 @@ pub mod ids;
 pub mod lock;
 pub mod page;
 pub mod query;
+pub mod recovery;
 pub mod rules;
 pub mod smgr;
 pub mod stats;
 pub mod vacuum;
+pub mod wal;
 pub mod xact;
 
 pub use buffer::{BufferPool, BufferStats, PinnedPage, BERKELEY_BUFFERS, DEFAULT_BUFFERS};
@@ -87,4 +89,5 @@ pub use smgr::{
 pub use stats::{
     DeviceIoStats, StatsRegistry, StatsSnapshot, VirtualRowsFn, VirtualTable, VirtualTables,
 };
+pub use wal::{Wal, WalRecord};
 pub use xact::{Snapshot, XactLog, XactState};

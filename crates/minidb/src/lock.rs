@@ -230,15 +230,17 @@ impl LockManager {
 /// cycle-free.
 pub mod order {
     /// Lock families, outermost first. Index = rank.
-    pub const HIERARCHY: [&str; 9] = [
+    pub const HIERARCHY: [&str; 11] = [
         "catalog",
         "lock-manager",
         "heap-page",
         "btree-page",
         "commit-coord",
+        "checkpointer",
         "xact-log",
         "buffer-shard",
         "buffer-frame",
+        "wal",
         "smgr-device",
     ];
 
@@ -255,16 +257,26 @@ pub mod order {
     /// commit records and syncs devices on behalf of the whole batch;
     /// committers enter the coordinator holding no other ranked lock.
     pub const COMMIT_COORD: usize = 4;
+    /// Rank of the checkpointer's cycle mutex. A checkpoint drains the
+    /// status log, the buffer pool, the WAL, and the devices, so it sits
+    /// outside all of those; it sits *inside* `commit-coord` because a
+    /// batch leader may never start a checkpoint.
+    pub const CHECKPOINTER: usize = 5;
     /// Rank of the transaction status log mutex.
-    pub const XACT_LOG: usize = 5;
+    pub const XACT_LOG: usize = 6;
     /// Rank of the buffer pool's per-shard latches.
-    pub const BUFFER_SHARD: usize = 6;
+    pub const BUFFER_SHARD: usize = 7;
     /// Rank of frame locks taken *by the pool itself* (load, writeback,
     /// flush) — access methods lock the same frames as `heap-page` /
     /// `btree-page`.
-    pub const BUFFER_FRAME: usize = 7;
+    pub const BUFFER_FRAME: usize = 8;
+    /// Rank of the write-ahead log's append/force mutex. Record emission
+    /// happens under page latches and forces happen during frame
+    /// writeback, so the WAL ranks inside both; it ranks outside the
+    /// devices because a force writes and syncs the log device.
+    pub const WAL: usize = 9;
     /// Rank of per-device locks (the smgr switch and `SharedDevice`s).
-    pub const SMGR_DEVICE: usize = 8;
+    pub const SMGR_DEVICE: usize = 10;
 
     #[cfg(debug_assertions)]
     thread_local! {

@@ -7,7 +7,7 @@
 //! +--------+-----------------+ ..free.. +------------------+---------+
 //! | header | slot array ...->|          |<-... tuple space | special |
 //! +--------+-----------------+          +------------------+---------+
-//! 0        12                lower      upper              special_off
+//! 0        20                lower      upper              special_off
 //! ```
 //!
 //! Items are never moved while live (tuple identifiers embed the slot
@@ -20,7 +20,7 @@ use crate::error::{DbError, DbResult};
 pub const PAGE_SIZE: usize = simdev::BLOCK_SIZE;
 
 const MAGIC: u16 = 0x5047; // "PG"
-const HEADER_SIZE: usize = 12;
+const HEADER_SIZE: usize = 20;
 const SLOT_SIZE: usize = 4;
 const DEAD_BIT: u16 = 0x8000;
 const LEN_MASK: u16 = 0x7FFF;
@@ -31,6 +31,7 @@ const OFF_LOWER: usize = 4;
 const OFF_UPPER: usize = 6;
 const OFF_SPECIAL: usize = 8;
 // Bytes 10..12 reserved for flags.
+const OFF_LSN: usize = 12; // u64: LSN of the last WAL record applied.
 
 /// The largest item that fits on an empty page with no special area.
 pub const MAX_ITEM: usize = PAGE_SIZE - HEADER_SIZE - SLOT_SIZE;
@@ -64,6 +65,22 @@ pub fn init(buf: &mut [u8], special_size: usize) {
 /// Whether `buf` has been initialized as a page.
 pub fn is_initialized(buf: &[u8]) -> bool {
     buf.len() == PAGE_SIZE && get_u16(buf, OFF_MAGIC) == MAGIC
+}
+
+/// The LSN of the last WAL record applied to this page (0 = never logged).
+///
+/// Stored in the header so the buffer manager can enforce the
+/// LSN-before-write rule and recovery can skip records already reflected.
+pub fn lsn(buf: &[u8]) -> u64 {
+    let mut b = [0u8; 8];
+    b.copy_from_slice(&buf[OFF_LSN..OFF_LSN + 8]);
+    u64::from_le_bytes(b)
+}
+
+/// Stamps the page LSN. `page::init` zeroes it; WAL-logged writers stamp the
+/// end-LSN of each record they emit for the page.
+pub fn set_lsn(buf: &mut [u8], lsn: u64) {
+    buf[OFF_LSN..OFF_LSN + 8].copy_from_slice(&lsn.to_le_bytes());
 }
 
 /// Number of slots on the page (live or dead).

@@ -291,6 +291,29 @@ impl Session {
                     ]],
                 ))
             }
+            "pg_stat_wal" => {
+                let w = &db.inner.stats.wal;
+                Some((
+                    Schema::new([
+                        ("records_appended", TypeId::INT8),
+                        ("bytes_appended", TypeId::INT8),
+                        ("log_forces", TypeId::INT8),
+                        ("checkpoints", TypeId::INT8),
+                        ("ckpt_pages_drained", TypeId::INT8),
+                        ("replayed_pages", TypeId::INT8),
+                        ("replayed_records", TypeId::INT8),
+                    ]),
+                    vec![vec![
+                        int8(w.records_appended.get()),
+                        int8(w.bytes_appended.get()),
+                        int8(w.log_forces.get()),
+                        int8(w.checkpoints.get()),
+                        int8(w.ckpt_pages_drained.get()),
+                        int8(w.replayed_pages.get()),
+                        int8(w.replayed_records.get()),
+                    ]],
+                ))
+            }
             "pg_stat_relation" => {
                 let s = &db.inner.stats;
                 Some((

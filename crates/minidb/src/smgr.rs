@@ -793,6 +793,7 @@ pub struct Smgr {
     /// Set by [`crate::Db::open`]: the simulated clock and the database's
     /// stats registry, used to count and time page I/O per device.
     instr: Option<(simdev::SimClock, Arc<crate::stats::StatsRegistry>)>,
+    redo: Option<Arc<crate::recovery::Redo>>,
 }
 
 impl Smgr {
@@ -801,6 +802,7 @@ impl Smgr {
         Smgr {
             mgrs: HashMap::new(),
             instr: None,
+            redo: None,
         }
     }
 
@@ -809,6 +811,13 @@ impl Smgr {
     /// histograms into `stats`.
     pub fn attach_stats(&mut self, clock: simdev::SimClock, stats: Arc<crate::stats::StatsRegistry>) {
         self.instr = Some((clock, stats));
+    }
+
+    /// Attaches the pending-REDO map built by crash recovery: every page
+    /// read replays its missing records on first touch (instant recovery),
+    /// until a checkpoint sweeps the map empty.
+    pub fn attach_redo(&mut self, redo: Arc<crate::recovery::Redo>) {
+        self.redo = Some(redo);
     }
 
     /// Registers `mgr` as device `id`.
@@ -862,10 +871,18 @@ impl Smgr {
                 d.reads.bump();
                 d.read_ns.add(took.as_nanos());
                 d.read_hist.record(took.as_nanos());
-                r
+                r?;
             }
-            None => self.with(dev, |m| m.read(rel, blkno, buf)),
+            None => self.with(dev, |m| m.read(rel, blkno, buf))?,
         }
+        // Instant recovery: a page read from the device may predate the
+        // crash; replay its pending REDO records before anyone sees it.
+        if let Some(redo) = &self.redo {
+            if !redo.is_empty() {
+                redo.replay_into((dev, rel, blkno), buf)?;
+            }
+        }
+        Ok(())
     }
 
     /// Writes a page through the switch, recording per-device counters and

@@ -127,6 +127,26 @@ pub struct XactCounters {
     pub commit_latency: LatencyHistogram,
 }
 
+/// Write-ahead-log and checkpointer counters.
+#[derive(Debug, Default)]
+pub struct WalCounters {
+    /// REDO records appended to the log.
+    pub records_appended: Counter,
+    /// Record bytes appended (headers included).
+    pub bytes_appended: Counter,
+    /// Log forces: block writes plus one sync that advanced the durable
+    /// horizon. Group commit amortizes these across a batch.
+    pub log_forces: Counter,
+    /// Checkpoint cycles completed.
+    pub checkpoints: Counter,
+    /// Dirty pages written out by checkpoint cycles.
+    pub ckpt_pages_drained: Counter,
+    /// Pages fixed up by first-touch REDO replay after a crash.
+    pub replayed_pages: Counter,
+    /// Individual REDO records applied during replay.
+    pub replayed_records: Counter,
+}
+
 /// Heap access-method counters.
 #[derive(Debug, Default)]
 pub struct HeapCounters {
@@ -194,6 +214,8 @@ pub struct DeviceIoCounters {
 pub struct StatsRegistry {
     /// Transaction counters.
     pub xact: XactCounters,
+    /// Write-ahead-log and checkpointer counters.
+    pub wal: WalCounters,
     /// Heap counters.
     pub heap: HeapCounters,
     /// B-tree counters.
@@ -237,6 +259,25 @@ pub struct XactStats {
     pub sync_calls: u64,
     /// Commit latency bucket counts (bounds in [`LATENCY_BOUNDS_NS`]).
     pub commit_latency: [u64; LATENCY_BUCKETS],
+}
+
+/// Frozen WAL and checkpointer counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WalStats {
+    /// REDO records appended.
+    pub records_appended: u64,
+    /// Record bytes appended.
+    pub bytes_appended: u64,
+    /// Log forces (block writes + one sync each).
+    pub log_forces: u64,
+    /// Checkpoint cycles completed.
+    pub checkpoints: u64,
+    /// Dirty pages drained by checkpoints.
+    pub ckpt_pages_drained: u64,
+    /// Pages replayed on first touch after a crash.
+    pub replayed_pages: u64,
+    /// REDO records applied during replay.
+    pub replayed_records: u64,
 }
 
 /// Frozen heap counters.
@@ -305,6 +346,8 @@ pub struct StatsSnapshot {
     pub buffer: BufferStats,
     /// Transaction counters.
     pub xact: XactStats,
+    /// WAL and checkpointer counters.
+    pub wal: WalStats,
     /// Heap counters.
     pub heap: HeapOpStats,
     /// B-tree counters.
@@ -335,6 +378,15 @@ impl StatsSnapshot {
                 pages_flushed_at_commit: reg.xact.pages_flushed_at_commit.get(),
                 sync_calls: reg.xact.sync_calls.get(),
                 commit_latency: reg.xact.commit_latency.snapshot(),
+            },
+            wal: WalStats {
+                records_appended: reg.wal.records_appended.get(),
+                bytes_appended: reg.wal.bytes_appended.get(),
+                log_forces: reg.wal.log_forces.get(),
+                checkpoints: reg.wal.checkpoints.get(),
+                ckpt_pages_drained: reg.wal.ckpt_pages_drained.get(),
+                replayed_pages: reg.wal.replayed_pages.get(),
+                replayed_records: reg.wal.replayed_records.get(),
             },
             heap: HeapOpStats {
                 scans: reg.heap.scans.get(),
@@ -409,6 +461,18 @@ impl StatsSnapshot {
                     sub(self.xact.commit_latency[i], baseline.xact.commit_latency[i])
                 }),
             },
+            wal: WalStats {
+                records_appended: sub(self.wal.records_appended, baseline.wal.records_appended),
+                bytes_appended: sub(self.wal.bytes_appended, baseline.wal.bytes_appended),
+                log_forces: sub(self.wal.log_forces, baseline.wal.log_forces),
+                checkpoints: sub(self.wal.checkpoints, baseline.wal.checkpoints),
+                ckpt_pages_drained: sub(
+                    self.wal.ckpt_pages_drained,
+                    baseline.wal.ckpt_pages_drained,
+                ),
+                replayed_pages: sub(self.wal.replayed_pages, baseline.wal.replayed_pages),
+                replayed_records: sub(self.wal.replayed_records, baseline.wal.replayed_records),
+            },
             heap: HeapOpStats {
                 scans: sub(self.heap.scans, baseline.heap.scans),
                 fetches: sub(self.heap.fetches, baseline.heap.fetches),
@@ -463,6 +527,9 @@ impl StatsSnapshot {
              \"xact\":{{\"commits\":{},\"aborts\":{},\"time_travel_reads\":{},\
              \"group_commits\":{},\"batched_records\":{},\"pages_flushed_at_commit\":{},\
              \"sync_calls\":{},\"commit_latency\":{}}},\
+             \"wal\":{{\"records_appended\":{},\"bytes_appended\":{},\"log_forces\":{},\
+             \"checkpoints\":{},\"ckpt_pages_drained\":{},\"replayed_pages\":{},\
+             \"replayed_records\":{}}},\
              \"heap\":{{\"scans\":{},\"fetches\":{},\"appends\":{}}},\
              \"btree\":{{\"searches\":{},\"inserts\":{},\"splits\":{},\"page_writes\":{}}},\
              \"vacuum_passes\":{},\
@@ -485,6 +552,13 @@ impl StatsSnapshot {
             self.xact.pages_flushed_at_commit,
             self.xact.sync_calls,
             hist(&self.xact.commit_latency),
+            self.wal.records_appended,
+            self.wal.bytes_appended,
+            self.wal.log_forces,
+            self.wal.checkpoints,
+            self.wal.ckpt_pages_drained,
+            self.wal.replayed_pages,
+            self.wal.replayed_records,
             self.heap.scans,
             self.heap.fetches,
             self.heap.appends,

@@ -53,6 +53,11 @@ pub fn vacuum(db: &Db, rel: RelId, archive_dev: DeviceId) -> DbResult<VacuumStat
             "vacuum requires a quiescent system (transactions active)".into(),
         ));
     }
+    // The rewrite below is unlogged, and it reformats pages the log may
+    // still hold records for. Checkpointing first drains those pages and
+    // truncates the log, so a crash mid-vacuum replays nothing stale onto
+    // the rewritten relation.
+    db.checkpoint()?;
     let entry = {
         let cat = db.inner.catalog.read();
         let e = cat.relation(rel)?.clone();
@@ -71,6 +76,7 @@ pub fn vacuum(db: &Db, rel: RelId, archive_dev: DeviceId) -> DbResult<VacuumStat
     let mut stats = VacuumStats::default();
     {
         let heap = Heap {
+            wal: None,
             pool: &db.inner.pool,
             smgr: &db.inner.smgr,
             xlog: &db.inner.xlog,
@@ -154,6 +160,7 @@ pub fn vacuum(db: &Db, rel: RelId, archive_dev: DeviceId) -> DbResult<VacuumStat
     // Move dead versions to the archive.
     if let Some((arch_id, arch_dev)) = archive {
         let arch_heap = Heap {
+            wal: None,
             pool: &db.inner.pool,
             smgr: &db.inner.smgr,
             xlog: &db.inner.xlog,
@@ -179,6 +186,7 @@ pub fn vacuum(db: &Db, rel: RelId, archive_dev: DeviceId) -> DbResult<VacuumStat
     db.inner.pool.discard_rel(rel);
     db.inner.smgr.with(entry.device, |m| m.truncate(rel))?;
     let heap = Heap {
+        wal: None,
         pool: &db.inner.pool,
         smgr: &db.inner.smgr,
         xlog: &db.inner.xlog,
@@ -201,6 +209,7 @@ pub fn vacuum(db: &Db, rel: RelId, archive_dev: DeviceId) -> DbResult<VacuumStat
         db.inner.pool.discard_rel(idx);
         db.inner.smgr.with(idx_dev, |m| m.truncate(idx))?;
         let bt = BTree {
+            wal: None,
             pool: &db.inner.pool,
             smgr: &db.inner.smgr,
             stats: &db.inner.stats,
@@ -215,7 +224,8 @@ pub fn vacuum(db: &Db, rel: RelId, archive_dev: DeviceId) -> DbResult<VacuumStat
         }
     }
 
-    // Make the rewrite durable and the catalog change persistent.
+    // Make the rewrite durable and the catalog change persistent. (The
+    // rewrite was unlogged, so its durability is this flush, not the log.)
     db.inner.pool.flush_all(&db.inner.smgr)?;
     db.inner.smgr.sync_all()?;
     db.persist_catalog()?;

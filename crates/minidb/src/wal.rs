@@ -1,0 +1,1049 @@
+//! The REDO-only write-ahead log.
+//!
+//! The paper's commit story — "when the status file is forced, the
+//! transaction is durable" — forced every dirty data page before the status
+//! write. This module replaces that with a no-force commit in the
+//! Sauer/Härder single-pass-REDO style: writers append *physiological* REDO
+//! records (logical within a page, physical across pages), commit becomes
+//! one sequential force of the log's tail, and dirty data pages drain
+//! lazily through the background checkpointer. The commit point is the
+//! force that makes a transaction's `Commit` record stable.
+//!
+//! ## On-device layout
+//!
+//! The WAL shares the log device with the transaction status file: status
+//! blocks grow up from block 0, and the WAL owns a region in the upper part
+//! of the device. The region starts with one *control block* holding the
+//! epoch LSN (where the current on-device log begins) and which *half* of
+//! the data area holds it; the data area is split into two equal halves.
+//!
+//! ```text
+//! block:   [ctrl]  [half A: data 0..n)  [half B: data 0..n)
+//! header:  16 bytes per data block: magic, used, start LSN, checksum
+//! payload: 8176 bytes of the record stream; records span blocks freely
+//! ```
+//!
+//! LSNs are byte offsets into the virtual record stream and are *never*
+//! reset — truncation advances the epoch LSN instead, so a page's stamped
+//! LSN stays meaningful across checkpoints. A record's *end* LSN (always
+//! nonzero) is what gets stamped into pages, so a never-logged page
+//! (LSN 0) sorts before every record.
+//!
+//! Truncation ([`Wal::truncate_to`]) discards `[epoch, cut)` but must keep
+//! `[cut, next)` — records appended while the checkpoint was flushing. It
+//! copies the surviving tail into the *inactive* half, syncs it, and only
+//! then flips the control block: a crash on either side of the flip finds
+//! one half that is a complete, self-consistent epoch. (Rewriting the tail
+//! in place would scribble over the old epoch's blocks before the control
+//! write made the new epoch authoritative.)
+//!
+//! ## The torn-force rule
+//!
+//! The log device may sit behind a volatile write cache that loses pending
+//! blocks on a failed sync. The log therefore keeps every byte from the
+//! durable horizon forward in memory and rewrites *all* non-durable blocks
+//! on every force; block contents are a deterministic function of the
+//! stream, so the rewrite is idempotent, and a failed force followed by a
+//! successful one can never leave a hole in the middle of acknowledged
+//! records. Within one epoch, blocks are written in ascending order, so a
+//! destaged prefix of a force is always an LSN prefix of the stream.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::SeqCst};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use simdev::BLOCK_SIZE;
+
+use crate::error::{DbError, DbResult};
+use crate::ids::{DeviceId, Oid, RelId, XactId};
+use crate::page;
+use crate::smgr::SharedDevice;
+use crate::stats::StatsRegistry;
+
+/// Per-data-block header: magic (2) + used (2) + start LSN (8) + cksum (4).
+const BLOCK_HDR: usize = 16;
+/// Record-stream bytes per data block.
+pub const BLOCK_PAYLOAD: usize = BLOCK_SIZE - BLOCK_HDR;
+
+const BLOCK_MAGIC: u16 = 0x4C57; // "WL"
+const CTRL_MAGIC: u32 = 0x574C_4331; // "WLC1"
+
+/// Record kind tags on the wire.
+const K_PAGE_INIT: u8 = 1;
+const K_INSERT: u8 = 2;
+const K_OVERWRITE: u8 = 3;
+const K_PAGE_IMAGE: u8 = 4;
+const K_COMMIT: u8 = 5;
+const K_ABORT: u8 = 6;
+
+/// Record header: kind (1) + body length (4).
+const REC_HDR: usize = 5;
+/// Largest legal record body: a full page image plus its page address.
+const MAX_BODY: usize = 13 + crate::page::PAGE_SIZE;
+
+/// One physiological REDO record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalRecord {
+    /// `page::init(buf, special_size)` on a fresh or reformatted page.
+    PageInit {
+        /// Device holding the page.
+        dev: DeviceId,
+        /// Relation holding the page.
+        rel: RelId,
+        /// Logical block number within the relation.
+        blkno: u64,
+        /// Bytes reserved for the special area.
+        special_size: u16,
+    },
+    /// A slotted-page insert that produced `slot`.
+    Insert {
+        /// Device holding the page.
+        dev: DeviceId,
+        /// Relation holding the page.
+        rel: RelId,
+        /// Logical block number within the relation.
+        blkno: u64,
+        /// Slot the insert produced (replay must reproduce it).
+        slot: u16,
+        /// The full item bytes.
+        tuple: Vec<u8>,
+    },
+    /// An in-place overwrite of part of one item (xmax stamping).
+    Overwrite {
+        /// Device holding the page.
+        dev: DeviceId,
+        /// Relation holding the page.
+        rel: RelId,
+        /// Logical block number within the relation.
+        blkno: u64,
+        /// Slot whose item is edited.
+        slot: u16,
+        /// Byte offset within the item.
+        offset: u16,
+        /// Replacement bytes.
+        bytes: Vec<u8>,
+    },
+    /// A full after-image of one page (B-tree structure changes).
+    PageImage {
+        /// Device holding the page.
+        dev: DeviceId,
+        /// Relation holding the page.
+        rel: RelId,
+        /// Logical block number within the relation.
+        blkno: u64,
+        /// The complete [`page::PAGE_SIZE`] image.
+        image: Vec<u8>,
+    },
+    /// Transaction commit; forcing this record *is* the commit point.
+    Commit {
+        /// The committing transaction.
+        xid: XactId,
+        /// Commit time in simulated nanoseconds.
+        time_ns: u64,
+    },
+    /// Transaction abort (advisory: a missing record means the same).
+    Abort {
+        /// The aborted transaction.
+        xid: XactId,
+    },
+}
+
+impl WalRecord {
+    /// The page this record modifies, if it is a page record.
+    pub fn page_addr(&self) -> Option<(DeviceId, RelId, u64)> {
+        match *self {
+            WalRecord::PageInit { dev, rel, blkno, .. }
+            | WalRecord::Insert { dev, rel, blkno, .. }
+            | WalRecord::Overwrite { dev, rel, blkno, .. }
+            | WalRecord::PageImage { dev, rel, blkno, .. } => Some((dev, rel, blkno)),
+            WalRecord::Commit { .. } | WalRecord::Abort { .. } => None,
+        }
+    }
+
+    /// Encodes the record (header + body) onto `out`.
+    fn encode(&self, out: &mut Vec<u8>) {
+        let mut body = Vec::new();
+        let kind = match self {
+            WalRecord::PageInit {
+                dev,
+                rel,
+                blkno,
+                special_size,
+            } => {
+                put_addr(&mut body, *dev, *rel, *blkno);
+                body.extend_from_slice(&special_size.to_le_bytes());
+                K_PAGE_INIT
+            }
+            WalRecord::Insert {
+                dev,
+                rel,
+                blkno,
+                slot,
+                tuple,
+            } => {
+                put_addr(&mut body, *dev, *rel, *blkno);
+                body.extend_from_slice(&slot.to_le_bytes());
+                body.extend_from_slice(tuple);
+                K_INSERT
+            }
+            WalRecord::Overwrite {
+                dev,
+                rel,
+                blkno,
+                slot,
+                offset,
+                bytes,
+            } => {
+                put_addr(&mut body, *dev, *rel, *blkno);
+                body.extend_from_slice(&slot.to_le_bytes());
+                body.extend_from_slice(&offset.to_le_bytes());
+                body.extend_from_slice(bytes);
+                K_OVERWRITE
+            }
+            WalRecord::PageImage {
+                dev,
+                rel,
+                blkno,
+                image,
+            } => {
+                put_addr(&mut body, *dev, *rel, *blkno);
+                body.extend_from_slice(image);
+                K_PAGE_IMAGE
+            }
+            WalRecord::Commit { xid, time_ns } => {
+                body.extend_from_slice(&xid.0.to_le_bytes());
+                body.extend_from_slice(&time_ns.to_le_bytes());
+                K_COMMIT
+            }
+            WalRecord::Abort { xid } => {
+                body.extend_from_slice(&xid.0.to_le_bytes());
+                K_ABORT
+            }
+        };
+        out.push(kind);
+        out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        out.extend_from_slice(&body);
+    }
+
+    /// Decodes one record from `buf`, returning it and the bytes consumed.
+    /// `None` means `buf` ends mid-record (a torn tail, not corruption).
+    fn decode(buf: &[u8]) -> DbResult<Option<(WalRecord, usize)>> {
+        if buf.len() < REC_HDR {
+            return Ok(None);
+        }
+        let kind = buf[0];
+        let len = crate::bytes::le_u32(buf, 1)? as usize;
+        if !(K_PAGE_INIT..=K_ABORT).contains(&kind) || len > MAX_BODY {
+            return Err(DbError::Corrupt(format!(
+                "bad WAL record header (kind {kind}, len {len})"
+            )));
+        }
+        if buf.len() < REC_HDR + len {
+            return Ok(None);
+        }
+        let body = &buf[REC_HDR..REC_HDR + len];
+        let rec = match kind {
+            K_PAGE_INIT => {
+                let (dev, rel, blkno) = get_addr(body)?;
+                WalRecord::PageInit {
+                    dev,
+                    rel,
+                    blkno,
+                    special_size: crate::bytes::le_u16(body, 13)?,
+                }
+            }
+            K_INSERT => {
+                let (dev, rel, blkno) = get_addr(body)?;
+                WalRecord::Insert {
+                    dev,
+                    rel,
+                    blkno,
+                    slot: crate::bytes::le_u16(body, 13)?,
+                    tuple: body
+                        .get(15..)
+                        .ok_or_else(|| DbError::Corrupt("short insert record".into()))?
+                        .to_vec(),
+                }
+            }
+            K_OVERWRITE => {
+                let (dev, rel, blkno) = get_addr(body)?;
+                WalRecord::Overwrite {
+                    dev,
+                    rel,
+                    blkno,
+                    slot: crate::bytes::le_u16(body, 13)?,
+                    offset: crate::bytes::le_u16(body, 15)?,
+                    bytes: body
+                        .get(17..)
+                        .ok_or_else(|| DbError::Corrupt("short overwrite record".into()))?
+                        .to_vec(),
+                }
+            }
+            K_PAGE_IMAGE => {
+                let (dev, rel, blkno) = get_addr(body)?;
+                let image = body
+                    .get(13..)
+                    .ok_or_else(|| DbError::Corrupt("short page image".into()))?
+                    .to_vec();
+                if image.len() != page::PAGE_SIZE {
+                    return Err(DbError::Corrupt(format!(
+                        "page image of {} bytes",
+                        image.len()
+                    )));
+                }
+                WalRecord::PageImage {
+                    dev,
+                    rel,
+                    blkno,
+                    image,
+                }
+            }
+            K_COMMIT => WalRecord::Commit {
+                xid: XactId(crate::bytes::le_u32(body, 0)?),
+                time_ns: crate::bytes::le_u64(body, 4)?,
+            },
+            K_ABORT => WalRecord::Abort {
+                xid: XactId(crate::bytes::le_u32(body, 0)?),
+            },
+            other => {
+                return Err(DbError::Corrupt(format!(
+                    "WAL record kind {other} decoded past validation"
+                )))
+            }
+        };
+        Ok(Some((rec, REC_HDR + len)))
+    }
+
+    /// Replays this record against the page buffer it addresses. The caller
+    /// checks the LSN gate and stamps the page LSN afterwards.
+    pub fn redo(&self, buf: &mut [u8]) -> DbResult<()> {
+        match self {
+            WalRecord::PageInit { special_size, .. } => {
+                page::init(buf, *special_size as usize);
+                Ok(())
+            }
+            WalRecord::Insert { slot, tuple, .. } => {
+                let got = page::insert(buf, tuple)?;
+                if got != *slot {
+                    return Err(DbError::Corrupt(format!(
+                        "REDO insert landed in slot {got}, logged {slot}"
+                    )));
+                }
+                Ok(())
+            }
+            WalRecord::Overwrite {
+                slot,
+                offset,
+                bytes,
+                ..
+            } => {
+                let item = page::item_mut(buf, *slot)
+                    .ok_or_else(|| DbError::Corrupt(format!("REDO overwrite of slot {slot}")))?;
+                let at = *offset as usize;
+                let end = at
+                    .checked_add(bytes.len())
+                    .filter(|&e| e <= item.len())
+                    .ok_or_else(|| DbError::Corrupt("REDO overwrite out of item".into()))?;
+                item[at..end].copy_from_slice(bytes);
+                Ok(())
+            }
+            WalRecord::PageImage { image, .. } => {
+                buf.copy_from_slice(image);
+                Ok(())
+            }
+            WalRecord::Commit { .. } | WalRecord::Abort { .. } => Ok(()),
+        }
+    }
+}
+
+fn put_addr(body: &mut Vec<u8>, dev: DeviceId, rel: RelId, blkno: u64) {
+    body.push(dev.0);
+    body.extend_from_slice(&rel.0.to_le_bytes());
+    body.extend_from_slice(&blkno.to_le_bytes());
+}
+
+fn get_addr(body: &[u8]) -> DbResult<(DeviceId, RelId, u64)> {
+    if body.len() < 13 {
+        return Err(DbError::Corrupt("short WAL page address".into()));
+    }
+    Ok((
+        DeviceId(body[0]),
+        Oid(crate::bytes::le_u32(body, 1)?),
+        crate::bytes::le_u64(body, 5)?,
+    ))
+}
+
+/// FNV-1a over `data` (same family the wire protocol uses).
+fn fnv1a(data: &[u8]) -> u32 {
+    let mut h: u32 = 0x811c_9dc5;
+    for &b in data {
+        h ^= b as u32;
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h
+}
+
+/// Where the WAL region starts on a log device of `nblocks`: a quarter of
+/// the device, clamped — the status file keeps the low blocks.
+pub fn region_start(nblocks: u64) -> u64 {
+    (nblocks / 4).clamp(64, 1024).min(nblocks.saturating_sub(2))
+}
+
+struct WalInner {
+    /// Stream offset where the on-device epoch begins.
+    epoch_lsn: u64,
+    /// Which half of the data area holds the current epoch (0 or 1).
+    half: u8,
+    /// Next byte to append.
+    next_lsn: u64,
+    /// Everything below this is on stable storage.
+    durable_lsn: u64,
+    /// Stream offset of `buf[0]`; always block-aligned within the epoch.
+    buf_base: u64,
+    /// Bytes `[buf_base, next_lsn)` — retained until a sync *succeeds*.
+    buf: Vec<u8>,
+}
+
+/// The write-ahead log: an append buffer over a block region of the log
+/// device. Appends are cheap memory copies under the `wal` rank; forces
+/// rewrite every non-durable block and sync once.
+pub struct Wal {
+    dev: SharedDevice,
+    /// Device block of the control block; data blocks follow.
+    region: u64,
+    /// Number of data blocks in each half of the data area.
+    half_blocks: u64,
+    stats: Arc<StatsRegistry>,
+    inner: Mutex<WalInner>,
+    /// Set when the epoch has grown past half the region (checkpoint cue).
+    pressure: AtomicBool,
+    /// Unforced-byte threshold past which `append` forces inline (the
+    /// `wal_buffer_size` knob); 0 disables the inline force.
+    buffer_cap: AtomicU64,
+}
+
+impl Wal {
+    /// Formats a fresh, empty log region on `dev` and syncs the control
+    /// block so recovery always finds a valid epoch.
+    pub fn create(dev: SharedDevice, stats: Arc<StatsRegistry>) -> DbResult<Wal> {
+        let wal = Wal::on_device(dev, stats, 0, 0)?;
+        wal.write_control(0, 0)?;
+        Ok(wal)
+    }
+
+    /// Re-attaches to an existing log region, scanning the record stream
+    /// from the stored epoch. Returns the log (positioned to keep
+    /// appending after the last whole record) and every decoded record
+    /// with its end LSN, in order.
+    pub fn recover(
+        dev: SharedDevice,
+        stats: Arc<StatsRegistry>,
+    ) -> DbResult<(Wal, Vec<(u64, WalRecord)>)> {
+        let (epoch, half) = {
+            let _order = crate::lock::order::token(crate::lock::order::SMGR_DEVICE);
+            let mut d = dev.lock();
+            let region = region_start(d.nblocks());
+            let mut blk = vec![0u8; BLOCK_SIZE];
+            d.read_block(region, &mut blk)?;
+            let magic = crate::bytes::le_u32(&blk, 0)?;
+            if magic == CTRL_MAGIC {
+                let epoch = crate::bytes::le_u64(&blk, 4)?;
+                let half = blk[12];
+                let ck = crate::bytes::le_u32(&blk, 13)?;
+                if ck != fnv1a(&blk[0..13]) || half > 1 {
+                    return Err(DbError::Corrupt("WAL control block checksum".into()));
+                }
+                (epoch, half)
+            } else {
+                // Never formatted (crash before the first control sync):
+                // nothing was acknowledged, so an empty epoch-0 log is right.
+                (0, 0)
+            }
+        };
+        let wal = Wal::on_device(dev, stats, epoch, half)?;
+        let records = wal.scan()?;
+        Ok((wal, records))
+    }
+
+    fn on_device(
+        dev: SharedDevice,
+        stats: Arc<StatsRegistry>,
+        epoch: u64,
+        half: u8,
+    ) -> DbResult<Wal> {
+        let nblocks = {
+            let _order = crate::lock::order::token(crate::lock::order::SMGR_DEVICE);
+            dev.lock().nblocks()
+        };
+        let region = region_start(nblocks);
+        let half_blocks = nblocks.saturating_sub(region + 1) / 2;
+        if half_blocks == 0 {
+            return Err(DbError::Invalid(format!(
+                "log device of {nblocks} blocks leaves no WAL region"
+            )));
+        }
+        Ok(Wal {
+            dev,
+            region,
+            half_blocks,
+            stats,
+            inner: Mutex::new(WalInner {
+                epoch_lsn: epoch,
+                half,
+                next_lsn: epoch,
+                durable_lsn: epoch,
+                buf_base: epoch,
+                buf: Vec::new(),
+            }),
+            pressure: AtomicBool::new(false),
+            buffer_cap: AtomicU64::new(0),
+        })
+    }
+
+    /// Caps how many unforced bytes the append buffer may hold before an
+    /// append forces the log inline ([`crate::db::DbConfig::wal_buffer_size`]).
+    pub fn set_buffer_cap(&self, bytes: u64) {
+        self.buffer_cap.store(bytes, SeqCst);
+    }
+
+    /// Device block holding stream offset `start` (block-aligned within the
+    /// epoch) for the given half.
+    fn data_block(&self, half: u8, epoch: u64, start: u64) -> u64 {
+        self.region + 1 + half as u64 * self.half_blocks + (start - epoch) / BLOCK_PAYLOAD as u64
+    }
+
+    /// Record-stream capacity of one epoch, in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.half_blocks * BLOCK_PAYLOAD as u64
+    }
+
+    /// Appends `rec`, returning its end LSN. The record is volatile until
+    /// a force covers it.
+    pub fn append(&self, rec: &WalRecord) -> DbResult<u64> {
+        let mut bytes = Vec::new();
+        rec.encode(&mut bytes);
+        let _order = crate::lock::order::token(crate::lock::order::WAL);
+        let mut g = self.inner.lock();
+        let used = g.next_lsn - g.epoch_lsn;
+        if used + bytes.len() as u64 > self.capacity() {
+            return Err(DbError::Invalid(format!(
+                "WAL full: epoch holds {used} of {} bytes and the record needs {}",
+                self.capacity(),
+                bytes.len()
+            )));
+        }
+        g.buf.extend_from_slice(&bytes);
+        g.next_lsn += bytes.len() as u64;
+        if used + bytes.len() as u64 > self.capacity() / 2 {
+            self.pressure.store(true, SeqCst);
+        }
+        self.stats.wal.records_appended.bump();
+        self.stats.wal.bytes_appended.add(bytes.len() as u64);
+        let end = g.next_lsn;
+        let cap = self.buffer_cap.load(SeqCst);
+        if cap > 0 && g.next_lsn - g.durable_lsn > cap {
+            // Best effort: the append itself succeeded, and the force that
+            // matters for durability is the one at commit, which reports
+            // its own failures. A failed trim retries on the next force.
+            self.force_locked(&mut g, end).ok();
+        }
+        Ok(end)
+    }
+
+    /// Forces the whole stream to stable storage.
+    pub fn force(&self) -> DbResult<()> {
+        let _order = crate::lock::order::token(crate::lock::order::WAL);
+        let mut g = self.inner.lock();
+        let target = g.next_lsn;
+        self.force_locked(&mut g, target)
+    }
+
+    /// Forces the stream up to `lsn` if it is not already durable. The
+    /// buffer manager calls this before writing a data page whose stamped
+    /// LSN is `lsn` (the LSN-before-write rule).
+    pub fn force_up_to(&self, lsn: u64) -> DbResult<()> {
+        let _order = crate::lock::order::token(crate::lock::order::WAL);
+        let mut g = self.inner.lock();
+        self.force_locked(&mut g, lsn)
+    }
+
+    fn force_locked(&self, g: &mut WalInner, target: u64) -> DbResult<()> {
+        if target <= g.durable_lsn {
+            return Ok(());
+        }
+        // Rewrite every non-durable block — see the torn-force rule above.
+        // A force failure leaves `durable_lsn` (and the buffer) untouched,
+        // so a later force retries the whole tail.
+        {
+            let _dev = crate::lock::order::token(crate::lock::order::SMGR_DEVICE);
+            let mut d = self.dev.lock();
+            let mut blk = vec![0u8; BLOCK_SIZE];
+            for (i, chunk) in g.buf.chunks(BLOCK_PAYLOAD).enumerate() {
+                let start = g.buf_base + (i * BLOCK_PAYLOAD) as u64;
+                blk.fill(0);
+                blk[0..2].copy_from_slice(&BLOCK_MAGIC.to_le_bytes());
+                blk[2..4].copy_from_slice(&(chunk.len() as u16).to_le_bytes());
+                blk[4..12].copy_from_slice(&start.to_le_bytes());
+                blk[BLOCK_HDR..BLOCK_HDR + chunk.len()].copy_from_slice(chunk);
+                let ck = fnv1a(&blk[0..12]) ^ fnv1a(chunk);
+                blk[12..16].copy_from_slice(&ck.to_le_bytes());
+                d.write_block(self.data_block(g.half, g.epoch_lsn, start), &blk)?;
+            }
+            d.sync()?;
+        }
+        g.durable_lsn = g.next_lsn;
+        // Complete blocks are never rewritten again; keep only the partial
+        // tail block's bytes for the next force.
+        let whole = (g.buf.len() / BLOCK_PAYLOAD) * BLOCK_PAYLOAD;
+        g.buf.drain(..whole);
+        g.buf_base += whole as u64;
+        self.stats.wal.log_forces.bump();
+        Ok(())
+    }
+
+    /// Advances the epoch to `cut`, discarding `[epoch, cut)` and keeping
+    /// `[cut, next)`. Legal only when every page change below `cut` is
+    /// durably on the data devices and every commit below `cut` is in the
+    /// persisted status file (i.e. at the end of a checkpoint whose flush
+    /// began after `cut` was read). Forces the tail first if the caller has
+    /// not; see the module docs for why the survivors move to the other
+    /// half of the data area.
+    pub fn truncate_to(&self, cut: u64) -> DbResult<()> {
+        let _order = crate::lock::order::token(crate::lock::order::WAL);
+        let mut g = self.inner.lock();
+        let target = g.next_lsn;
+        self.force_locked(&mut g, target)?;
+        let cut = cut.clamp(g.epoch_lsn, g.next_lsn);
+        if cut == g.epoch_lsn {
+            return Ok(()); // Nothing to discard.
+        }
+        // Read the surviving tail back from the (now fully durable) epoch.
+        let survivors = self.read_stream(&g, cut)?;
+        let other = 1 - g.half;
+        {
+            let _dev = crate::lock::order::token(crate::lock::order::SMGR_DEVICE);
+            let mut d = self.dev.lock();
+            let mut blk = vec![0u8; BLOCK_SIZE];
+            for (i, chunk) in survivors.chunks(BLOCK_PAYLOAD).enumerate() {
+                let start = cut + (i * BLOCK_PAYLOAD) as u64;
+                blk.fill(0);
+                blk[0..2].copy_from_slice(&BLOCK_MAGIC.to_le_bytes());
+                blk[2..4].copy_from_slice(&(chunk.len() as u16).to_le_bytes());
+                blk[4..12].copy_from_slice(&start.to_le_bytes());
+                blk[BLOCK_HDR..BLOCK_HDR + chunk.len()].copy_from_slice(chunk);
+                let ck = fnv1a(&blk[0..12]) ^ fnv1a(chunk);
+                blk[12..16].copy_from_slice(&ck.to_le_bytes());
+                d.write_block(self.data_block(other, cut, start), &blk)?;
+            }
+            d.sync()?;
+        }
+        // The survivors are stable in the other half; flipping the control
+        // block is the atomic switch between the two complete epochs.
+        self.write_control(cut, other)?;
+        g.epoch_lsn = cut;
+        g.half = other;
+        let whole = (survivors.len() / BLOCK_PAYLOAD) * BLOCK_PAYLOAD;
+        g.buf_base = cut + whole as u64;
+        g.buf = survivors[whole..].to_vec();
+        if g.next_lsn - g.epoch_lsn <= self.capacity() / 2 {
+            self.pressure.store(false, SeqCst);
+        }
+        Ok(())
+    }
+
+    /// Reads the durable stream bytes `[from, next)` back from the current
+    /// epoch's half.
+    fn read_stream(&self, g: &WalInner, from: u64) -> DbResult<Vec<u8>> {
+        let mut out = Vec::with_capacity((g.next_lsn - from) as usize);
+        if g.next_lsn == from {
+            return Ok(out);
+        }
+        let _dev = crate::lock::order::token(crate::lock::order::SMGR_DEVICE);
+        let mut d = self.dev.lock();
+        let mut blk = vec![0u8; BLOCK_SIZE];
+        let first = g.epoch_lsn + (from - g.epoch_lsn) / BLOCK_PAYLOAD as u64 * BLOCK_PAYLOAD as u64;
+        let mut start = first;
+        while start < g.next_lsn {
+            d.read_block(self.data_block(g.half, g.epoch_lsn, start), &mut blk)?;
+            let used = crate::bytes::le_u16(&blk, 2)? as usize;
+            let lo = if start < from { (from - start) as usize } else { 0 };
+            let hi = used.min((g.next_lsn - start) as usize);
+            if crate::bytes::le_u16(&blk, 0)? != BLOCK_MAGIC || hi < lo {
+                return Err(DbError::Corrupt(format!(
+                    "WAL block for offset {start} unreadable during truncation"
+                )));
+            }
+            out.extend_from_slice(&blk[BLOCK_HDR + lo..BLOCK_HDR + hi]);
+            start += BLOCK_PAYLOAD as u64;
+        }
+        Ok(out)
+    }
+
+    fn write_control(&self, epoch: u64, half: u8) -> DbResult<()> {
+        let mut blk = vec![0u8; BLOCK_SIZE];
+        blk[0..4].copy_from_slice(&CTRL_MAGIC.to_le_bytes());
+        blk[4..12].copy_from_slice(&epoch.to_le_bytes());
+        blk[12] = half;
+        let ck = fnv1a(&blk[0..13]);
+        blk[13..17].copy_from_slice(&ck.to_le_bytes());
+        let _dev = crate::lock::order::token(crate::lock::order::SMGR_DEVICE);
+        let mut d = self.dev.lock();
+        d.write_block(self.region, &blk)?;
+        d.sync()?;
+        Ok(())
+    }
+
+    /// Whether the epoch has outgrown half the region since the last
+    /// truncation — the checkpointer's wake-up cue.
+    pub fn over_pressure(&self) -> bool {
+        self.pressure.load(SeqCst)
+    }
+
+    /// Bytes appended in the current epoch (durable or not).
+    pub fn epoch_bytes(&self) -> u64 {
+        let _order = crate::lock::order::token(crate::lock::order::WAL);
+        let g = self.inner.lock();
+        g.next_lsn - g.epoch_lsn
+    }
+
+    /// The durable horizon.
+    pub fn durable_lsn(&self) -> u64 {
+        let _order = crate::lock::order::token(crate::lock::order::WAL);
+        self.inner.lock().durable_lsn
+    }
+
+    /// The end of the stream — the next record's start LSN. A checkpoint
+    /// reads this *before* flushing to learn where its truncation cut may
+    /// go: every record below it describes a page already dirty in the
+    /// pool, which the flush will write.
+    pub fn next_lsn(&self) -> u64 {
+        let _order = crate::lock::order::token(crate::lock::order::WAL);
+        self.inner.lock().next_lsn
+    }
+
+    /// Reads the on-device epoch back as `(end_lsn, record)` pairs, and
+    /// repositions the in-memory stream to continue after the last whole
+    /// record. The scan stops — without error — at the first block that is
+    /// unformatted, checksum-damaged, or out of sequence, and at a record
+    /// that runs past the recovered bytes: all of those are torn tails in
+    /// unacknowledged territory (a successful force destages every block,
+    /// in order, before acknowledging).
+    fn scan(&self) -> DbResult<Vec<(u64, WalRecord)>> {
+        let _order = crate::lock::order::token(crate::lock::order::WAL);
+        let mut g = self.inner.lock();
+        let epoch = g.epoch_lsn;
+        let mut stream = Vec::new();
+        {
+            let _dev = crate::lock::order::token(crate::lock::order::SMGR_DEVICE);
+            let mut d = self.dev.lock();
+            let mut blk = vec![0u8; BLOCK_SIZE];
+            for i in 0..self.half_blocks {
+                let want = epoch + i * BLOCK_PAYLOAD as u64;
+                d.read_block(self.data_block(g.half, epoch, want), &mut blk)?;
+                let magic = crate::bytes::le_u16(&blk, 0)?;
+                let used = crate::bytes::le_u16(&blk, 2)? as usize;
+                let start = crate::bytes::le_u64(&blk, 4)?;
+                let ck = crate::bytes::le_u32(&blk, 12)?;
+                if magic != BLOCK_MAGIC
+                    || used > BLOCK_PAYLOAD
+                    || start != want
+                    || ck != fnv1a(&blk[0..12]) ^ fnv1a(&blk[BLOCK_HDR..BLOCK_HDR + used])
+                {
+                    break;
+                }
+                stream.extend_from_slice(&blk[BLOCK_HDR..BLOCK_HDR + used]);
+                if used < BLOCK_PAYLOAD {
+                    break;
+                }
+            }
+        }
+        let mut records = Vec::new();
+        let mut pos = 0usize;
+        while pos < stream.len() {
+            match WalRecord::decode(&stream[pos..]) {
+                Ok(Some((rec, n))) => {
+                    pos += n;
+                    records.push((epoch + pos as u64, rec));
+                }
+                // A record that doesn't finish, or scribbled header bytes
+                // past the last force, are both torn tail: stop here.
+                Ok(None) | Err(_) => break,
+            }
+        }
+        g.next_lsn = epoch + pos as u64;
+        g.durable_lsn = g.next_lsn;
+        // Keep the partial tail block in memory so the next force can
+        // rewrite that block in full.
+        let whole = (pos / BLOCK_PAYLOAD) * BLOCK_PAYLOAD;
+        g.buf_base = epoch + whole as u64;
+        g.buf = stream[whole..pos].to_vec();
+        Ok(records)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::smgr::shared_device;
+    use simdev::{DiskProfile, MagneticDisk, SimClock};
+
+    fn log_device(nblocks: u64) -> SharedDevice {
+        shared_device(MagneticDisk::new(
+            "log",
+            SimClock::new(),
+            DiskProfile::tiny_for_tests(nblocks),
+        ))
+    }
+
+    fn reg() -> Arc<StatsRegistry> {
+        Arc::new(StatsRegistry::new())
+    }
+
+    fn insert_rec(blkno: u64, slot: u16, n: usize) -> WalRecord {
+        WalRecord::Insert {
+            dev: DeviceId::DEFAULT,
+            rel: Oid(7),
+            blkno,
+            slot,
+            tuple: vec![slot as u8; n],
+        }
+    }
+
+    #[test]
+    fn records_roundtrip_through_the_codec() {
+        let recs = [
+            WalRecord::PageInit {
+                dev: DeviceId(3),
+                rel: Oid(9),
+                blkno: 12,
+                special_size: 16,
+            },
+            insert_rec(5, 2, 40),
+            WalRecord::Overwrite {
+                dev: DeviceId::DEFAULT,
+                rel: Oid(7),
+                blkno: 5,
+                slot: 2,
+                offset: 4,
+                bytes: vec![1, 2, 3],
+            },
+            WalRecord::PageImage {
+                dev: DeviceId::DEFAULT,
+                rel: Oid(8),
+                blkno: 0,
+                image: vec![9u8; page::PAGE_SIZE],
+            },
+            WalRecord::Commit {
+                xid: XactId(42),
+                time_ns: 123_456,
+            },
+            WalRecord::Abort { xid: XactId(43) },
+        ];
+        for rec in &recs {
+            let mut bytes = Vec::new();
+            rec.encode(&mut bytes);
+            let (back, n) = WalRecord::decode(&bytes).unwrap().unwrap();
+            assert_eq!(&back, rec);
+            assert_eq!(n, bytes.len());
+            // A truncated prefix is a torn tail, not an error.
+            assert!(WalRecord::decode(&bytes[..n - 1]).unwrap().is_none());
+        }
+    }
+
+    #[test]
+    fn append_force_recover_roundtrip() {
+        let dev = log_device(4096);
+        let end;
+        {
+            let wal = Wal::create(dev.clone(), reg()).unwrap();
+            wal.append(&insert_rec(0, 0, 100)).unwrap();
+            end = wal
+                .append(&WalRecord::Commit {
+                    xid: XactId(2),
+                    time_ns: 5,
+                })
+                .unwrap();
+            wal.force().unwrap();
+            assert_eq!(wal.durable_lsn(), end);
+            // Appended but never forced: lost on "crash", and that is fine.
+            wal.append(&insert_rec(1, 0, 50)).unwrap();
+        }
+        let (wal, recs) = Wal::recover(dev, reg()).unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[1].0, end);
+        assert!(matches!(recs[1].1, WalRecord::Commit { xid: XactId(2), .. }));
+        assert_eq!(wal.durable_lsn(), end);
+        // The recovered log keeps appending where the stream left off.
+        wal.append(&insert_rec(2, 0, 10)).unwrap();
+        wal.force().unwrap();
+    }
+
+    #[test]
+    fn records_span_blocks() {
+        let dev = log_device(4096);
+        let n = 40;
+        {
+            let wal = Wal::create(dev.clone(), reg()).unwrap();
+            for i in 0..n {
+                // ~1 KB each: the stream crosses several block boundaries.
+                wal.append(&insert_rec(i, 0, 1000)).unwrap();
+            }
+            wal.force().unwrap();
+        }
+        let (_, recs) = Wal::recover(dev, reg()).unwrap();
+        assert_eq!(recs.len() as u64, n);
+        for (i, (_, rec)) in recs.iter().enumerate() {
+            assert_eq!(*rec, insert_rec(i as u64, 0, 1000));
+        }
+    }
+
+    #[test]
+    fn failed_force_leaves_no_hole() {
+        // A force that dies mid-destage must not let a later force strand
+        // earlier records: everything non-durable is rewritten every time.
+        let clock = SimClock::new();
+        let disk = MagneticDisk::new("log", clock.clone(), DiskProfile::tiny_for_tests(4096));
+        let faults = disk.fault_plan();
+        let (cache, _handle) = simdev::WriteCacheDisk::new(Box::new(disk));
+        let dev = shared_device(cache);
+        let wal = Wal::create(dev.clone(), reg()).unwrap();
+
+        for i in 0..4 {
+            wal.append(&insert_rec(i, 0, 3000)).unwrap();
+        }
+        faults.fail_after_writes(1);
+        assert!(wal.force().is_err());
+        faults.clear_write_fault();
+
+        wal.append(&insert_rec(9, 0, 100)).unwrap();
+        wal.force().unwrap();
+
+        let (_, recs) = Wal::recover(dev, reg()).unwrap();
+        assert_eq!(recs.len(), 5, "all five records must survive the retry");
+        assert_eq!(recs[4].1, insert_rec(9, 0, 100));
+    }
+
+    #[test]
+    fn truncate_empties_the_epoch() {
+        let dev = log_device(4096);
+        let wal = Wal::create(dev.clone(), reg()).unwrap();
+        for i in 0..10 {
+            wal.append(&insert_rec(i, 0, 2000)).unwrap();
+        }
+        wal.force().unwrap();
+        let before = wal.epoch_bytes();
+        assert!(before > 0);
+        wal.truncate_to(wal.next_lsn()).unwrap();
+        assert_eq!(wal.epoch_bytes(), 0);
+        let (wal, recs) = Wal::recover(dev.clone(), reg()).unwrap();
+        assert!(recs.is_empty(), "truncated log must scan empty");
+        // LSNs keep growing across the truncation.
+        let end = wal.append(&insert_rec(0, 1, 10)).unwrap();
+        assert!(end > before);
+        wal.force().unwrap();
+        let (_, recs) = Wal::recover(dev, reg()).unwrap();
+        assert_eq!(recs.len(), 1);
+    }
+
+    #[test]
+    fn truncate_preserves_the_tail_past_the_cut() {
+        // Records appended while a checkpoint flushes land after the cut
+        // and must survive the truncation — across repeated truncations,
+        // which alternate data-area halves.
+        let dev = log_device(4096);
+        let wal = Wal::create(dev.clone(), reg()).unwrap();
+        for round in 0..3u64 {
+            for i in 0..6 {
+                wal.append(&insert_rec(round * 100 + i, 0, 2500)).unwrap();
+            }
+            let cut = wal.next_lsn();
+            wal.append(&insert_rec(round * 100 + 90, 0, 2500)).unwrap();
+            wal.append(&WalRecord::Commit {
+                xid: XactId(round as u32 + 2),
+                time_ns: round,
+            })
+            .unwrap();
+            wal.force().unwrap();
+            wal.truncate_to(cut).unwrap();
+            assert!(wal.epoch_bytes() > 0, "the tail must survive");
+
+            let (wal2, recs) = Wal::recover(dev.clone(), reg()).unwrap();
+            assert_eq!(recs.len(), 2, "round {round}: exactly the tail survives");
+            assert_eq!(recs[0].1, insert_rec(round * 100 + 90, 0, 2500));
+            assert!(matches!(recs[1].1, WalRecord::Commit { .. }));
+            assert_eq!(wal2.next_lsn(), wal.next_lsn());
+            drop(wal2);
+        }
+    }
+
+    #[test]
+    fn full_epoch_rejects_appends() {
+        let dev = log_device(80); // region_start=64 ⇒ 7 data blocks per half.
+        let wal = Wal::create(dev, reg()).unwrap();
+        let mut appended = 0u64;
+        let err = loop {
+            match wal.append(&insert_rec(0, 0, 4000)) {
+                Ok(_) => appended += 1,
+                Err(e) => break e,
+            }
+        };
+        assert!(appended >= 8, "a few appends fit, got {appended}");
+        assert!(err.to_string().contains("WAL full"), "{err}");
+        assert!(wal.over_pressure());
+    }
+
+    #[test]
+    fn redo_reproduces_page_mutations() {
+        let mut live = vec![0u8; page::PAGE_SIZE];
+        page::init(&mut live, 0);
+        let mut log = Vec::new();
+
+        let slot = page::insert(&mut live, &[7u8; 64]).unwrap();
+        log.push(WalRecord::Insert {
+            dev: DeviceId::DEFAULT,
+            rel: Oid(7),
+            blkno: 0,
+            slot,
+            tuple: vec![7u8; 64],
+        });
+        let slot2 = page::insert(&mut live, &[8u8; 32]).unwrap();
+        log.push(WalRecord::Insert {
+            dev: DeviceId::DEFAULT,
+            rel: Oid(7),
+            blkno: 0,
+            slot: slot2,
+            tuple: vec![8u8; 32],
+        });
+        page::item_mut(&mut live, slot).unwrap()[..4].copy_from_slice(&[1, 2, 3, 4]);
+        log.push(WalRecord::Overwrite {
+            dev: DeviceId::DEFAULT,
+            rel: Oid(7),
+            blkno: 0,
+            slot,
+            offset: 0,
+            bytes: vec![1, 2, 3, 4],
+        });
+
+        let mut replayed = vec![0u8; page::PAGE_SIZE];
+        page::init(&mut replayed, 0);
+        for rec in &log {
+            rec.redo(&mut replayed).unwrap();
+        }
+        assert_eq!(live, replayed);
+
+        // Replay against the wrong slot state is corruption, not silence.
+        let mut bad = vec![0u8; page::PAGE_SIZE];
+        page::init(&mut bad, 0);
+        page::insert(&mut bad, b"stray").unwrap();
+        assert!(log[0].redo(&mut bad).is_err());
+    }
+
+    #[test]
+    fn region_start_clamps() {
+        assert_eq!(region_start(4096), 1024);
+        assert_eq!(region_start(1 << 10), 256);
+        assert_eq!(region_start(100), 64);
+        assert_eq!(region_start(1 << 20), 1024);
+        assert_eq!(region_start(168_457), 1024); // the RZ58
+    }
+}

@@ -38,12 +38,38 @@ const ENTRY_SIZE: usize = 9; // 1 status byte + 8 commit-time bytes.
 const ENTRIES_PER_BLOCK: usize = simdev::BLOCK_SIZE / ENTRY_SIZE;
 
 const ST_UNKNOWN: u8 = 0;
+/// Marker byte in block 0's slot 0 (the invalid xid's slot): the following
+/// eight bytes hold the durable xid-allocation ceiling.
+const ST_CEILING: u8 = 1;
 const ST_COMMITTED: u8 = 2;
 const ST_ABORTED: u8 = 3;
+
+/// How many xids one durable ceiling bump covers. Allocation crosses the
+/// ceiling only after persisting a higher one, so at most this many ids are
+/// skipped after a crash.
+const CEILING_STEP: usize = 1024;
 
 struct LogInner {
     /// Entry `i` describes `XactId(i)`; index 0 is the invalid xid.
     entries: Vec<XactState>,
+    /// First xid NOT covered by the durably persisted allocation ceiling.
+    /// `start` never hands out `entries.len() >= ceiling` without first
+    /// persisting a higher ceiling, so a crash can never lead to an already
+    /// used xid being allocated again — even when every trace of the old
+    /// transaction (WAL records, status entry) is gone but its tuples
+    /// reached disk through a checkpoint or an eviction.
+    ceiling: usize,
+    /// Status blocks whose in-memory state is ahead of the device. Under
+    /// WAL-protected commit the log force is the commit point and status
+    /// entries are only marked in memory; checkpoints drain this set via
+    /// [`XactLog::persist_dirty`].
+    dirty: HashSet<u64>,
+}
+
+impl LogInner {
+    fn mark_dirty(&mut self, xid: XactId) {
+        self.dirty.insert((xid.0 as usize / ENTRIES_PER_BLOCK) as u64);
+    }
 }
 
 /// The transaction status file.
@@ -65,8 +91,11 @@ impl XactLog {
             dev,
             inner: Mutex::new(LogInner {
                 entries: vec![XactState::Unknown, XactState::Committed(SimInstant::EPOCH)],
+                dirty: HashSet::new(),
+                ceiling: CEILING_STEP,
             }),
         };
+        // Writes block 0, which carries both FROZEN and the initial ceiling.
         log.persist_entry(XactId::FROZEN)?;
         Ok(log)
     }
@@ -80,6 +109,7 @@ impl XactLog {
         let mut entries = vec![XactState::Unknown];
         let mut blk = vec![0u8; simdev::BLOCK_SIZE];
         let mut blkno = 0u64;
+        let mut ceiling = 0usize;
         'outer: loop {
             {
                 let mut d = dev.lock();
@@ -92,6 +122,9 @@ impl XactLog {
             for i in 0..ENTRIES_PER_BLOCK {
                 let xid = first + i;
                 if xid == 0 {
+                    if blk[0] == ST_CEILING {
+                        ceiling = crate::bytes::le_u64(&blk, 1)? as usize;
+                    }
                     continue;
                 }
                 let off = i * ENTRY_SIZE;
@@ -111,10 +144,11 @@ impl XactLog {
                         entries[xid] = XactState::Aborted;
                     }
                     ST_UNKNOWN => {
-                        // The first all-unknown tail ends the log; since xids
-                        // are allocated densely and commit/abort both persist,
-                        // a long run of unknowns means we are past the end.
-                        if entries.len() <= xid {
+                        // An all-unknown tail past the allocation ceiling
+                        // ends the log. Below the ceiling it proves nothing:
+                        // a restart skips to the ceiling, so entries may sit
+                        // beyond an arbitrarily long run of never-used ids.
+                        if entries.len() <= xid && xid >= ceiling {
                             break 'outer;
                         }
                     }
@@ -131,19 +165,86 @@ impl XactLog {
             entries.resize(2, XactState::Unknown);
         }
         entries[1] = XactState::Committed(SimInstant::EPOCH);
+        // Skip to the durable ceiling: ids below it may have been handed out
+        // and left traces on disk even though no status entry survived.
+        if entries.len() < ceiling {
+            entries.resize(ceiling, XactState::Unknown);
+        }
+        let ceiling = ceiling.max(entries.len());
         Ok(XactLog {
             dev,
-            inner: Mutex::new(LogInner { entries }),
+            inner: Mutex::new(LogInner {
+                entries,
+                dirty: HashSet::new(),
+                ceiling,
+            }),
         })
     }
 
-    /// Allocates a new transaction id, marked in-progress (volatile).
-    pub fn start(&self) -> XactId {
+    /// Overlays one recovered outcome from the write-ahead log onto the
+    /// status file: commit and abort records newer than the last persisted
+    /// checkpoint exist only in the WAL, and restart replays them here. The
+    /// entry vector is extended as needed so the xids are never reallocated;
+    /// the touched block is marked dirty for the next checkpoint.
+    pub fn apply_recovered(&self, xid: XactId, state: XactState) {
         let _order = crate::lock::order::token(crate::lock::order::XACT_LOG);
         let mut g = self.inner.lock();
-        let xid = XactId(g.entries.len() as u32);
-        g.entries.push(XactState::InProgress);
-        xid
+        let idx = xid.0 as usize;
+        while g.entries.len() <= idx {
+            g.entries.push(XactState::Unknown);
+        }
+        g.entries[idx] = state;
+        g.mark_dirty(xid);
+    }
+
+    /// Allocates a new transaction id, marked in-progress (volatile).
+    ///
+    /// Ids are only handed out below the durable allocation ceiling; when
+    /// the next id would reach it, a higher ceiling is persisted first. The
+    /// occasional status-block write is what makes xid allocation itself
+    /// crash-safe: without it, a restart could reissue an id whose tuples a
+    /// checkpoint already pushed to disk, and the new transaction would see
+    /// the orphaned rows as its own.
+    pub fn start(&self) -> DbResult<XactId> {
+        loop {
+            {
+                let _order = crate::lock::order::token(crate::lock::order::XACT_LOG);
+                let mut g = self.inner.lock();
+                if g.entries.len() < g.ceiling {
+                    let xid = XactId(g.entries.len() as u32);
+                    g.entries.push(XactState::InProgress);
+                    return Ok(xid);
+                }
+            }
+            self.extend_ceiling()?;
+        }
+    }
+
+    /// Durably raises the allocation ceiling by [`CEILING_STEP`]. The new
+    /// value is installed in memory only after the status block carrying it
+    /// has synced; on failure the old ceiling stands and no id past it is
+    /// ever allocated. A durable ceiling higher than the in-memory one (a
+    /// torn bump) is harmless: it only wastes ids.
+    fn extend_ceiling(&self) -> DbResult<()> {
+        let target = {
+            let _order = crate::lock::order::token(crate::lock::order::XACT_LOG);
+            let mut g = self.inner.lock();
+            let target = g.entries.len() + CEILING_STEP;
+            g.ceiling = g.ceiling.max(target);
+            target
+        };
+        if let Err(e) = self.persist_blocks(&[0]) {
+            // Retreat to what is certainly covered by a durable ceiling (a
+            // concurrent successful bump may re-raise it; worst case some
+            // ids are skipped, which is always safe).
+            let _order = crate::lock::order::token(crate::lock::order::XACT_LOG);
+            let mut g = self.inner.lock();
+            if g.ceiling == target {
+                g.ceiling = g.entries.len();
+            }
+            return Err(e);
+        }
+        Ok(())
     }
 
 
@@ -253,6 +354,82 @@ impl XactLog {
             return Err(DbError::Invalid(format!("abort of non-running {xid}")));
         }
         *slot = XactState::Aborted;
+        g.mark_dirty(xid);
+        Ok(())
+    }
+
+    /// Marks `xid` committed at `now` in memory only. Legal when a
+    /// write-ahead-log force is the commit point: durability comes from the
+    /// WAL commit record, and the status block catches up at the next
+    /// checkpoint via [`XactLog::persist_dirty`].
+    pub fn mark_committed(&self, xid: XactId, now: SimInstant) -> DbResult<()> {
+        self.mark_committed_batch(&[xid], now)
+    }
+
+    /// Marks every member of `commits` committed at `now`, in memory only,
+    /// after validating that all of them are running. The caller must then
+    /// force the WAL commit records; if the force fails it must call
+    /// [`XactLog::remark_aborted`] so the in-memory state agrees with what a
+    /// crash would reconstruct (no durable record — `Unknown` — aborted).
+    pub fn mark_committed_batch(&self, commits: &[XactId], now: SimInstant) -> DbResult<()> {
+        let _order = crate::lock::order::token(crate::lock::order::XACT_LOG);
+        let mut g = self.inner.lock();
+        for &xid in commits {
+            match g.entries.get(xid.0 as usize) {
+                Some(XactState::InProgress) => {}
+                other => {
+                    return Err(DbError::Invalid(format!(
+                        "commit of non-running {xid} ({other:?})"
+                    )))
+                }
+            }
+        }
+        for &xid in commits {
+            if let Some(slot) = g.entries.get_mut(xid.0 as usize) {
+                *slot = XactState::Committed(now);
+            }
+            g.mark_dirty(xid);
+        }
+        Ok(())
+    }
+
+    /// Rolls back an in-memory commit mark after a failed WAL force: the
+    /// commit records never became durable, so the transactions must read
+    /// aborted on this side of the crash too.
+    pub fn remark_aborted(&self, xids: &[XactId]) {
+        let _order = crate::lock::order::token(crate::lock::order::XACT_LOG);
+        let mut g = self.inner.lock();
+        for &xid in xids {
+            if let Some(slot) = g.entries.get_mut(xid.0 as usize) {
+                *slot = XactState::Aborted;
+            }
+            g.mark_dirty(xid);
+        }
+    }
+
+    /// Rewrites every status block whose in-memory state is ahead of the
+    /// device and syncs the log device once. Called by checkpoints; after a
+    /// clean return the status file alone reconstructs every outcome up to
+    /// the checkpoint.
+    pub fn persist_dirty(&self) -> DbResult<()> {
+        let blknos: Vec<u64> = {
+            let _order = crate::lock::order::token(crate::lock::order::XACT_LOG);
+            let g = self.inner.lock();
+            let mut v: Vec<u64> = g.dirty.iter().copied().collect();
+            v.sort_unstable();
+            v
+        };
+        if blknos.is_empty() {
+            return Ok(());
+        }
+        self.persist_blocks(&blknos)?;
+        {
+            let _order = crate::lock::order::token(crate::lock::order::XACT_LOG);
+            let mut g = self.inner.lock();
+            for b in &blknos {
+                g.dirty.remove(b);
+            }
+        }
         Ok(())
     }
 
@@ -352,6 +529,14 @@ impl XactLog {
                 for i in 0..ENTRIES_PER_BLOCK {
                     let x = first + i;
                     let off = i * ENTRY_SIZE;
+                    if x == 0 {
+                        // The invalid xid's slot carries the allocation
+                        // ceiling instead of a status.
+                        blk[off] = ST_CEILING;
+                        blk[off + 1..off + 9]
+                            .copy_from_slice(&(g.ceiling as u64).to_le_bytes());
+                        continue;
+                    }
                     match g.entries.get(x).copied().unwrap_or(XactState::Unknown) {
                         XactState::Committed(t) => {
                             blk[off] = ST_COMMITTED;
@@ -704,7 +889,7 @@ mod tests {
     #[test]
     fn lifecycle_start_commit() {
         let log = XactLog::create(log_device()).unwrap();
-        let x = log.start();
+        let x = log.start().unwrap();
         assert_eq!(log.state(x), XactState::InProgress);
         assert!(log.active_set().contains(&x));
         log.commit(x, SimInstant::from_nanos(100)).unwrap();
@@ -719,7 +904,7 @@ mod tests {
     #[test]
     fn lifecycle_start_abort() {
         let log = XactLog::create(log_device()).unwrap();
-        let x = log.start();
+        let x = log.start().unwrap();
         log.abort(x).unwrap();
         assert_eq!(log.state(x), XactState::Aborted);
         assert!(log.commit_time(x).is_none());
@@ -728,7 +913,7 @@ mod tests {
     #[test]
     fn double_commit_rejected() {
         let log = XactLog::create(log_device()).unwrap();
-        let x = log.start();
+        let x = log.start().unwrap();
         log.commit(x, SimInstant::EPOCH).unwrap();
         assert!(log.commit(x, SimInstant::EPOCH).is_err());
         assert!(log.abort(x).is_err());
@@ -742,9 +927,9 @@ mod tests {
         let in_progress;
         {
             let log = XactLog::create(dev.clone()).unwrap();
-            committed = log.start();
-            aborted = log.start();
-            in_progress = log.start();
+            committed = log.start().unwrap();
+            aborted = log.start().unwrap();
+            in_progress = log.start().unwrap();
             log.commit(committed, SimInstant::from_nanos(7)).unwrap();
             log.abort(aborted).unwrap();
             // `in_progress` crashes here: no persistent record.
@@ -764,11 +949,11 @@ mod tests {
         let old;
         {
             let log = XactLog::create(dev.clone()).unwrap();
-            old = log.start();
+            old = log.start().unwrap();
             log.commit(old, SimInstant::from_nanos(1)).unwrap();
         }
         let log = XactLog::recover(dev).unwrap();
-        let new = log.start();
+        let new = log.start().unwrap();
         assert!(new.0 > old.0, "new xid {new} must not reuse {old}");
     }
 
@@ -792,10 +977,10 @@ mod tests {
     #[test]
     fn current_snapshot_sees_own_and_committed() {
         let log = XactLog::create(log_device()).unwrap();
-        let committed = log.start();
+        let committed = log.start().unwrap();
         log.commit(committed, SimInstant::from_nanos(5)).unwrap();
-        let other_active = log.start();
-        let me = log.start();
+        let other_active = log.start().unwrap();
+        let me = log.start().unwrap();
         let snap = Snapshot::Current {
             xid: me,
             active: log.active_set(),
@@ -817,8 +1002,8 @@ mod tests {
     #[test]
     fn concurrent_commit_after_snapshot_stays_invisible() {
         let log = XactLog::create(log_device()).unwrap();
-        let other = log.start();
-        let me = log.start();
+        let other = log.start().unwrap();
+        let me = log.start().unwrap();
         let snap = Snapshot::Current {
             xid: me,
             active: log.active_set(),
@@ -831,9 +1016,9 @@ mod tests {
     #[test]
     fn as_of_snapshot_is_a_consistent_past() {
         let log = XactLog::create(log_device()).unwrap();
-        let early = log.start();
+        let early = log.start().unwrap();
         log.commit(early, SimInstant::from_nanos(10)).unwrap();
-        let late = log.start();
+        let late = log.start().unwrap();
         log.commit(late, SimInstant::from_nanos(100)).unwrap();
 
         let t50 = Snapshot::AsOf(SimInstant::from_nanos(50));
@@ -850,9 +1035,9 @@ mod tests {
     #[test]
     fn as_of_ignores_aborted_and_running() {
         let log = XactLog::create(log_device()).unwrap();
-        let ab = log.start();
+        let ab = log.start().unwrap();
         log.abort(ab).unwrap();
-        let run = log.start();
+        let run = log.start().unwrap();
         let snap = Snapshot::AsOf(SimInstant::from_nanos(1_000_000));
         assert!(!snap.visible(hdr(ab.0, 0), &log));
         assert!(!snap.visible(hdr(run.0, 0), &log));

@@ -79,6 +79,10 @@ fn show_stats(fs: &InversionFs) {
             "retrieve (s.commits, s.aborts, s.time_travel_reads, s.group_commits, s.batched_records, s.pages_flushed_at_commit, s.sync_calls, s.active) from s in pg_stat_xact",
         ),
         (
+            "pg_stat_wal",
+            "retrieve (s.records_appended, s.bytes_appended, s.log_forces, s.checkpoints, s.ckpt_pages_drained, s.replayed_pages, s.replayed_records) from s in pg_stat_wal",
+        ),
+        (
             "pg_stat_relation",
             "retrieve (s.heap_scans, s.heap_fetches, s.heap_appends, s.btree_searches, s.btree_inserts, s.btree_splits) from s in pg_stat_relation",
         ),

@@ -32,6 +32,10 @@ cargo test --release -q --test buffer_stress
 echo "== commit path stress (group commit) =="
 cargo test --release -q --test commit_stress
 
+echo "== crash-recovery battery (WAL + checkpointer + instant recovery) =="
+cargo test --release -q --test recovery
+cargo test --release -q --test properties
+
 echo "== wire protocol fuzz battery =="
 cargo test --release -q --test wire
 
@@ -91,6 +95,14 @@ grep -q '"speedup_at_least_1_5x": true' BENCH_fig6_writes.json || {
 }
 grep -q '"group_commit_engaged": true' BENCH_fig6_writes.json || {
     echo "group commit never batched: sync_calls not below commits" >&2
+    exit 1
+}
+grep -q '"no_data_page_flush_at_commit": true' BENCH_fig6_writes.json || {
+    echo "no-force commit regressed: data pages written at commit" >&2
+    exit 1
+}
+grep -q '"speedup_at_least_3_6x": true' BENCH_fig6_writes.json || {
+    echo "4 committers failed to raise write throughput 3.6x" >&2
     exit 1
 }
 

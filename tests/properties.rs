@@ -321,6 +321,15 @@ enum CrashOp {
     Commit(u8),
     Abort(u8),
     Crash,
+    /// Drive a full checkpoint cycle (drain dirty pages, truncate the log).
+    Checkpoint,
+    /// Fail the data device after `n` more writes, attempt a checkpoint,
+    /// then pull the plug: the cycle dies mid-drain with the log intact.
+    CrashDuringCheckpoint(u64),
+    /// Fail the log device after `fuse` more writes, commit table `t`'s
+    /// transaction, then pull the plug: the commit's log force tears
+    /// partway through its destage.
+    CrashDuringCommit { t: u8, fuse: u64 },
 }
 
 fn crash_op_strategy() -> impl Strategy<Value = CrashOp> {
@@ -331,6 +340,9 @@ fn crash_op_strategy() -> impl Strategy<Value = CrashOp> {
         (0u8..2).prop_map(CrashOp::Commit),
         (0u8..2).prop_map(CrashOp::Abort),
         Just(CrashOp::Crash),
+        Just(CrashOp::Checkpoint),
+        (1u64..8).prop_map(CrashOp::CrashDuringCheckpoint),
+        (0u8..2, 1u64..5).prop_map(|(t, fuse)| CrashOp::CrashDuringCommit { t, fuse }),
     ]
 }
 
@@ -342,18 +354,24 @@ struct CrashRig {
     log: minidb::SharedDevice,
     catalog: minidb::SharedDevice,
     handles: Vec<simdev::CacheCrashHandle>,
+    /// Fault plans on the *inner* disks: an armed write fuse fires while a
+    /// sync destages the volatile cache, tearing the destage partway.
+    data_faults: simdev::FaultPlan,
+    log_faults: simdev::FaultPlan,
 }
 
 impl CrashRig {
     fn new() -> CrashRig {
         let clock = simdev::SimClock::new();
         let mut handles = Vec::new();
+        let mut plans = Vec::new();
         let mut cached = |name: &str, nblocks: u64| {
             let disk = simdev::MagneticDisk::new(
                 name,
                 clock.clone(),
                 simdev::DiskProfile::tiny_for_tests(nblocks),
             );
+            plans.push(disk.fault_plan());
             let (dev, handle) = simdev::WriteCacheDisk::new(Box::new(disk));
             handles.push(handle);
             minidb::shared_device(dev)
@@ -361,7 +379,10 @@ impl CrashRig {
         let data = cached("data", 1 << 16);
         let log = cached("log", 1 << 12);
         let catalog = cached("catalog", 1 << 12);
-        CrashRig { clock, data, log, catalog, handles }
+        drop(cached);
+        let data_faults = plans[0].clone();
+        let log_faults = plans[1].clone();
+        CrashRig { clock, data, log, catalog, handles, data_faults, log_faults }
     }
 
     fn open(&self, fresh: bool, window_us: u64) -> minidb::Db {
@@ -395,9 +416,33 @@ impl CrashRig {
     }
 }
 
+/// The process dies: leak open sessions, stop the checkpointer without a
+/// final flush, drop the volatile caches, reattach.
+fn crash_and_reopen(
+    rig: &CrashRig,
+    db: minidb::Db,
+    sessions: &mut [Option<minidb::Session>; 2],
+    pending: &mut [Vec<i64>; 2],
+    window_us: u64,
+) -> minidb::Db {
+    for slot in sessions.iter_mut() {
+        if let Some(s) = slot.take() {
+            std::mem::forget(s);
+        }
+    }
+    *pending = [Vec::new(), Vec::new()];
+    db.simulate_crash();
+    rig.crash();
+    drop(db);
+    rig.open(false, window_us)
+}
+
 /// Runs one interleaving and checks, after every crash and at the end,
 /// that acknowledged commits are visible, unacknowledged work is not, and
-/// the structural verifier finds nothing wrong.
+/// the structural verifier finds nothing wrong. A commit whose log force
+/// failed partway is *indeterminate* until the next crash resolves it: the
+/// table must then show either exactly the acknowledged rows or exactly
+/// those plus the whole limbo transaction — never a fraction of it.
 fn run_crash_ops(ops: Vec<CrashOp>, window_us: u64) {
     let rig = CrashRig::new();
     let mut db = rig.open(true, window_us);
@@ -410,7 +455,9 @@ fn run_crash_ops(ops: Vec<CrashOp>, window_us: u64) {
     let rels = |db: &minidb::Db| {
         [db.relation_id("t0").unwrap(), db.relation_id("t1").unwrap()]
     };
-    let verify = |db: &minidb::Db, committed: &[Vec<i64>; 2]| {
+    let verify = |db: &minidb::Db,
+                  committed: &mut [Vec<i64>; 2],
+                  indeterminate: &mut [Vec<i64>; 2]| {
         assert!(db.check_all().is_empty(), "verifier: {:?}", db.check_all());
         let rel = rels(db);
         let mut s = db.begin().unwrap();
@@ -427,10 +474,26 @@ fn run_crash_ops(ops: Vec<CrashOp>, window_us: u64) {
             got.sort_unstable();
             let mut want = committed[t].clone();
             want.sort_unstable();
-            assert_eq!(
-                got, want,
-                "table t{t}: acknowledged commits must be exactly the visible rows"
-            );
+            if indeterminate[t].is_empty() {
+                assert_eq!(
+                    got, want,
+                    "table t{t}: acknowledged commits must be exactly the visible rows"
+                );
+            } else {
+                let mut with_limbo = want.clone();
+                with_limbo.extend_from_slice(&indeterminate[t]);
+                with_limbo.sort_unstable();
+                assert!(
+                    got == want || got == with_limbo,
+                    "table t{t}: a torn commit must be all-or-nothing; \
+                     got {got:?}, acknowledged {want:?}, limbo {:?}",
+                    indeterminate[t]
+                );
+                // The crash resolved the limbo transaction one way or the
+                // other; what is visible now is the durable truth.
+                committed[t] = got.clone();
+                indeterminate[t].clear();
+            }
         }
         s.commit().unwrap();
     };
@@ -438,6 +501,7 @@ fn run_crash_ops(ops: Vec<CrashOp>, window_us: u64) {
     let mut sessions: [Option<minidb::Session>; 2] = [None, None];
     let mut committed: [Vec<i64>; 2] = [Vec::new(), Vec::new()];
     let mut pending: [Vec<i64>; 2] = [Vec::new(), Vec::new()];
+    let mut indeterminate: [Vec<i64>; 2] = [Vec::new(), Vec::new()];
     let mut next = 0i64;
 
     for op in ops {
@@ -471,18 +535,40 @@ fn run_crash_ops(ops: Vec<CrashOp>, window_us: u64) {
                 }
             }
             CrashOp::Crash => {
-                // The process dies with transactions open: leak them, drop
-                // the volatile caches, reattach.
-                for slot in sessions.iter_mut() {
-                    if let Some(s) = slot.take() {
-                        std::mem::forget(s);
+                db = crash_and_reopen(&rig, db, &mut sessions, &mut pending, window_us);
+                verify(&db, &mut committed, &mut indeterminate);
+            }
+            CrashOp::Checkpoint => {
+                db.checkpoint().unwrap();
+            }
+            CrashOp::CrashDuringCheckpoint(fuse) => {
+                // The cycle dies mid-drain: some data pages destage, the
+                // rest are lost, and the log is never truncated. Recovery
+                // must replay over whatever mix landed.
+                rig.data_faults.fail_after_writes(fuse);
+                let _ = db.checkpoint();
+                rig.data_faults.clear_write_fault();
+                db = crash_and_reopen(&rig, db, &mut sessions, &mut pending, window_us);
+                verify(&db, &mut committed, &mut indeterminate);
+            }
+            CrashOp::CrashDuringCommit { t, fuse } => {
+                let t = t as usize;
+                if let Some(mut s) = sessions[t].take() {
+                    rig.log_faults.fail_after_writes(fuse);
+                    match s.commit() {
+                        Ok(()) => committed[t].append(&mut pending[t]),
+                        Err(_) => {
+                            // The force tore partway through its destage:
+                            // whether the commit record became durable is
+                            // unknown until recovery looks.
+                            indeterminate[t].append(&mut pending[t]);
+                            std::mem::forget(s);
+                        }
                     }
+                    rig.log_faults.clear_write_fault();
+                    db = crash_and_reopen(&rig, db, &mut sessions, &mut pending, window_us);
+                    verify(&db, &mut committed, &mut indeterminate);
                 }
-                pending = [Vec::new(), Vec::new()];
-                rig.crash();
-                drop(db);
-                db = rig.open(false, window_us);
-                verify(&db, &committed);
             }
         }
     }
@@ -491,7 +577,7 @@ fn run_crash_ops(ops: Vec<CrashOp>, window_us: u64) {
             s.abort().unwrap();
         }
     }
-    verify(&db, &committed);
+    verify(&db, &mut committed, &mut indeterminate);
 }
 
 // The commit path's whole durability contract, under both the direct

@@ -82,21 +82,23 @@ fn recovery_needs_no_scan_of_data() {
 
 #[test]
 fn abort_after_failed_commit_write() {
-    // Inject a device failure so the commit's flush fails; the transaction
-    // must abort cleanly and the system stay usable once the device heals.
+    // Inject a device failure so the commit's log force fails (under
+    // no-force commit the data device is not even touched at commit); the
+    // transaction must abort cleanly and the system stay usable once the
+    // device heals.
     let clock = simdev::SimClock::new();
-    let disk = simdev::MagneticDisk::new(
+    let data = minidb::shared_device(simdev::MagneticDisk::new(
         "d",
         clock.clone(),
         simdev::DiskProfile::tiny_for_tests(1 << 14),
-    );
-    let faults = disk.fault_plan();
-    let data = minidb::shared_device(disk);
-    let log = minidb::shared_device(simdev::MagneticDisk::new(
+    ));
+    let log_disk = simdev::MagneticDisk::new(
         "log",
         clock.clone(),
         simdev::DiskProfile::tiny_for_tests(1 << 10),
-    ));
+    );
+    let faults = log_disk.fault_plan();
+    let log = minidb::shared_device(log_disk);
     let cat = minidb::shared_device(simdev::MagneticDisk::new(
         "cat",
         clock.clone(),
@@ -118,7 +120,8 @@ fn abort_after_failed_commit_write() {
     s.insert(rel, vec![Datum::Int4(1)]).unwrap();
     s.commit().unwrap();
 
-    // Take the device offline mid-transaction: commit fails.
+    // Take the log device offline mid-transaction: the commit's log
+    // force fails.
     let mut s = db.begin().unwrap();
     s.insert(rel, vec![Datum::Int4(2)]).unwrap();
     faults.set_offline(true);
@@ -131,6 +134,126 @@ fn abort_after_failed_commit_write() {
     assert_eq!(rows.len(), 1, "failed commit must not be visible");
     s.insert(rel, vec![Datum::Int4(3)]).unwrap();
     s.commit().unwrap();
+}
+
+#[test]
+fn instant_recovery_replays_pages_on_first_touch() {
+    // No-force commit with a crash before any checkpoint: every committed
+    // page image is lost from the data device and exists only as WAL
+    // records. Restart must come up instantly — new transactions run right
+    // away — while each stale page is replayed the first time someone
+    // touches it, and a checkpoint finishes the sweep so a second crash
+    // needs no replay at all.
+    let clock = simdev::SimClock::new();
+    let mut handles = Vec::new();
+    let mut cached = |name: &str, nblocks: u64| {
+        let disk = simdev::MagneticDisk::new(
+            name,
+            clock.clone(),
+            simdev::DiskProfile::tiny_for_tests(nblocks),
+        );
+        let (dev, handle) = simdev::WriteCacheDisk::new(Box::new(disk));
+        handles.push(handle);
+        minidb::shared_device(dev)
+    };
+    let data = cached("data", 1 << 16);
+    let log = cached("log", 1 << 13);
+    let catalog = cached("catalog", 1 << 12);
+    drop(cached);
+    // Interval 0 disables the timed checkpoint wake-up so nothing drains
+    // the dirty pages before we pull the plug.
+    let config = minidb::DbConfig {
+        checkpoint_interval: simdev::SimDuration::from_nanos(0),
+        ..minidb::DbConfig::default()
+    };
+    let open = |fresh: bool| {
+        let mut smgr = minidb::Smgr::new();
+        let mgr = if fresh {
+            minidb::GenericManager::format(data.clone()).unwrap()
+        } else {
+            minidb::GenericManager::attach(data.clone()).unwrap()
+        };
+        smgr.register(minidb::DeviceId::DEFAULT, Box::new(mgr)).unwrap();
+        let open = if fresh { minidb::Db::open } else { minidb::Db::recover };
+        open(clock.clone(), smgr, log.clone(), catalog.clone(), config.clone()).unwrap()
+    };
+
+    let db = open(true);
+    let rel = db.create_table("t", Schema::new([("v", TypeId::INT8)])).unwrap();
+    db.flush_caches().unwrap(); // The empty table survives the crash.
+    let mut want = Vec::new();
+    for batch in 0..6i64 {
+        let mut s = db.begin().unwrap();
+        for i in 0..100i64 {
+            let v = batch * 100 + i;
+            s.insert(rel, vec![Datum::Int8(v)]).unwrap();
+            want.push(v);
+        }
+        s.commit().unwrap();
+    }
+    db.simulate_crash();
+    for h in &handles {
+        h.drop_unsynced();
+    }
+    drop(db);
+
+    let db = open(false);
+    let after_recover = db.stats();
+    // A brand-new transaction commits before any old page was replayed:
+    // restart did not wait for a REDO sweep.
+    let mut s = db.begin().unwrap();
+    s.insert(rel, vec![Datum::Int8(600)]).unwrap();
+    s.commit().unwrap();
+    want.push(600);
+
+    // First touch of the stale heap pages replays them from the log.
+    let mut s = db.begin().unwrap();
+    let mut got: Vec<i64> = s
+        .seq_scan(rel)
+        .unwrap()
+        .into_iter()
+        .map(|(_, row)| match row[0] {
+            Datum::Int8(v) => v,
+            ref other => panic!("bad datum {other:?}"),
+        })
+        .collect();
+    s.commit().unwrap();
+    got.sort_unstable();
+    want.sort_unstable();
+    assert_eq!(got, want, "all acknowledged commits visible after restart");
+    let d = db.stats().delta(&after_recover);
+    assert!(
+        d.wal.replayed_pages > 0,
+        "the scan must have replayed stale pages (got {})",
+        d.wal.replayed_pages
+    );
+    assert!(
+        d.wal.replayed_records > d.wal.replayed_pages,
+        "each replayed page carries many records ({} records / {} pages)",
+        d.wal.replayed_records,
+        d.wal.replayed_pages
+    );
+    assert!(db.check_all().is_empty(), "verifier: {:?}", db.check_all());
+
+    // A checkpoint completes the sweep and truncates the log: after a
+    // second crash there is nothing left to replay.
+    db.checkpoint().unwrap();
+    db.simulate_crash();
+    for h in &handles {
+        h.drop_unsynced();
+    }
+    drop(db);
+    let db = open(false);
+    let before_scan = db.stats();
+    let mut s = db.begin().unwrap();
+    assert_eq!(s.seq_scan(rel).unwrap().len(), want.len());
+    s.commit().unwrap();
+    let d = db.stats().delta(&before_scan);
+    assert_eq!(
+        d.wal.replayed_pages, 0,
+        "a checkpointed database recovers with zero replay work"
+    );
+    assert!(db.check_all().is_empty(), "verifier: {:?}", db.check_all());
 }
 
 #[test]
