@@ -25,6 +25,7 @@ pub mod remote;
 pub mod report;
 pub mod scaling;
 pub mod testbed;
+pub mod torture;
 pub mod workload;
 
 pub use commit_scaling::{measure_commit_speedup, measure_commits, CommitRun};

@@ -27,8 +27,8 @@ use simdev::SimInstant;
 use crate::chunk::{self, Coalescer, CHUNK_SIZE};
 use crate::compress;
 use crate::fs::{
-    stat_to_row, CreateMode, FileKind, FileStat, InvError, InvResult, InversionFs, A_ATIME,
-    A_MTIME, A_SIZE,
+    stat_to_row, CreateMode, FileKind, FileStat, InvError, InvResult, InversionFs, SliceRange,
+    A_ATIME, A_MTIME, A_SIZE,
 };
 
 /// A file descriptor.
@@ -482,7 +482,8 @@ impl InvClient {
     pub fn p_undelete(&mut self, path: &str, t: SimInstant) -> InvResult<()> {
         let path = path.to_string();
         self.run(move |fs, s, _| {
-            if fs.resolve(s, &path, None).is_ok() {
+            let (cur_parent, cur_name) = fs.resolve_parent(s, &path, None)?;
+            if !fs.name_free_for_write(s, cur_parent, &cur_name)? {
                 return Err(InvError::Exists(path.clone()));
             }
             let snap = Snapshot::AsOf(t);
@@ -533,6 +534,110 @@ impl InvClient {
             )?;
             s.insert(fs.rels.fileatt, stat_to_row(&stat_then))?;
             Ok(())
+        })
+    }
+
+    /// Composes a new file at `dest` from byte ranges of existing files
+    /// (WTF-style slicing). Because file data are ordinary `(chunkno, data)`
+    /// rows, a range that covers a whole chunk and lands chunk-aligned in
+    /// the destination is *shared*: the stored row is copied between chunk
+    /// tables verbatim — no decompression, no re-encoding, no byte copy —
+    /// and the `chunks_shared` counter in `inv_stat` proves it. Unaligned
+    /// remainders fall back to ordinary read-modify-write copies.
+    ///
+    /// Rows of self-identifying files embed their file oid and chunk
+    /// number, so they can never be shared; such ranges always copy.
+    /// Ranges must lie inside their source file (`offset + len <= size`).
+    pub fn p_slice(
+        &mut self,
+        dest: &str,
+        mode: CreateMode,
+        ranges: &[SliceRange],
+    ) -> InvResult<FileStat> {
+        self.fs.stats.slices.bump();
+        let dest = dest.to_string();
+        let ranges = ranges.to_vec();
+        self.run(move |fs, s, _| {
+            // Validate every source up front so a bad range cannot leave a
+            // half-composed destination inside an explicit transaction.
+            let mut srcs = Vec::with_capacity(ranges.len());
+            for r in &ranges {
+                let oid = fs.resolve(s, &r.path, None)?;
+                let src = fs.stat_oid(s, oid, None)?;
+                if src.kind != FileKind::Regular {
+                    return Err(InvError::IsADirectory(r.path.clone()));
+                }
+                let end = r.offset.checked_add(r.len).ok_or_else(|| {
+                    InvError::Invalid(format!("slice range overflows: {}+{}", r.offset, r.len))
+                })?;
+                if end > src.size {
+                    return Err(InvError::Invalid(format!(
+                        "slice range {}..{end} exceeds {} ({} bytes)",
+                        r.offset, r.path, src.size
+                    )));
+                }
+                srcs.push(src);
+            }
+            let dst = fs.create_file_at(s, &dest, &mode)?;
+            let mut dest_off: u64 = 0;
+            for (r, src) in ranges.iter().zip(&srcs) {
+                // Self-identifying rows embed (oid, chunkno): they only
+                // verify in their original position. Compression must match
+                // or the stored encoding differs between the two tables.
+                let shareable = !src.self_identifying
+                    && !dst.self_identifying
+                    && src.compressed == dst.compressed;
+                for (chunkno, start, take) in chunk::split_range(r.offset, r.len as usize) {
+                    let aligned = start == 0
+                        && take == CHUNK_SIZE
+                        && dest_off % CHUNK_SIZE as u64 == 0;
+                    if shareable && aligned {
+                        // Zero-copy: move the stored row as-is. A missing
+                        // source row is a hole, which stays a hole.
+                        let key = [Datum::Int4(chunkno as i32)];
+                        if let Some((_, row)) = s.index_scan_eq(src.chunkidx, &key)?.into_iter().next()
+                        {
+                            let raw = row[1].as_bytes()?.to_vec();
+                            let dchunk = chunk::chunk_of(dest_off);
+                            s.insert(
+                                dst.datarel,
+                                vec![Datum::Int4(dchunk as i32), Datum::Bytes(raw)],
+                            )?;
+                            fs.stats.chunks_shared.bump();
+                        }
+                    } else {
+                        let piece = match fetch_chunk(fs, s, src, chunkno, None)? {
+                            Some(content) => {
+                                let mut v = vec![0u8; take];
+                                let end = (start + take).min(content.len());
+                                if end > start {
+                                    v[..end - start].copy_from_slice(&content[start..end]);
+                                }
+                                v
+                            }
+                            None => vec![0u8; take],
+                        };
+                        let mut done = 0usize;
+                        for (dchunk, dstart, dtake) in chunk::split_range(dest_off, take) {
+                            write_chunk(fs, s, &dst, dchunk, dstart, &piece[done..done + dtake])?;
+                            done += dtake;
+                        }
+                    }
+                    dest_off += take as u64;
+                }
+            }
+            // Record the composed size.
+            let Some((tid, mut row)) = fs.fileatt_row(s, dst.oid, None)? else {
+                return Err(InvError::NoSuchPath(format!("oid {}", dst.oid)));
+            };
+            let now = fs.db().now();
+            row[A_SIZE] = Datum::Int8(dest_off as i64);
+            row[A_MTIME] = Datum::Time(now.as_nanos());
+            s.update(fs.rels.fileatt, tid, row)?;
+            let mut out = dst;
+            out.size = dest_off;
+            out.mtime = now;
+            Ok(out)
         })
     }
 
@@ -1072,6 +1177,195 @@ mod tests {
             findings.iter().any(|f| f.code == "chunk-undecodable"),
             "{findings:?}"
         );
+    }
+
+    fn pattern(len: usize, salt: u8) -> Vec<u8> {
+        (0..len)
+            .map(|i| (i % 251) as u8 ^ salt)
+            .collect()
+    }
+
+    #[test]
+    fn slice_aligned_ranges_share_rows_without_copying() {
+        let (fs, mut c) = fs_client();
+        let data = pattern(3 * CHUNK_SIZE, 0);
+        c.write_all("/a", CreateMode::default(), &data).unwrap();
+
+        let writes_before = fs.stats().chunk_writes.get();
+        let shared_before = fs.stats().chunks_shared.get();
+        let stat = c
+            .p_slice(
+                "/b",
+                CreateMode::default(),
+                &[SliceRange::new("/a", 0, 3 * CHUNK_SIZE as u64)],
+            )
+            .unwrap();
+        assert_eq!(stat.size, 3 * CHUNK_SIZE as u64);
+        assert_eq!(c.read_to_vec("/b", None).unwrap(), data);
+        // All three chunks were shared; no chunk payload was re-stored.
+        assert_eq!(fs.stats().chunks_shared.get(), shared_before + 3);
+        assert_eq!(fs.stats().chunk_writes.get(), writes_before);
+        assert_eq!(fs.stats().slices.get(), 1);
+        assert_eq!(fs.check(), vec![]);
+        assert_eq!(fs.db().check_all(), vec![]);
+    }
+
+    #[test]
+    fn slice_unaligned_ranges_fall_back_to_copies() {
+        let (fs, mut c) = fs_client();
+        let data = pattern(2 * CHUNK_SIZE, 1);
+        c.write_all("/a", CreateMode::default(), &data).unwrap();
+
+        let shared_before = fs.stats().chunks_shared.get();
+        let half = CHUNK_SIZE as u64 / 2;
+        c.p_slice(
+            "/b",
+            CreateMode::default(),
+            &[SliceRange::new("/a", half, CHUNK_SIZE as u64)],
+        )
+        .unwrap();
+        let want = &data[half as usize..half as usize + CHUNK_SIZE];
+        assert_eq!(c.read_to_vec("/b", None).unwrap(), want);
+        assert_eq!(fs.stats().chunks_shared.get(), shared_before);
+        assert_eq!(fs.check(), vec![]);
+    }
+
+    #[test]
+    fn slice_composes_from_multiple_sources() {
+        let (fs, mut c) = fs_client();
+        let a = pattern(2 * CHUNK_SIZE + 100, 2);
+        let b = pattern(CHUNK_SIZE + 7, 3);
+        c.write_all("/a", CreateMode::default(), &a).unwrap();
+        c.write_all("/b", CreateMode::default(), &b).unwrap();
+
+        // Whole /a (aligned head shares, 100-byte tail copies), then an
+        // unaligned middle of /b.
+        let stat = c
+            .p_slice(
+                "/cat",
+                CreateMode::default(),
+                &[
+                    SliceRange::new("/a", 0, a.len() as u64),
+                    SliceRange::new("/b", 5, 1000),
+                ],
+            )
+            .unwrap();
+        let mut want = a.clone();
+        want.extend_from_slice(&b[5..1005]);
+        assert_eq!(stat.size as usize, want.len());
+        assert_eq!(c.read_to_vec("/cat", None).unwrap(), want);
+        assert!(fs.stats().chunks_shared.get() >= 2);
+        assert_eq!(fs.check(), vec![]);
+        assert_eq!(fs.db().check_all(), vec![]);
+    }
+
+    #[test]
+    fn slice_never_shares_self_identifying_rows() {
+        let (fs, mut c) = fs_client();
+        let data = pattern(CHUNK_SIZE, 4);
+        c.write_all("/tagged", CreateMode::default().self_identifying(), &data)
+            .unwrap();
+        let shared_before = fs.stats().chunks_shared.get();
+        c.p_slice(
+            "/copy",
+            CreateMode::default(),
+            &[SliceRange::new("/tagged", 0, CHUNK_SIZE as u64)],
+        )
+        .unwrap();
+        // Tagged rows embed (oid, chunkno): sharing would fail the tag
+        // check in the destination, so the range must copy.
+        assert_eq!(fs.stats().chunks_shared.get(), shared_before);
+        assert_eq!(c.read_to_vec("/copy", None).unwrap(), data);
+        assert_eq!(fs.check(), vec![]);
+    }
+
+    #[test]
+    fn slice_shares_compressed_rows_between_compressed_files() {
+        let (fs, mut c) = fs_client();
+        // Highly compressible content so the stored row differs from raw.
+        let data = vec![9u8; 2 * CHUNK_SIZE];
+        c.write_all("/z", CreateMode::default().compressed(), &data)
+            .unwrap();
+        let shared_before = fs.stats().chunks_shared.get();
+        c.p_slice(
+            "/z2",
+            CreateMode::default().compressed(),
+            &[SliceRange::new("/z", 0, 2 * CHUNK_SIZE as u64)],
+        )
+        .unwrap();
+        assert_eq!(fs.stats().chunks_shared.get(), shared_before + 2);
+        assert_eq!(c.read_to_vec("/z2", None).unwrap(), data);
+        assert_eq!(fs.check(), vec![]);
+
+        // Mismatched compression must copy, not share.
+        c.p_slice(
+            "/z3",
+            CreateMode::default(),
+            &[SliceRange::new("/z", 0, 2 * CHUNK_SIZE as u64)],
+        )
+        .unwrap();
+        assert_eq!(fs.stats().chunks_shared.get(), shared_before + 2);
+        assert_eq!(c.read_to_vec("/z3", None).unwrap(), data);
+        assert_eq!(fs.check(), vec![]);
+    }
+
+    #[test]
+    fn slice_preserves_source_holes() {
+        let (fs, mut c) = fs_client();
+        // Sparse source: chunk 0 is a hole, chunk 1 has data.
+        c.p_begin().unwrap();
+        let fd = c.p_creat("/sparse", CreateMode::default()).unwrap();
+        c.p_lseek(fd, CHUNK_SIZE as i64, SeekWhence::Set).unwrap();
+        c.p_write(fd, &vec![5u8; CHUNK_SIZE]).unwrap();
+        c.p_close(fd).unwrap();
+        c.p_commit().unwrap();
+
+        c.p_slice(
+            "/s2",
+            CreateMode::default(),
+            &[SliceRange::new("/sparse", 0, 2 * CHUNK_SIZE as u64)],
+        )
+        .unwrap();
+        let mut want = vec![0u8; CHUNK_SIZE];
+        want.extend_from_slice(&vec![5u8; CHUNK_SIZE]);
+        assert_eq!(c.read_to_vec("/s2", None).unwrap(), want);
+        assert_eq!(fs.check(), vec![]);
+    }
+
+    #[test]
+    fn slice_rejects_out_of_range_and_bad_sources() {
+        let (_fs, mut c) = fs_client();
+        c.write_all("/a", CreateMode::default(), b"short").unwrap();
+        c.p_mkdir("/d").unwrap();
+        let err = c
+            .p_slice(
+                "/b",
+                CreateMode::default(),
+                &[SliceRange::new("/a", 0, 6)],
+            )
+            .unwrap_err();
+        assert!(matches!(err, InvError::Invalid(_)), "{err}");
+        // A failed slice must not leave the destination behind.
+        assert!(matches!(
+            c.p_stat("/b", None),
+            Err(InvError::NoSuchPath(_))
+        ));
+        let err = c
+            .p_slice(
+                "/b",
+                CreateMode::default(),
+                &[SliceRange::new("/d", 0, 0)],
+            )
+            .unwrap_err();
+        assert!(matches!(err, InvError::IsADirectory(_)), "{err}");
+        let err = c
+            .p_slice(
+                "/b",
+                CreateMode::default(),
+                &[SliceRange::new("/missing", 0, 1)],
+            )
+            .unwrap_err();
+        assert!(matches!(err, InvError::NoSuchPath(_)), "{err}");
     }
 
     #[test]

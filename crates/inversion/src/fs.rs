@@ -195,6 +195,34 @@ impl CreateMode {
     }
 }
 
+/// One source byte range for [`crate::InvClient::p_slice`]: `len` bytes of
+/// `path` starting at `offset`.
+///
+/// Slicing composes a new file from ranges of existing files. Chunk-aligned
+/// ranges are *shared* — the stored chunk rows are copied between chunk
+/// tables without decoding the payload — while unaligned remainders fall
+/// back to byte copies (see DESIGN.md §8).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SliceRange {
+    /// Path of the source file.
+    pub path: String,
+    /// Starting byte offset in the source.
+    pub offset: u64,
+    /// Number of bytes to take.
+    pub len: u64,
+}
+
+impl SliceRange {
+    /// Convenience constructor.
+    pub fn new(path: impl Into<String>, offset: u64, len: u64) -> Self {
+        SliceRange {
+            path: path.into(),
+            offset,
+            len,
+        }
+    }
+}
+
 /// Relation ids the file system needs constantly.
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct FsRels {

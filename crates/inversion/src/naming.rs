@@ -54,6 +54,27 @@ impl InversionFs {
             .map(|(tid, row)| (tid, Oid(row[N_FILE].as_oid().unwrap_or(0)))))
     }
 
+    /// Checks that `(parent, name)` is free *for this transaction to claim*.
+    ///
+    /// The session's begin-time snapshot cannot see a conflicting entry
+    /// committed after this transaction began, so checking against it lets
+    /// two racing sessions both conclude the name is free and both insert
+    /// it (write skew on the uniqueness check). Taking `naming`'s exclusive
+    /// lock first means any conflicting writer has either committed —
+    /// visible to the fresh snapshot — or aborted.
+    pub(crate) fn name_free_for_write(
+        &self,
+        session: &mut Session,
+        parent: Oid,
+        name: &str,
+    ) -> InvResult<bool> {
+        session.lock_exclusive(self.rels.naming)?;
+        let snap = session.fresh_snapshot();
+        Ok(self
+            .lookup_child(session, parent, name, Some(&snap))?
+            .is_none())
+    }
+
     /// Resolves `path` to a file oid under `snap` (or the session's view).
     pub fn resolve(
         &self,
@@ -201,7 +222,7 @@ impl InversionFs {
         mode: &CreateMode,
     ) -> InvResult<FileStat> {
         let (parent, name) = self.resolve_parent(session, path, None)?;
-        if self.lookup_child(session, parent, &name, None)?.is_some() {
+        if !self.name_free_for_write(session, parent, &name)? {
             return Err(InvError::Exists(path.to_string()));
         }
         let pstat = self.stat_oid(session, parent, None)?;
@@ -228,7 +249,7 @@ impl InversionFs {
         owner: &str,
     ) -> InvResult<Oid> {
         let (parent, name) = self.resolve_parent(session, path, None)?;
-        if self.lookup_child(session, parent, &name, None)?.is_some() {
+        if !self.name_free_for_write(session, parent, &name)? {
             return Err(InvError::Exists(path.to_string()));
         }
         let oid = self.db().alloc_oid()?;
@@ -269,7 +290,7 @@ impl InversionFs {
             return Err(InvError::NoSuchPath(from.to_string()));
         };
         let (tparent, tname) = self.resolve_parent(session, to, None)?;
-        if self.lookup_child(session, tparent, &tname, None)?.is_some() {
+        if !self.name_free_for_write(session, tparent, &tname)? {
             return Err(InvError::Exists(to.to_string()));
         }
         let tp_stat = self.stat_oid(session, tparent, None)?;

@@ -130,6 +130,11 @@ struct SessionState {
     /// The session's executor: own fd table, own transaction scope.
     server: Mutex<InvServer>,
     stats: Arc<SessionNetStats>,
+    /// Closes the session's transport. Invoked at teardown so a client
+    /// blocked draining pipelined responses (bulk read/write streams) sees
+    /// EOF promptly instead of hanging until pool shutdown, and at shutdown
+    /// to unblock the reader thread.
+    closer: Box<dyn Fn() + Send + Sync>,
 }
 
 struct Shared {
@@ -140,8 +145,6 @@ struct Shared {
     runq_cv: Condvar,
     sessions: Mutex<Vec<Arc<SessionState>>>,
     shutdown: AtomicBool,
-    /// Closes every accepted transport so blocked readers unblock.
-    closers: Mutex<Vec<Box<dyn Fn() + Send + Sync>>>,
 }
 
 impl Shared {
@@ -176,7 +179,6 @@ impl InvServerPool {
             runq_cv: Condvar::new(),
             sessions: Mutex::new(Vec::new()),
             shutdown: AtomicBool::new(false),
-            closers: Mutex::new(Vec::new()),
         });
         let mut workers = Vec::new();
         for _ in 0..config.workers.max(1) {
@@ -224,9 +226,9 @@ impl InvServerPool {
             writer: Mutex::new(writer),
             server: Mutex::new(InvServer::new(&self.shared.fs)),
             stats,
+            closer,
         });
         self.shared.sessions.lock().push(Arc::clone(&sess));
-        self.shared.closers.lock().push(closer);
         let sh = Arc::clone(&self.shared);
         let handle = std::thread::spawn(move || reader_main(&sh, &sess, reader));
         self.readers.lock().push(handle);
@@ -302,12 +304,10 @@ impl InvServerPool {
             return;
         }
         self.shared.shutdown.store(true, SeqCst);
-        // Unblock readers stuck in read() and clients stuck on responses.
-        for closer in self.shared.closers.lock().iter() {
-            closer();
-        }
-        // Unblock readers stuck waiting for queue space.
+        // Unblock readers stuck in read() and clients stuck on responses,
+        // then readers stuck waiting for queue space.
         for sess in self.shared.sessions.lock().iter() {
+            (sess.closer)();
             sess.space.notify_all();
         }
         if let Some(gate) = &self.shared.config.service_gate {
@@ -508,6 +508,9 @@ fn teardown(sh: &Shared, sess: &SessionState) {
     }
     sess.stats.mark_closed();
     inv.sessions_closed.bump();
+    // Close the transport last: any client still blocked on a pipelined
+    // response (mid-bulk fatal framing damage) must see EOF, not hang.
+    (sess.closer)();
 }
 
 /// Client-side wire counters (mirror of the server's per-session row, for
@@ -648,6 +651,30 @@ impl<S: Read + Write> WireClient<S> {
         }
     }
 
+    /// `p_rename` over the wire.
+    pub fn rename(&mut self, from: &str, to: &str) -> InvResult<()> {
+        self.call(&Request::Rename(from.into(), to.into()))
+            .map(|_| ())
+    }
+
+    /// `p_undelete` over the wire.
+    pub fn undelete(&mut self, path: &str, t: simdev::SimInstant) -> InvResult<()> {
+        self.call(&Request::Undelete(path.into(), t)).map(|_| ())
+    }
+
+    /// `p_slice` over the wire.
+    pub fn slice(
+        &mut self,
+        dest: &str,
+        mode: crate::fs::CreateMode,
+        ranges: &[crate::fs::SliceRange],
+    ) -> InvResult<crate::fs::FileStat> {
+        match self.call(&Request::Slice(dest.into(), mode, ranges.to_vec()))? {
+            Response::Stat(s) => Ok(*s),
+            other => Err(unexpected(&other)),
+        }
+    }
+
     /// Reads `len` bytes from `fd`, pipelining [`crate::client::SEGMENT`]-
     /// sized requests: every request frame is sent before the first response
     /// is read. Short reads (EOF) end the result early.
@@ -742,6 +769,45 @@ mod tests {
             fs.stats().sessions_opened.get(),
             fs.stats().sessions_closed.get()
         );
+    }
+
+    #[test]
+    fn rename_undelete_and_slice_over_the_wire() {
+        let fs = InversionFs::open_in_memory().unwrap();
+        let pool = InvServerPool::new(&fs, PoolConfig::default());
+        let (client_end, server_end) = duplex_pair();
+        pool.serve_duplex(server_end);
+        let mut c = WireClient::new(client_end);
+
+        let fd = c.creat("/a", CreateMode::default()).unwrap();
+        let data: Vec<u8> = (0..crate::chunk::CHUNK_SIZE + 500)
+            .map(|i| (i % 251) as u8)
+            .collect();
+        c.write_bulk(fd, &data).unwrap();
+        c.close(fd).unwrap();
+
+        c.rename("/a", "/b").unwrap();
+        assert!(c.stat("/a").is_err());
+        let t_alive = fs.db().now();
+        c.unlink("/b").unwrap();
+        assert!(c.stat("/b").is_err());
+        c.undelete("/b", t_alive).unwrap();
+        assert_eq!(c.stat("/b").unwrap().size, data.len() as u64);
+
+        let st = c
+            .slice(
+                "/composed",
+                CreateMode::default(),
+                &[crate::fs::SliceRange::new("/b", 0, data.len() as u64)],
+            )
+            .unwrap();
+        assert_eq!(st.size, data.len() as u64);
+        let fd = c.open("/composed", crate::api::OpenMode::Read, None).unwrap();
+        assert_eq!(c.read_bulk(fd, data.len()).unwrap(), data);
+        c.close(fd).unwrap();
+        assert!(fs.stats().chunks_shared.get() >= 1);
+        pool.shutdown();
+        assert_eq!(fs.check(), vec![]);
     }
 
     #[test]

@@ -11,7 +11,7 @@ use minidb::Oid;
 use simdev::SimInstant;
 
 use crate::api::{Fd, InvClient, OpenMode, SeekWhence};
-use crate::fs::{CreateMode, FileStat, InvResult, InversionFs};
+use crate::fs::{CreateMode, FileStat, InvResult, InversionFs, SliceRange};
 
 /// A request as carried by the client/server protocol. Sizes on the wire
 /// are computed by [`Request::wire_size`].
@@ -43,6 +43,12 @@ pub enum Request {
     Unlink(String),
     /// `p_readdir(path)`
     Readdir(String),
+    /// `p_rename(from, to)`
+    Rename(String, String),
+    /// `p_undelete(path, t)`
+    Undelete(String, SimInstant),
+    /// `p_slice(dest, mode, ranges)`
+    Slice(String, CreateMode, Vec<SliceRange>),
 }
 
 impl Request {
@@ -152,6 +158,14 @@ impl InvServer {
             Request::Mkdir(path) => self.client.p_mkdir(&path).map(|_| Response::Ok),
             Request::Unlink(path) => self.client.p_unlink(&path).map(|_| Response::Ok),
             Request::Readdir(path) => self.client.p_readdir(&path, None).map(Response::Entries),
+            Request::Rename(from, to) => self.client.p_rename(&from, &to).map(|_| Response::Ok),
+            Request::Undelete(path, t) => {
+                self.client.p_undelete(&path, t).map(|_| Response::Ok)
+            }
+            Request::Slice(dest, mode, ranges) => self
+                .client
+                .p_slice(&dest, mode, &ranges)
+                .map(|s| Response::Stat(Box::new(s))),
         }?;
         self.client
             .fs()
@@ -222,6 +236,13 @@ mod tests {
             Request::Mkdir("/d".into()),
             Request::Unlink("/u".into()),
             Request::Readdir("/".into()),
+            Request::Rename("/old".into(), "/new".into()),
+            Request::Undelete("/lost".into(), SimInstant::from_nanos(99)),
+            Request::Slice(
+                "/c".into(),
+                CreateMode::default(),
+                vec![SliceRange::new("/a", 0, 8128), SliceRange::new("/b", 1, 2)],
+            ),
         ];
         for req in requests {
             assert_eq!(

@@ -45,6 +45,8 @@ pub struct InvStats {
     pub unlinks: Counter,
     /// `p_rename` calls.
     pub renames: Counter,
+    /// `p_slice` calls (WTF-style file composition).
+    pub slices: Counter,
     /// Bytes returned by `p_read`.
     pub bytes_read: Counter,
     /// Bytes accepted by `p_write`.
@@ -53,6 +55,9 @@ pub struct InvStats {
     pub chunk_reads: Counter,
     /// Chunk records stored (inserted or updated) in the database.
     pub chunk_writes: Counter,
+    /// Chunk records shared by `p_slice` — stored rows copied between chunk
+    /// tables without decoding or re-encoding the payload (zero-copy).
+    pub chunks_shared: Counter,
     /// Write calls absorbed into an already-active coalescing buffer
     /// ("multiple small sequential writes ... are coalesced").
     pub chunks_coalesced: Counter,
@@ -106,10 +111,12 @@ impl InvStats {
             ("readdir", self.readdirs.get()),
             ("unlink", self.unlinks.get()),
             ("rename", self.renames.get()),
+            ("slice", self.slices.get()),
             ("bytes_read", self.bytes_read.get()),
             ("bytes_written", self.bytes_written.get()),
             ("chunk_reads", self.chunk_reads.get()),
             ("chunk_writes", self.chunk_writes.get()),
+            ("chunks_shared", self.chunks_shared.get()),
             ("chunks_coalesced", self.chunks_coalesced.get()),
             ("coalesce_flushes", self.coalesce_flushes.get()),
             ("rpcs", self.rpcs.get()),

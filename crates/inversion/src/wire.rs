@@ -36,7 +36,7 @@ use minidb::{DbError, Oid, TypeId};
 use simdev::SimInstant;
 
 use crate::api::{OpenMode, SeekWhence};
-use crate::fs::{CreateMode, FileKind, FileStat, InvError, InvResult};
+use crate::fs::{CreateMode, FileKind, FileStat, InvError, InvResult, SliceRange};
 use crate::server::{Request, Response};
 
 /// Frame magic: "INVF".
@@ -64,6 +64,9 @@ const OP_STAT: u16 = 10;
 const OP_MKDIR: u16 = 11;
 const OP_UNLINK: u16 = 12;
 const OP_READDIR: u16 = 13;
+const OP_RENAME: u16 = 14;
+const OP_UNDELETE: u16 = 15;
+const OP_SLICE: u16 = 16;
 
 // Response opcodes.
 const OP_R_OK: u16 = 100;
@@ -560,6 +563,27 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             put_str(&mut p, path);
             OP_READDIR
         }
+        Request::Rename(from, to) => {
+            put_str(&mut p, from);
+            put_str(&mut p, to);
+            OP_RENAME
+        }
+        Request::Undelete(path, t) => {
+            put_str(&mut p, path);
+            put_u64(&mut p, t.as_nanos());
+            OP_UNDELETE
+        }
+        Request::Slice(dest, mode, ranges) => {
+            put_str(&mut p, dest);
+            put_create_mode(&mut p, mode);
+            put_u32(&mut p, ranges.len() as u32);
+            for r in ranges {
+                put_str(&mut p, &r.path);
+                put_u64(&mut p, r.offset);
+                put_u64(&mut p, r.len);
+            }
+            OP_SLICE
+        }
     };
     frame(op, &p)
 }
@@ -651,6 +675,32 @@ pub fn decode_request_frame(opcode: u16, payload: &[u8]) -> Result<Request, Wire
         OP_MKDIR => Request::Mkdir(c.str()?),
         OP_UNLINK => Request::Unlink(c.str()?),
         OP_READDIR => Request::Readdir(c.str()?),
+        OP_RENAME => {
+            let from = c.str()?;
+            let to = c.str()?;
+            Request::Rename(from, to)
+        }
+        OP_UNDELETE => {
+            let path = c.str()?;
+            let t = SimInstant::from_nanos(c.u64()?);
+            Request::Undelete(path, t)
+        }
+        OP_SLICE => {
+            let dest = c.str()?;
+            let mode = get_create_mode(&mut c)?;
+            let n = c.u32()? as usize;
+            if n > MAX_PAYLOAD / 20 {
+                return Err(WireError::Malformed(format!("{n} slice ranges")));
+            }
+            let mut ranges = Vec::with_capacity(n);
+            for _ in 0..n {
+                let path = c.str()?;
+                let offset = c.u64()?;
+                let len = c.u64()?;
+                ranges.push(SliceRange { path, offset, len });
+            }
+            Request::Slice(dest, mode, ranges)
+        }
         other => return Err(WireError::BadOpcode(other)),
     };
     c.finish()?;
@@ -810,6 +860,16 @@ mod tests {
             Request::Mkdir("/d".into()),
             Request::Unlink("/u".into()),
             Request::Readdir("/".into()),
+            Request::Rename("/old".into(), "/new".into()),
+            Request::Undelete("/lost".into(), SimInstant::from_nanos(4242)),
+            Request::Slice(
+                "/composed".into(),
+                CreateMode::default().compressed(),
+                vec![
+                    SliceRange::new("/a", 0, 8128),
+                    SliceRange::new("/b", 4096, 100),
+                ],
+            ),
         ]
     }
 

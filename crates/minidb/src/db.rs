@@ -937,6 +937,33 @@ impl Session {
         self.db.inner.locks.acquire(xid, rel, mode)
     }
 
+    /// Takes `rel`'s exclusive lock ahead of a write, without touching any
+    /// page. Write paths take this lock implicitly; taking it *before* an
+    /// existence check lets the check run under [`Session::fresh_snapshot`]
+    /// with no conflicting writer still in flight.
+    pub fn lock_exclusive(&self, rel: RelId) -> DbResult<()> {
+        self.writable_xid()?;
+        self.lock(rel, LockMode::Exclusive)
+    }
+
+    /// A snapshot refreshed to the present: this transaction's own writes
+    /// plus everything committed *by now*, not just by transaction start.
+    /// Uniqueness-style checks ahead of a write must re-read under this
+    /// (holding the relation's exclusive lock): the begin-time snapshot
+    /// cannot see a conflicting row committed after this transaction
+    /// began, so checking against it lets two sessions both conclude a
+    /// key is free and both claim it (write skew on the check).
+    pub fn fresh_snapshot(&self) -> Snapshot {
+        match self.xid {
+            Some(xid) => {
+                let mut active = self.db.inner.xlog.active_set();
+                active.remove(&xid);
+                Snapshot::Current { xid, active }
+            }
+            None => self.snapshot.clone(),
+        }
+    }
+
     /// Like [`Session::lock`], but skipped entirely when the operation runs
     /// under an explicit historical snapshot — old committed versions are
     /// immutable, so readers of the past need no 2PL and never block.

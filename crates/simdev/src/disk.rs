@@ -97,6 +97,8 @@ pub struct DiskStats {
     pub seeks: u64,
     /// Accesses that continued sequentially from the previous access.
     pub sequential: u64,
+    /// Operations failed by an armed [`FaultPlan`] fault (reads + writes).
+    pub fault_trips: u64,
 }
 
 impl MagneticDisk {
@@ -169,7 +171,10 @@ impl BlockDevice for MagneticDisk {
     }
 
     fn read_block(&mut self, blkno: u64, buf: &mut [u8]) -> DevResult<()> {
-        self.faults.check_read()?;
+        if let Err(e) = self.faults.check_read() {
+            self.stats.fault_trips += 1;
+            return Err(e);
+        }
         self.charge(blkno);
         self.store.read(blkno, buf)?;
         if self.faults.is_corrupt(blkno) {
@@ -183,7 +188,10 @@ impl BlockDevice for MagneticDisk {
     }
 
     fn write_block(&mut self, blkno: u64, buf: &[u8]) -> DevResult<()> {
-        self.faults.check_write()?;
+        if let Err(e) = self.faults.check_write() {
+            self.stats.fault_trips += 1;
+            return Err(e);
+        }
         self.charge(blkno);
         self.store.write(blkno, buf)?;
         self.stats.writes += 1;

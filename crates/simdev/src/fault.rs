@@ -12,6 +12,10 @@ struct Inner {
     offline: bool,
     fail_after_writes: Option<u64>,
     writes_seen: u64,
+    fail_after_reads: Option<u64>,
+    reads_seen: u64,
+    write_trips: u64,
+    read_trips: u64,
     corrupt_blocks: HashSet<u64>,
 }
 
@@ -49,6 +53,35 @@ impl FaultPlan {
         self.inner.lock().fail_after_writes = None;
     }
 
+    /// Arms a fault that fails every read after `n` more reads succeed.
+    pub fn fail_after_reads(&self, n: u64) {
+        let mut g = self.inner.lock();
+        g.fail_after_reads = Some(n);
+        g.reads_seen = 0;
+    }
+
+    /// Disarms the read-failure fault.
+    pub fn clear_read_fault(&self) {
+        self.inner.lock().fail_after_reads = None;
+    }
+
+    /// How many writes the armed write fault has failed so far.
+    pub fn write_trips(&self) -> u64 {
+        self.inner.lock().write_trips
+    }
+
+    /// How many reads the armed read fault has failed so far.
+    pub fn read_trips(&self) -> u64 {
+        self.inner.lock().read_trips
+    }
+
+    /// Total injected-fault trips (reads + writes) — the battery asserts
+    /// this to prove an armed fault actually fired.
+    pub fn trips(&self) -> u64 {
+        let g = self.inner.lock();
+        g.write_trips + g.read_trips
+    }
+
     /// Marks `blkno` as corrupted: reads of it yield garbage (see device impls).
     pub fn corrupt_block(&self, blkno: u64) {
         self.inner.lock().corrupt_blocks.insert(blkno);
@@ -59,10 +92,20 @@ impl FaultPlan {
         self.inner.lock().corrupt_blocks.contains(&blkno)
     }
 
-    /// Gate for device read paths.
+    /// Gate for device read paths; counts reads against an armed fault.
     pub fn check_read(&self) -> DevResult<()> {
-        if self.inner.lock().offline {
+        let mut g = self.inner.lock();
+        if g.offline {
             return Err(DevError::Offline);
+        }
+        if let Some(n) = g.fail_after_reads {
+            if g.reads_seen >= n {
+                g.read_trips += 1;
+                return Err(DevError::InjectedFault {
+                    what: format!("read failure armed after {n} reads"),
+                });
+            }
+            g.reads_seen += 1;
         }
         Ok(())
     }
@@ -75,6 +118,7 @@ impl FaultPlan {
         }
         if let Some(n) = g.fail_after_writes {
             if g.writes_seen >= n {
+                g.write_trips += 1;
                 return Err(DevError::InjectedFault {
                     what: format!("write failure armed after {n} writes"),
                 });
@@ -121,6 +165,27 @@ mod tests {
         ));
         p.clear_write_fault();
         assert!(p.check_write().is_ok());
+    }
+
+    #[test]
+    fn fail_after_n_reads_and_trip_counters() {
+        let p = FaultPlan::none();
+        p.fail_after_reads(2);
+        assert!(p.check_read().is_ok());
+        assert!(p.check_read().is_ok());
+        assert!(matches!(p.check_read(), Err(DevError::InjectedFault { .. })));
+        assert!(matches!(p.check_read(), Err(DevError::InjectedFault { .. })));
+        assert_eq!(p.read_trips(), 2);
+        assert_eq!(p.write_trips(), 0);
+        p.clear_read_fault();
+        assert!(p.check_read().is_ok());
+        // Trip counters persist past disarming — they record history.
+        assert_eq!(p.trips(), 2);
+
+        p.fail_after_writes(0);
+        assert!(p.check_write().is_err());
+        assert_eq!(p.write_trips(), 1);
+        assert_eq!(p.trips(), 3);
     }
 
     #[test]

@@ -42,6 +42,17 @@ cargo test --release -q --test wire
 echo "== multi-session server stress =="
 cargo test --release -q --test server_stress
 
+# Bounded-time torture smoke: covers at least one crash-during-commit and
+# one crash-during-checkpoint schedule plus both link-drop transports; the
+# full 7-kind battery runs under "cargo test -q" above.
+echo "== torture battery smoke (crash mid-commit / mid-checkpoint) =="
+cargo test --release -q --test torture battery_crash_mid_commit
+cargo test --release -q --test torture battery_crash_mid_checkpoint
+cargo test --release -q --test torture battery_link_drop
+
+echo "== smoke: p_slice shares chunk rows without copying =="
+cargo test --release -q -p inversion --lib slice
+
 echo "== smoke: pg_check clean after crash recovery =="
 cargo run --release -q --example pg_check_smoke
 

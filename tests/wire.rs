@@ -14,7 +14,7 @@ use inversion::server::{Request, Response};
 use inversion::wire::{self, FrameEvent, WireError, HEADER_LEN, MAX_PAYLOAD};
 use inversion::{
     CreateMode, FileKind, FileStat, InvError, InvServerPool, InversionFs, OpenMode, PoolConfig,
-    SeekWhence, WireClient,
+    SeekWhence, SliceRange, WireClient,
 };
 use minidb::{DbError, DeviceId, Oid, TypeId};
 use proptest::prelude::*;
@@ -83,7 +83,23 @@ fn request_strategy() -> impl Strategy<Value = Request> {
         ".{0,24}".prop_map(Request::Mkdir),
         ".{0,24}".prop_map(Request::Unlink),
         ".{0,24}".prop_map(Request::Readdir),
+        (".{0,24}", ".{0,24}").prop_map(|(a, b)| Request::Rename(a, b)),
+        (".{0,24}", any::<u64>())
+            .prop_map(|(p, t)| Request::Undelete(p, SimInstant::from_nanos(t))),
+        (".{0,24}", create_mode(), slice_ranges())
+            .prop_map(|(d, m, rs)| Request::Slice(d, m, rs)),
     ]
+}
+
+fn slice_ranges() -> impl Strategy<Value = Vec<SliceRange>> {
+    prop::collection::vec(
+        (".{0,16}", any::<u64>(), any::<u64>()).prop_map(|(p, off, len)| SliceRange {
+            path: p,
+            offset: off,
+            len,
+        }),
+        0..5,
+    )
 }
 
 fn file_stat() -> impl Strategy<Value = FileStat> {
@@ -386,6 +402,123 @@ fn session_survives_recoverable_corruption_without_losing_its_transaction() {
     assert!(fs.stats().net_decode_errors.get() >= 3);
     pool.shutdown();
     assert!(fs.db().check_all().is_empty(), "structural damage");
+}
+
+/// Checksum corruption in the middle of a pipelined `write_bulk` SEGMENT
+/// stream: the corrupt segment is answered with an error (never a
+/// partial-write acknowledgment), the stream stays in sync, later segments
+/// still land, and the session keeps its transaction — so the client can
+/// abort cleanly, exactly what `WireClient::write_bulk` does when its drain
+/// loop surfaces the first error.
+#[test]
+fn mid_bulk_write_corruption_answers_error_without_partial_ack_or_hang() {
+    let fs = InversionFs::open_in_memory().unwrap();
+    let pool = InvServerPool::new(&fs, PoolConfig::default());
+    let (client_end, server_end) = duplex_pair();
+    pool.serve_duplex(server_end);
+    let raw = client_end.clone();
+    let mut c = WireClient::new(client_end);
+
+    c.begin().unwrap();
+    let fd = c.creat("/bulk", CreateMode::default()).unwrap();
+
+    // Pipeline five 8 KB segments exactly as write_bulk does, but flip a
+    // payload byte in the third frame on its way out.
+    let seg = vec![7u8; 8192];
+    for i in 0..5 {
+        let mut bytes = wire::encode_request(&Request::Write(fd, seg.clone()));
+        if i == 2 {
+            let last = bytes.len() - 1;
+            bytes[last] ^= 0xFF;
+        }
+        (&raw).write_all(&bytes).unwrap();
+    }
+    let mut acked = 0u64;
+    let mut errors = 0usize;
+    for _ in 0..5 {
+        match c.recv() {
+            Ok(Response::Count(n)) => acked += n,
+            Ok(other) => panic!("unexpected response {other:?}"),
+            Err(InvError::Invalid(msg)) => {
+                assert!(msg.contains("wire"), "unexpected error: {msg}");
+                errors += 1;
+            }
+            Err(other) => panic!("unexpected error {other:?}"),
+        }
+    }
+    assert_eq!(errors, 1, "exactly the corrupt segment must fail");
+    assert_eq!(acked, 4 * 8192, "a corrupt segment must never be acked");
+
+    // The session resynchronized: same transaction, same fd table. The
+    // client saw the failed segment, so it aborts — and nothing survives.
+    c.close(fd).unwrap();
+    c.abort().unwrap();
+    assert!(c.stat("/bulk").is_err(), "aborted file is visible");
+    pool.shutdown();
+    assert!(fs.db().check_all().is_empty());
+}
+
+/// Fatal framing damage in the middle of a pipelined `read_bulk` stream:
+/// already-queued segments are answered, then the session tears down and
+/// — critically — closes its transport, so a client blocked awaiting the
+/// rest of its pipelined responses sees EOF promptly instead of hanging.
+#[test]
+fn mid_bulk_fatal_damage_unblocks_pipelined_client_promptly() {
+    let fs = InversionFs::open_in_memory().unwrap();
+    let pool = InvServerPool::new(&fs, PoolConfig::default());
+    let (client_end, server_end) = duplex_pair();
+    pool.serve_duplex(server_end);
+    let raw = client_end.clone();
+    let mut c = WireClient::new(client_end);
+
+    let payload: Vec<u8> = (0..3 * 8192u32).map(|i| (i % 251) as u8).collect();
+    let fd = c.creat("/torn-read", CreateMode::default()).unwrap();
+    assert_eq!(c.write_bulk(fd, &payload).unwrap(), payload.len());
+    c.call(&Request::Lseek(fd, 0, SeekWhence::Set)).unwrap();
+
+    // Pipeline three reads, then wreck the framing mid-stream.
+    for _ in 0..3 {
+        c.send(&Request::Read(fd, 8192)).unwrap();
+    }
+    (&raw).write_all(b"\0\0garbage, stream is dead\0\0").unwrap();
+
+    // Drain on a helper thread so a regression (client hangs forever on
+    // the transport) fails the deadline below instead of wedging the test.
+    let drainer = std::thread::spawn(move || {
+        let mut got = Vec::new();
+        loop {
+            match c.recv() {
+                Ok(Response::Data(d)) => got.extend_from_slice(&d),
+                Ok(other) => panic!("unexpected response {other:?}"),
+                Err(_) => return got, // EOF or error: the stream ended.
+            }
+        }
+    });
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    while !drainer.is_finished() {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "client hung awaiting pipelined responses after fatal framing damage"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    let got = drainer.join().unwrap();
+    // In-order service: whatever arrived before the teardown is a prefix.
+    assert!(got.len() <= payload.len());
+    assert_eq!(got[..], payload[..got.len()]);
+
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    while fs.stats().sessions_closed.get() == 0 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "session never tore down"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    assert!(fs.stats().net_decode_errors.get() >= 1);
+    pool.shutdown();
+    assert!(fs.db().check_all().is_empty());
+    assert_eq!(fs.db().held_lock_count(), 0);
 }
 
 /// Unrecoverable framing damage (bad magic: the stream can never re-sync)
