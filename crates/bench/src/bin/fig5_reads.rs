@@ -6,6 +6,7 @@
 //! page-sized reads from a cache-resident working set instead — the
 //! multi-client scaling the sharded buffer manager exists for.
 
+use bench::extent;
 use bench::remote::{self, RemoteWorkload};
 use bench::report::{self, print_comparison, print_header, Comparison};
 use bench::scaling::{self, ScalingWorkload};
@@ -24,6 +25,11 @@ fn thread_scaling(threads: usize, with_remote: bool) {
         remote::print_remote_speedup(&rbase, &rmulti);
         sections.push(("remote_scaling", remote::remote_json(&rbase, &rmulti)));
     }
+    println!();
+    print_header("Figure 5 extents: cold sequential reads, extent layout vs fragmented");
+    let (ebase, eext) = extent::measure_extent_speedup(threads);
+    extent::print_extent_speedup(&ebase, &eext);
+    sections.push(("extent_layout", extent::extent_json(&ebase, &eext)));
     if report::wants_json() {
         let doc = report::bench_json("fig5_reads", &["Inversion"], &[], &sections);
         report::write_bench_json("fig5_reads", &doc).expect("write BENCH json");

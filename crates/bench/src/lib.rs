@@ -21,6 +21,7 @@
 //! wall-clock of 1993 hardware; see `EXPERIMENTS.md`.
 
 pub mod commit_scaling;
+pub mod extent;
 pub mod remote;
 pub mod report;
 pub mod scaling;

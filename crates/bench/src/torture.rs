@@ -147,6 +147,11 @@ pub enum FaultKind {
     /// The data device fails partway through a checkpoint's dirty-page
     /// drain, then the power goes out with the log intact.
     CrashMidCheckpoint,
+    /// The power goes out while the I/O scheduler still holds queued
+    /// write-behind requests: the queue is paused, a checkpoint blocks in
+    /// the drain barrier, and the cut aborts the queue with WAL-covered
+    /// pages still in flight. Recovery must replay them from the log.
+    CrashInFlight,
 }
 
 impl FaultKind {
@@ -159,6 +164,7 @@ impl FaultKind {
             FaultKind::DeviceReadFault => "device-read-fault",
             FaultKind::CrashMidCommit => "crash-mid-commit",
             FaultKind::CrashMidCheckpoint => "crash-mid-checkpoint",
+            FaultKind::CrashInFlight => "crash-in-flight",
         }
     }
 }
@@ -278,7 +284,7 @@ fn gen_op(g: &mut Gen, rng: &mut Rng, touched: &mut BTreeSet<String>) -> Torture
     loop {
         match rng.below(12) {
             // Creation is the most common op so plans grow state to abuse.
-            0 | 1 | 2 => {
+            0..=2 => {
                 let path = g.fresh(rng, "f");
                 let len = rng.below(MAX_CREATE) as usize;
                 let salt = rng.next_u64() as u8;
@@ -630,6 +636,7 @@ pub fn standard_battery() -> Vec<Schedule> {
         FaultKind::DeviceReadFault,
         FaultKind::CrashMidCommit,
         FaultKind::CrashMidCheckpoint,
+        FaultKind::CrashInFlight,
     ];
     let mut out = Vec::new();
     for (i, kind) in kinds.iter().enumerate() {
@@ -695,6 +702,7 @@ mod tests {
             FaultKind::DeviceReadFault,
             FaultKind::CrashMidCommit,
             FaultKind::CrashMidCheckpoint,
+            FaultKind::CrashInFlight,
         ] {
             assert!(battery.iter().any(|s| s.fault == kind), "{} missing", kind.name());
         }

@@ -590,7 +590,7 @@ impl InvClient {
                 for (chunkno, start, take) in chunk::split_range(r.offset, r.len as usize) {
                     let aligned = start == 0
                         && take == CHUNK_SIZE
-                        && dest_off % CHUNK_SIZE as u64 == 0;
+                        && dest_off.is_multiple_of(CHUNK_SIZE as u64);
                     if shareable && aligned {
                         // Zero-copy: move the stored row as-is. A missing
                         // source row is a hole, which stays a hole.

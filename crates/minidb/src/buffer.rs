@@ -531,11 +531,18 @@ impl BufferPool {
         shard.insert(key, Arc::clone(&frame));
         drop(shard);
         drop(tok);
-        match smgr.read_page(dev, rel, blkno, &mut fbuf.data) {
-            Ok(()) => {
+        match smgr.read_page_from(dev, rel, blkno, &mut fbuf.data) {
+            Ok(source) => {
                 frame.set_state(READY);
                 drop(fbuf);
                 drop(ftok);
+                if source == crate::smgr::PageSource::Prefetch {
+                    // The bytes came from a scheduler read-ahead ticket —
+                    // the async counterpart of a demand hit on a resident
+                    // prefetched frame.
+                    let _order = order::token(order::BUFFER_SHARD);
+                    self.shards[si].lock().stats.prefetch_hits += 1;
+                }
                 Ok(frame)
             }
             Err(e) => {
@@ -641,11 +648,16 @@ impl BufferPool {
                 frame.pins.fetch_add(1, Ordering::SeqCst);
                 drop(shard);
                 drop(tok);
+                let vdev = vbuf.dev;
                 let io = {
                     let (d, r, b) = (vbuf.dev, vbuf.rel, vbuf.blkno);
+                    // WAL-before-data, enforced at the submission site: the
+                    // log is forced up to the page's LSN *before* the write
+                    // is queued. The enqueue itself never blocks, so holding
+                    // the frame lock here is fine.
                     let res = self
                         .force_wal_for(&vbuf.data)
-                        .and_then(|()| smgr.write_page(d, r, b, &vbuf.data));
+                        .and_then(|()| smgr.write_page_back(d, r, b, &vbuf.data));
                     if res.is_ok() {
                         vbuf.dirty = false;
                     }
@@ -653,6 +665,9 @@ impl BufferPool {
                 };
                 drop(vbuf);
                 drop(ftok);
+                // Backpressure with every latch released: wait for the
+                // device queue to drain below its depth bound.
+                smgr.io_throttle(vdev);
                 let _order = order::token(order::BUFFER_SHARD);
                 let mut shard = self.shards[si].lock();
                 frame.unpin();
@@ -745,6 +760,14 @@ impl BufferPool {
                 return Ok(());
             }
         }
+        // With the scheduler on, read-ahead is a queue submission: the
+        // device worker overlaps it with foreground work and the later
+        // demand miss claims the ticket. No frame is reserved until then.
+        if smgr.prefetch_page(dev, rel, blkno) {
+            let _order = order::token(order::BUFFER_SHARD);
+            self.shards[si].lock().stats.prefetches += 1;
+            return Ok(());
+        }
         let (tok, shard) = self.lock_with_room(si, smgr)?;
         if shard.map.contains_key(&key) {
             return Ok(());
@@ -795,7 +818,7 @@ impl BufferPool {
                     let (d, r, b) = (buf.dev, buf.rel, buf.blkno);
                     match self
                         .force_wal_for(&buf.data)
-                        .and_then(|()| smgr.write_page(d, r, b, &buf.data))
+                        .and_then(|()| smgr.write_page_back(d, r, b, &buf.data))
                     {
                         Ok(()) => {
                             buf.dirty = false;

@@ -78,6 +78,16 @@ pub struct DbConfig {
     /// the log inline, bounding what one force has to write. Zero lets the
     /// buffer grow until a commit or page writeback forces it.
     pub wal_buffer_size: usize,
+    /// Per-device asynchronous I/O queue depth: how many write-behind
+    /// requests may be pending on one device before submitters are
+    /// throttled. Zero disables the scheduler entirely — every read and
+    /// writeback is synchronous in the caller, as before.
+    pub io_queue_depth: usize,
+    /// Blocks allocated per relation extent on the generic disk manager.
+    /// Values > 1 lay relations out in sequential runs so the simulated
+    /// disk's seek model rewards scans; 1 reproduces the old
+    /// block-at-a-time bump allocator.
+    pub extent_size: u64,
 }
 
 impl Default for DbConfig {
@@ -90,6 +100,8 @@ impl Default for DbConfig {
             group_commit_window: SimDuration::from_micros(50),
             checkpoint_interval: SimDuration::from_millis(100),
             wal_buffer_size: 256 * 1024,
+            io_queue_depth: 64,
+            extent_size: 16,
         }
     }
 }
@@ -216,6 +228,13 @@ impl Db {
         let redo = Arc::new(Redo::empty(Arc::clone(&stats)));
         smgr.attach_stats(clock.clone(), Arc::clone(&stats));
         smgr.attach_redo(Arc::clone(&redo));
+        for dev in smgr.devices() {
+            smgr.with(dev, |m| {
+                m.set_extent_size(config.extent_size);
+                Ok(())
+            })?;
+        }
+        smgr.start_io(config.io_queue_depth);
         let mut locks = LockManager::with_timeout(config.lock_timeout);
         locks.share_stats(Arc::clone(&stats));
         let pool = BufferPool::new(config.buffers);
@@ -306,6 +325,13 @@ impl Db {
         }
         smgr.attach_stats(clock.clone(), Arc::clone(&stats));
         smgr.attach_redo(Arc::clone(&redo));
+        for dev in smgr.devices() {
+            smgr.with(dev, |m| {
+                m.set_extent_size(config.extent_size);
+                Ok(())
+            })?;
+        }
+        smgr.start_io(config.io_queue_depth);
         let mut locks = LockManager::with_timeout(config.lock_timeout);
         locks.share_stats(Arc::clone(&stats));
         let pool = BufferPool::new(config.buffers);
@@ -442,6 +468,7 @@ impl Db {
                     .with(dev, |m| Ok(m.device_name()))
                     .unwrap_or_else(|_| dev.to_string());
                 let c = self.inner.stats.device(dev);
+                let q = self.inner.stats.io_queue(dev);
                 DeviceIoStats {
                     device: dev.0,
                     name,
@@ -451,6 +478,12 @@ impl Db {
                     write_ns: c.write_ns.get(),
                     read_hist: c.read_hist.snapshot(),
                     write_hist: c.write_hist.snapshot(),
+                    io_submitted: q.submitted.get(),
+                    io_completed: q.completed.get(),
+                    io_batched_neighbors: q.batched_neighbors.get(),
+                    io_elevator_passes: q.elevator_passes.get(),
+                    io_queue_depth_hw: q.queue_depth_hw.get(),
+                    io_barrier_waits: q.barrier_waits.get(),
                 }
             })
             .collect();
@@ -509,11 +542,36 @@ impl Db {
     pub fn simulate_crash(&self) {
         self.inner.ckpt.crashed.store(true, SeqCst);
         self.inner.ckpt.stop.store(true, SeqCst);
+        // Abort the I/O scheduler *before* joining the checkpointer: it may
+        // be blocked in a queue barrier, and the abort is what unblocks it
+        // (with an error). Queued-but-unwritten pages die here, exactly as
+        // a crash with requests in flight would lose them.
+        self.inner.smgr.io_abort();
         self.inner.ckpt.signal();
         let handle = self.inner.ckpt.thread.lock().take();
         if let Some(h) = handle {
             h.join().ok();
         }
+    }
+
+    /// Pauses or resumes the device workers — torture tests use this to
+    /// pin requests in the queue while they arrange a crash.
+    pub fn pause_io(&self, paused: bool) {
+        self.inner.smgr.io_pause(paused);
+    }
+
+    /// Requests currently queued in the I/O scheduler across all devices
+    /// (zero when the scheduler is disabled).
+    pub fn io_queue_depth(&self) -> usize {
+        self.inner.smgr.io_depth()
+    }
+
+    /// Waits until every queued I/O request has reached its device (a
+    /// barrier on every queue, plus a device sync). Benchmarks call this at
+    /// measurement boundaries so asynchronous tails are charged to the
+    /// window that caused them.
+    pub fn drain_io(&self) -> DbResult<()> {
+        self.inner.smgr.sync_all()
     }
 
     /// One checkpoint cycle. The ordering is the whole correctness
@@ -722,7 +780,7 @@ impl Db {
         // advertises it, or a crash leaves a catalogued index with no
         // on-disk structure.
         self.inner.pool.flush_rel(&self.inner.smgr, id)?;
-        self.inner.smgr.with(dev, |m| m.sync())?;
+        self.inner.smgr.sync_devices(&[dev])?;
         self.persist_catalog()?;
         Ok(id)
     }
@@ -759,6 +817,7 @@ impl Db {
         self.persist_catalog()?;
         for v in &victims {
             self.inner.pool.discard_rel(v.id);
+            self.inner.smgr.invalidate_rel_io(v.device, v.id);
             self.inner.smgr.with(v.device, |m| m.drop_rel(v.id))?;
         }
         Ok(())

@@ -63,6 +63,7 @@ pub mod error;
 pub mod funcs;
 pub mod heap;
 pub mod ids;
+pub mod io;
 pub mod lock;
 pub mod page;
 pub mod query;

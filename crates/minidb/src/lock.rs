@@ -230,7 +230,7 @@ impl LockManager {
 /// cycle-free.
 pub mod order {
     /// Lock families, outermost first. Index = rank.
-    pub const HIERARCHY: [&str; 11] = [
+    pub const HIERARCHY: [&str; 12] = [
         "catalog",
         "lock-manager",
         "heap-page",
@@ -241,6 +241,7 @@ pub mod order {
         "buffer-shard",
         "buffer-frame",
         "wal",
+        "io-queue",
         "smgr-device",
     ];
 
@@ -275,8 +276,18 @@ pub mod order {
     /// writeback, so the WAL ranks inside both; it ranks outside the
     /// devices because a force writes and syncs the log device.
     pub const WAL: usize = 9;
+    /// Rank of the per-device I/O scheduler's queue mutex. Submissions
+    /// happen during frame writeback (under `buffer-frame`) and after a
+    /// WAL force, so the queue ranks inside both; the worker thread takes
+    /// the queue lock and the device lock strictly alternately (never
+    /// nested), but submission-side code may peek the queue right before
+    /// falling back to a synchronous device call, so the queue ranks
+    /// outside `smgr-device`. The queue lock is never held across a wait:
+    /// waits (barriers, read-ticket claims, backpressure throttles) assert
+    /// that no shard or frame latch is held.
+    pub const IO_QUEUE: usize = 10;
     /// Rank of per-device locks (the smgr switch and `SharedDevice`s).
-    pub const SMGR_DEVICE: usize = 10;
+    pub const SMGR_DEVICE: usize = 11;
 
     #[cfg(debug_assertions)]
     thread_local! {

@@ -339,6 +339,38 @@ impl Session {
                     ]],
                 ))
             }
+            "pg_stat_io" => {
+                let rows = db
+                    .stats()
+                    .devices
+                    .into_iter()
+                    .map(|d| {
+                        vec![
+                            Datum::Int4(d.device as i32),
+                            Datum::Text(d.name),
+                            int8(d.io_submitted),
+                            int8(d.io_completed),
+                            int8(d.io_batched_neighbors),
+                            int8(d.io_elevator_passes),
+                            int8(d.io_queue_depth_hw),
+                            int8(d.io_barrier_waits),
+                        ]
+                    })
+                    .collect();
+                Some((
+                    Schema::new([
+                        ("device", TypeId::INT4),
+                        ("name", TypeId::TEXT),
+                        ("submitted", TypeId::INT8),
+                        ("completed", TypeId::INT8),
+                        ("batched_neighbors", TypeId::INT8),
+                        ("elevator_passes", TypeId::INT8),
+                        ("queue_depth_hw", TypeId::INT8),
+                        ("barrier_waits", TypeId::INT8),
+                    ]),
+                    rows,
+                ))
+            }
             "pg_stat_device" => {
                 let rows = db
                     .stats()

@@ -82,6 +82,10 @@ pub trait DeviceManager: Send {
 
     /// All relations on this device.
     fn relations(&self) -> Vec<RelId>;
+
+    /// Sets the allocation extent size in pages (1 = block-at-a-time).
+    /// Managers whose allocator is not extent-based ignore it.
+    fn set_extent_size(&mut self, _pages: u64) {}
 }
 
 /// Blocks reserved at the front of a device for manager metadata.
@@ -229,6 +233,12 @@ pub struct GenericManager {
     dev: SharedDevice,
     map: RelMap,
     meta_dirty: bool,
+    /// Pages claimed per allocation; 1 keeps the legacy bump allocator.
+    extent_size: u64,
+    /// Partially filled extent per relation: (first physical block, used).
+    /// Not persisted — a restart wastes the tail of each open extent, which
+    /// the run-length meta encoding absorbs for free.
+    open_extents: HashMap<RelId, (u64, u64)>,
 }
 
 impl GenericManager {
@@ -242,6 +252,8 @@ impl GenericManager {
             dev,
             map,
             meta_dirty: true,
+            extent_size: 1,
+            open_extents: HashMap::new(),
         };
         mgr.sync()?;
         Ok(mgr)
@@ -256,7 +268,42 @@ impl GenericManager {
             dev,
             map,
             meta_dirty: false,
+            extent_size: 1,
+            open_extents: HashMap::new(),
         })
+    }
+
+    /// Allocates the next physical block for `rel`: from the relation's
+    /// open extent when one has room, otherwise by claiming a fresh extent
+    /// from the bump allocator. Falls back to single-block allocation when
+    /// the device cannot fit a whole extent, so the last stretch of a disk
+    /// is still usable.
+    fn alloc_physical(&mut self, rel: RelId) -> DbResult<u64> {
+        let extent = self.extent_size.max(1);
+        if extent > 1 {
+            if let Some((first, used)) = self.open_extents.get_mut(&rel) {
+                if *used < extent {
+                    let phys = *first + *used;
+                    *used += 1;
+                    return Ok(phys);
+                }
+            }
+        }
+        let first = self.map.next_free;
+        let nblocks = self.dev.lock().nblocks();
+        let span = if extent > 1 && first + extent <= nblocks {
+            extent
+        } else {
+            1
+        };
+        if first + span > nblocks {
+            return Err(DbError::Device(DevError::NoSpace));
+        }
+        self.map.next_free = first + span;
+        if span > 1 {
+            self.open_extents.insert(rel, (first, 1));
+        }
+        Ok(first)
     }
 
     fn physical(&self, rel: RelId, blkno: u64) -> DbResult<u64> {
@@ -292,6 +339,7 @@ impl DeviceManager for GenericManager {
             .rels
             .remove(&rel)
             .ok_or_else(|| DbError::NotFound(format!("relation {rel}")))?;
+        self.open_extents.remove(&rel);
         self.meta_dirty = true;
         Ok(())
     }
@@ -310,15 +358,11 @@ impl DeviceManager for GenericManager {
     }
 
     fn extend(&mut self, rel: RelId, page: &[u8]) -> DbResult<u64> {
-        let phys = self.map.next_free;
-        {
-            let mut d = self.dev.lock();
-            if phys >= d.nblocks() {
-                return Err(DbError::Device(DevError::NoSpace));
-            }
-            d.write_block(phys, page)?;
+        if !self.map.rels.contains_key(&rel) {
+            return Err(DbError::NotFound(format!("relation {rel}")));
         }
-        self.map.next_free += 1;
+        let phys = self.alloc_physical(rel)?;
+        self.dev.lock().write_block(phys, page)?;
         let blocks = self
             .map
             .rels
@@ -330,11 +374,10 @@ impl DeviceManager for GenericManager {
     }
 
     fn extend_blank(&mut self, rel: RelId) -> DbResult<u64> {
-        let phys = self.map.next_free;
-        if phys >= self.dev.lock().nblocks() {
-            return Err(DbError::Device(DevError::NoSpace));
+        if !self.map.rels.contains_key(&rel) {
+            return Err(DbError::NotFound(format!("relation {rel}")));
         }
-        self.map.next_free += 1;
+        let phys = self.alloc_physical(rel)?;
         let blocks = self
             .map
             .rels
@@ -364,6 +407,7 @@ impl DeviceManager for GenericManager {
             .get_mut(&rel)
             .ok_or_else(|| DbError::NotFound(format!("relation {rel}")))?;
         blocks.clear();
+        self.open_extents.remove(&rel);
         self.meta_dirty = true;
         Ok(())
     }
@@ -379,6 +423,10 @@ impl DeviceManager for GenericManager {
 
     fn relations(&self) -> Vec<RelId> {
         self.map.rels.keys().copied().collect()
+    }
+
+    fn set_extent_size(&mut self, pages: u64) {
+        self.extent_size = pages.max(1);
     }
 }
 
@@ -787,13 +835,27 @@ impl DeviceManager for JukeboxManager {
     }
 }
 
+/// Where [`Smgr::read_page_from`] found the page's bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PageSource {
+    /// A synchronous device read.
+    Device,
+    /// The payload of a write still queued in the I/O scheduler (newest
+    /// bytes, never stale: the device copy is older by definition).
+    Pending,
+    /// A completed (or awaited) scheduler read-ahead ticket.
+    Prefetch,
+}
+
 /// The device manager switch: routes relation I/O to the device's manager.
 pub struct Smgr {
-    mgrs: HashMap<DeviceId, Mutex<Box<dyn DeviceManager>>>,
+    mgrs: HashMap<DeviceId, Arc<Mutex<Box<dyn DeviceManager>>>>,
     /// Set by [`crate::Db::open`]: the simulated clock and the database's
     /// stats registry, used to count and time page I/O per device.
     instr: Option<(simdev::SimClock, Arc<crate::stats::StatsRegistry>)>,
     redo: Option<Arc<crate::recovery::Redo>>,
+    /// The asynchronous per-device scheduler, once [`Smgr::start_io`] ran.
+    io: Option<crate::io::IoLayer>,
 }
 
 impl Smgr {
@@ -803,6 +865,7 @@ impl Smgr {
             mgrs: HashMap::new(),
             instr: None,
             redo: None,
+            io: None,
         }
     }
 
@@ -825,8 +888,69 @@ impl Smgr {
         if self.mgrs.contains_key(&id) {
             return Err(DbError::AlreadyExists(format!("{id}")));
         }
-        self.mgrs.insert(id, Mutex::new(mgr));
+        let mgr = Arc::new(Mutex::new(mgr));
+        if let (Some(io), Some((clock, stats))) = (&mut self.io, &self.instr) {
+            io.add_device(id, Arc::clone(&mgr), clock.clone(), Arc::clone(stats));
+        }
+        self.mgrs.insert(id, mgr);
         Ok(())
+    }
+
+    /// Starts the asynchronous I/O scheduler: one elevator worker per
+    /// registered device, `depth` pending writes of backpressure each.
+    /// Requires [`Smgr::attach_stats`] (the workers account their I/O);
+    /// without it, or with `depth == 0`, everything stays synchronous.
+    pub fn start_io(&mut self, depth: usize) {
+        if self.io.is_some() || depth == 0 {
+            return;
+        }
+        let Some((clock, stats)) = &self.instr else {
+            return;
+        };
+        let mut io = crate::io::IoLayer::new(depth);
+        for (&dev, mgr) in &self.mgrs {
+            io.add_device(dev, Arc::clone(mgr), clock.clone(), Arc::clone(stats));
+        }
+        self.io = Some(io);
+    }
+
+    /// The scheduler queue for `dev`, when the scheduler is running.
+    pub fn io_queue(&self, dev: DeviceId) -> Option<&Arc<crate::io::DevQueue>> {
+        self.io.as_ref().and_then(|io| io.queue(dev))
+    }
+
+    /// Whether the asynchronous scheduler is running.
+    pub fn io_active(&self) -> bool {
+        self.io.is_some()
+    }
+
+    /// Crash: aborts every device queue (in-flight requests are dropped,
+    /// waiters get errors). Used by `Db::simulate_crash` *before* joining
+    /// background threads that may be blocked in a barrier.
+    pub fn io_abort(&self) {
+        if let Some(io) = &self.io {
+            io.abort();
+        }
+    }
+
+    /// Pauses or resumes every device worker (torture-test hook).
+    pub fn io_pause(&self, paused: bool) {
+        if let Some(io) = &self.io {
+            io.pause(paused);
+        }
+    }
+
+    /// Requests currently queued across all devices.
+    pub fn io_depth(&self) -> usize {
+        self.io.as_ref().map_or(0, |io| io.depth())
+    }
+
+    /// Eviction backpressure: waits until `dev`'s queue drains below its
+    /// depth bound. Call with no latch held.
+    pub fn io_throttle(&self, dev: DeviceId) {
+        if let Some(q) = self.io_queue(dev) {
+            q.throttle();
+        }
     }
 
     /// The registered device ids.
@@ -860,29 +984,108 @@ impl Smgr {
         blkno: u64,
         buf: &mut [u8],
     ) -> DbResult<()> {
+        self.read_page_from(dev, rel, blkno, buf).map(|_| ())
+    }
+
+    /// Reads a page, consulting the scheduler queue first: a write still
+    /// pending for the page carries the *newest* bytes (the device copy is
+    /// stale until the worker drains it), and a read-ahead ticket for it may
+    /// already hold the bytes. Returns where the bytes came from.
+    pub fn read_page_from(
+        &self,
+        dev: DeviceId,
+        rel: RelId,
+        blkno: u64,
+        buf: &mut [u8],
+    ) -> DbResult<PageSource> {
         debug_assert!(
             !crate::lock::order::is_held(crate::lock::order::BUFFER_SHARD),
             "device read while holding a buffer shard latch"
         );
-        match &self.instr {
-            Some((clock, stats)) => {
-                let (r, took) = clock.timed(|| self.with(dev, |m| m.read(rel, blkno, buf)));
-                let d = stats.device(dev);
-                d.reads.bump();
-                d.read_ns.add(took.as_nanos());
-                d.read_hist.record(took.as_nanos());
-                r?;
+        let mut source = PageSource::Device;
+        let mut have = false;
+        if let Some(q) = self.io_queue(dev) {
+            match q.claim(rel, blkno) {
+                Some(crate::io::Claimed::Bytes(bytes)) => {
+                    let n = bytes.len().min(buf.len());
+                    buf[..n].copy_from_slice(&bytes[..n]);
+                    source = PageSource::Pending;
+                    have = true;
+                }
+                Some(crate::io::Claimed::Ticket(t)) => {
+                    if let Some(bytes) = t.wait() {
+                        let n = bytes.len().min(buf.len());
+                        buf[..n].copy_from_slice(&bytes[..n]);
+                        source = PageSource::Prefetch;
+                        have = true;
+                    }
+                    // A failed prefetch falls through to a sync read so the
+                    // caller sees the real device error (or success on retry).
+                }
+                None => {}
             }
-            None => self.with(dev, |m| m.read(rel, blkno, buf))?,
+        }
+        if !have {
+            match &self.instr {
+                Some((clock, stats)) => {
+                    let (r, took) = clock.timed(|| self.with(dev, |m| m.read(rel, blkno, buf)));
+                    let d = stats.device(dev);
+                    d.reads.bump();
+                    d.read_ns.add(took.as_nanos());
+                    d.read_hist.record(took.as_nanos());
+                    r?;
+                }
+                None => self.with(dev, |m| m.read(rel, blkno, buf))?,
+            }
         }
         // Instant recovery: a page read from the device may predate the
         // crash; replay its pending REDO records before anyone sees it.
+        // (LSN-gated, so replaying over fresher pending/prefetch bytes is a
+        // no-op.)
         if let Some(redo) = &self.redo {
             if !redo.is_empty() {
                 redo.replay_into((dev, rel, blkno), buf)?;
             }
         }
-        Ok(())
+        Ok(source)
+    }
+
+    /// Submits an asynchronous read-ahead for the page. Returns `false` when
+    /// the scheduler is off (the caller should fall back to its synchronous
+    /// prefetch path) or shut down.
+    /// Drops any claimable prefetched bytes for `rel` on `dev` — callers
+    /// that truncate or drop a relation use this so a reborn block can
+    /// never be satisfied with pre-truncation bytes out of the scheduler.
+    pub fn invalidate_rel_io(&self, dev: DeviceId, rel: RelId) {
+        if let Some(q) = self.io_queue(dev) {
+            q.invalidate_rel(rel);
+        }
+    }
+
+    pub fn prefetch_page(&self, dev: DeviceId, rel: RelId, blkno: u64) -> bool {
+        match self.io_queue(dev) {
+            Some(q) => q.submit_read(rel, blkno),
+            None => false,
+        }
+    }
+
+    /// Write-behind: queues the page for the device worker and returns
+    /// immediately. WAL-before-data is the *caller's* job — force the WAL up
+    /// to the page's LSN before calling this. Falls back to a synchronous
+    /// [`Smgr::write_page`] when the scheduler is off or shutting down.
+    pub fn write_page_back(
+        &self,
+        dev: DeviceId,
+        rel: RelId,
+        blkno: u64,
+        buf: &[u8],
+    ) -> DbResult<()> {
+        if let Some(q) = self.io_queue(dev) {
+            if q.submit_write(rel, blkno, buf) {
+                return Ok(());
+            }
+        }
+        self.write_page(dev, rel, blkno, buf)
     }
 
     /// Writes a page through the switch, recording per-device counters and
@@ -892,6 +1095,11 @@ impl Smgr {
             !crate::lock::order::is_held(crate::lock::order::BUFFER_SHARD),
             "device write while holding a buffer shard latch"
         );
+        // The synchronous write supersedes any prefetched bytes the
+        // scheduler still holds for this page.
+        if let Some(q) = self.io_queue(dev) {
+            q.invalidate_page(rel, blkno);
+        }
         match &self.instr {
             Some((clock, stats)) => {
                 let (r, took) = clock.timed(|| self.with(dev, |m| m.write(rel, blkno, buf)));
@@ -928,18 +1136,20 @@ impl Smgr {
     /// Syncs every registered device. Checkpoint/shutdown-grade: the commit
     /// path uses the scoped [`Smgr::sync_devices`] instead.
     pub fn sync_all(&self) -> DbResult<()> {
-        let _order = crate::lock::order::token(crate::lock::order::SMGR_DEVICE);
-        for mgr in self.mgrs.values() {
-            mgr.lock().sync()?;
-        }
-        Ok(())
+        let devs = self.devices();
+        self.sync_devices(&devs)
     }
 
     /// Syncs exactly the listed devices — the scoped force a commit issues
     /// for the devices its dirty set actually touched. `devs` should be
-    /// deduplicated by the caller; unknown ids are an error.
+    /// deduplicated by the caller; unknown ids are an error. With the
+    /// scheduler on this is a *queue barrier* first: every write submitted
+    /// before this call reaches the device before the manager `sync()` runs.
     pub fn sync_devices(&self, devs: &[DeviceId]) -> DbResult<()> {
         for &dev in devs {
+            if let Some(q) = self.io_queue(dev) {
+                q.barrier()?;
+            }
             self.with(dev, |m| m.sync())?;
         }
         Ok(())

@@ -61,6 +61,27 @@ impl Counter {
     }
 }
 
+/// A monotone high-water mark, safe to observe from any thread.
+#[derive(Debug, Default)]
+pub struct MaxGauge(AtomicU64);
+
+impl MaxGauge {
+    /// A zeroed gauge.
+    pub const fn new() -> MaxGauge {
+        MaxGauge(AtomicU64::new(0))
+    }
+
+    /// Raises the mark to `v` if `v` exceeds it.
+    pub fn observe(&self, v: u64) {
+        self.0.fetch_max(v, Relaxed);
+    }
+
+    /// The current high-water mark.
+    pub fn get(&self) -> u64 {
+        self.0.load(Relaxed)
+    }
+}
+
 /// Number of latency buckets in a [`LatencyHistogram`].
 pub const LATENCY_BUCKETS: usize = 7;
 
@@ -205,6 +226,25 @@ pub struct DeviceIoCounters {
     pub write_hist: LatencyHistogram,
 }
 
+/// Per-device I/O scheduler counters (see [`crate::io`]), surfaced as the
+/// `pg_stat_io` virtual relation.
+#[derive(Debug, Default)]
+pub struct IoQueueCounters {
+    /// Requests submitted to the queue (reads, writes, and combines).
+    pub submitted: Counter,
+    /// Requests that left the queue (served or benignly dropped).
+    pub completed: Counter,
+    /// Requests serviced at the same or the next elevator key as their
+    /// predecessor — the sequential runs the C-SCAN sweep manufactured.
+    pub batched_neighbors: Counter,
+    /// Elevator wraps (the hand ran past the top of the key space).
+    pub elevator_passes: Counter,
+    /// High-water mark of the queue depth.
+    pub queue_depth_hw: MaxGauge,
+    /// Queue barriers executed (`sync` drains).
+    pub barrier_waits: Counter,
+}
+
 /// The central statistics registry, one per [`crate::Db`].
 ///
 /// Every field is independently updatable with relaxed atomics; the
@@ -226,6 +266,8 @@ pub struct StatsRegistry {
     pub vacuum_passes: Counter,
     /// Per-device I/O, indexed by [`DeviceId`] (clamped to [`DEVICE_SLOTS`]).
     pub dev: [DeviceIoCounters; DEVICE_SLOTS],
+    /// Per-device I/O scheduler counters, indexed like `dev`.
+    pub io: [IoQueueCounters; DEVICE_SLOTS],
 }
 
 impl StatsRegistry {
@@ -237,6 +279,11 @@ impl StatsRegistry {
     /// The I/O counters for `dev`.
     pub fn device(&self, dev: DeviceId) -> &DeviceIoCounters {
         &self.dev[(dev.0 as usize).min(DEVICE_SLOTS - 1)]
+    }
+
+    /// The I/O scheduler counters for `dev`.
+    pub fn io_queue(&self, dev: DeviceId) -> &IoQueueCounters {
+        &self.io[(dev.0 as usize).min(DEVICE_SLOTS - 1)]
     }
 }
 
@@ -336,6 +383,18 @@ pub struct DeviceIoStats {
     pub read_hist: [u64; LATENCY_BUCKETS],
     /// Write latency bucket counts.
     pub write_hist: [u64; LATENCY_BUCKETS],
+    /// Scheduler requests submitted.
+    pub io_submitted: u64,
+    /// Scheduler requests completed.
+    pub io_completed: u64,
+    /// Requests serviced adjacent to their predecessor.
+    pub io_batched_neighbors: u64,
+    /// Elevator wraps.
+    pub io_elevator_passes: u64,
+    /// Queue depth high-water mark.
+    pub io_queue_depth_hw: u64,
+    /// Queue barriers executed.
+    pub io_barrier_waits: u64,
 }
 
 /// A frozen copy of every counter the engine keeps, including the buffer
@@ -431,6 +490,17 @@ impl StatsSnapshot {
                     write_ns: sub(d.write_ns, base.write_ns),
                     read_hist: std::array::from_fn(|i| sub(d.read_hist[i], base.read_hist[i])),
                     write_hist: std::array::from_fn(|i| sub(d.write_hist[i], base.write_hist[i])),
+                    io_submitted: sub(d.io_submitted, base.io_submitted),
+                    io_completed: sub(d.io_completed, base.io_completed),
+                    io_batched_neighbors: sub(
+                        d.io_batched_neighbors,
+                        base.io_batched_neighbors,
+                    ),
+                    io_elevator_passes: sub(d.io_elevator_passes, base.io_elevator_passes),
+                    // A high-water mark is not a rate; the interval's mark
+                    // is the current one.
+                    io_queue_depth_hw: d.io_queue_depth_hw,
+                    io_barrier_waits: sub(d.io_barrier_waits, base.io_barrier_waits),
                 }
             })
             .collect();
@@ -508,7 +578,9 @@ impl StatsSnapshot {
             .map(|d| {
                 format!(
                     "{{\"device\":{},\"name\":{},\"reads\":{},\"writes\":{},\
-                     \"read_ns\":{},\"write_ns\":{},\"read_hist\":{},\"write_hist\":{}}}",
+                     \"read_ns\":{},\"write_ns\":{},\"read_hist\":{},\"write_hist\":{},\
+                     \"io_submitted\":{},\"io_completed\":{},\"io_batched_neighbors\":{},\
+                     \"io_elevator_passes\":{},\"io_queue_depth_hw\":{},\"io_barrier_waits\":{}}}",
                     d.device,
                     json_string(&d.name),
                     d.reads,
@@ -517,6 +589,12 @@ impl StatsSnapshot {
                     d.write_ns,
                     hist(&d.read_hist),
                     hist(&d.write_hist),
+                    d.io_submitted,
+                    d.io_completed,
+                    d.io_batched_neighbors,
+                    d.io_elevator_passes,
+                    d.io_queue_depth_hw,
+                    d.io_barrier_waits,
                 )
             })
             .collect();

@@ -15,6 +15,8 @@
 //! * `lock-order` — `lock::order::token(...)` markers must acquire levels
 //!   in the hierarchy order exported by `minidb::lock::order` (the same
 //!   table the debug-build runtime assertions use).
+//! * `io-wait-guard` — the device scheduler's submission-side waits must
+//!   assert that no buffer shard latch is held across them.
 
 mod rules;
 mod scrub;
@@ -85,6 +87,7 @@ fn lint(update_budget: bool) -> ExitCode {
         violations.extend(rules::relaxed_sites(&rel, &cleaned));
         violations.extend(rules::let_underscore_sites(&rel, &cleaned));
         violations.extend(rules::lock_order_sites(&rel, &cleaned, &exempt));
+        violations.extend(rules::io_wait_guard_sites(&rel, &cleaned));
     }
 
     let budget_file = root.join(BUDGET_PATH);

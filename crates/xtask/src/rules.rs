@@ -128,6 +128,39 @@ pub fn let_underscore_sites(file: &str, text: &str) -> Vec<Violation> {
     out
 }
 
+/// Rule `io-wait-guard`: in the device scheduler (`minidb/src/io.rs`),
+/// every function that blocks on a completion condvar — `cv_done` for the
+/// submission-side waits (throttle, barrier) and the read ticket's `cv`
+/// for claims — must carry a `BUFFER_SHARD` guard assertion: waiting on
+/// the worker while holding a buffer shard latch could deadlock the
+/// eviction path. The worker's own `cv_worker` park is exempt; it holds
+/// no latches by construction.
+pub fn io_wait_guard_sites(file: &str, text: &str) -> Vec<Violation> {
+    if !file.ends_with("minidb/src/io.rs") {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    // Chunk the file at function starts; the guard must appear in the
+    // same function as the wait it protects.
+    let starts: Vec<usize> = ident_matches(text, "fn").collect();
+    for (i, &s) in starts.iter().enumerate() {
+        let end = starts.get(i + 1).copied().unwrap_or(text.len());
+        let body = &text[s..end];
+        let waits = body.contains("cv_done.wait(") || body.contains(".cv.wait(");
+        if waits && !body.contains("is_held(order::BUFFER_SHARD)") {
+            out.push(Violation {
+                file: file.into(),
+                line: line_of(text, s),
+                rule: "io-wait-guard",
+                msg: "waits on the io queue without asserting no buffer \
+                      shard latch is held"
+                    .into(),
+            });
+        }
+    }
+    out
+}
+
 /// Rule `lock-order`: audits the declared lock-acquisition markers
 /// (`lock::order::token(LEVEL)`) against the hierarchy exported by
 /// `minidb::lock::order`. Tokens are live until their enclosing brace
@@ -277,5 +310,23 @@ mod tests {
     fn sibling_same_level_allowed() {
         let src = "fn f() { let _o = lock::order::token(lock::order::BTREE_PAGE); let _p = lock::order::token(lock::order::BTREE_PAGE); }";
         assert!(lock_order_sites("x.rs", &clean(src), &[]).is_empty());
+    }
+
+    #[test]
+    fn io_wait_guard_requires_the_shard_assert() {
+        let bad = "fn wait(&self) { self.cv_done.wait(&mut st); }";
+        let v = io_wait_guard_sites("crates/minidb/src/io.rs", bad);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "io-wait-guard");
+        let good = "fn wait(&self) { debug_assert!(!order::is_held(order::BUFFER_SHARD)); self.cv_done.wait(&mut st); }";
+        assert!(io_wait_guard_sites("crates/minidb/src/io.rs", good).is_empty());
+    }
+
+    #[test]
+    fn io_wait_guard_exempts_the_worker_park_and_other_files() {
+        let worker = "fn run(&self) { self.cv_worker.wait(&mut st); }";
+        assert!(io_wait_guard_sites("crates/minidb/src/io.rs", worker).is_empty());
+        let other = "fn f(&self) { self.cv_done.wait(&mut st); }";
+        assert!(io_wait_guard_sites("crates/minidb/src/wal.rs", other).is_empty());
     }
 }

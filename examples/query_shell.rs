@@ -90,6 +90,10 @@ fn show_stats(fs: &InversionFs) {
             "pg_stat_device",
             "retrieve (s.device, s.name, s.reads, s.writes, s.read_ns, s.write_ns) from s in pg_stat_device",
         ),
+        (
+            "pg_stat_io",
+            "retrieve (s.device, s.name, s.submitted, s.completed, s.batched_neighbors, s.elevator_passes, s.queue_depth_hw, s.barrier_waits) from s in pg_stat_io",
+        ),
         ("inv_stat", "retrieve (s.op, s.count) from s in inv_stat"),
     ];
     for (rel, q) in relations {

@@ -43,11 +43,13 @@ echo "== multi-session server stress =="
 cargo test --release -q --test server_stress
 
 # Bounded-time torture smoke: covers at least one crash-during-commit and
-# one crash-during-checkpoint schedule plus both link-drop transports; the
-# full 7-kind battery runs under "cargo test -q" above.
-echo "== torture battery smoke (crash mid-commit / mid-checkpoint) =="
+# one crash-during-checkpoint schedule, a crash with write-behind requests
+# still queued in the I/O scheduler, and both link-drop transports; the
+# full 8-kind battery runs under "cargo test -q" above.
+echo "== torture battery smoke (crash mid-commit / mid-checkpoint / in-flight) =="
 cargo test --release -q --test torture battery_crash_mid_commit
 cargo test --release -q --test torture battery_crash_mid_checkpoint
+cargo test --release -q --test torture battery_crash_in_flight
 cargo test --release -q --test torture battery_link_drop
 
 echo "== smoke: p_slice shares chunk rows without copying =="
@@ -87,6 +89,14 @@ grep -q '"remote_scaling"' BENCH_fig5_reads.json || {
 }
 grep -q '"remote_speedup_at_least_2x": true' BENCH_fig5_reads.json || {
     echo "4 wire-protocol clients failed to double aggregate read throughput" >&2
+    exit 1
+}
+grep -q '"extent_layout"' BENCH_fig5_reads.json || {
+    echo "BENCH_fig5_reads.json lacks extent_layout section" >&2
+    exit 1
+}
+grep -q '"extent_sequential_speedup": true' BENCH_fig5_reads.json || {
+    echo "extents + elevator failed to reach 1.3x sequential read bandwidth" >&2
     exit 1
 }
 

@@ -371,6 +371,7 @@ fn run_schedule(sched: Schedule) {
     // Fault layering before the power cut.
     let mut pads: Vec<(String, Vec<u8>)> = Vec::new();
     let mut torn: Option<(Vec<u8>, bool)> = None;
+    let mut inflight_ckpt: Option<thread::JoinHandle<()>> = None;
     match sched.fault {
         FaultKind::None | FaultKind::LinkDropDuplex | FaultKind::LinkDropTcp => {}
         FaultKind::DeviceWriteFault => {
@@ -437,10 +438,41 @@ fn run_schedule(sched: Schedule) {
             let _ = fs.db().checkpoint();
             rig.data_faults.clear_write_fault();
         }
+        FaultKind::CrashInFlight => {
+            // Commit a pad (WAL-durable, data pages dirty in the pool),
+            // pause the I/O scheduler so write-behind requests sit queued,
+            // and start a checkpoint that blocks in the drain barrier. The
+            // power cut below aborts the queue with those requests still
+            // in flight; recovery must replay the pages from the log.
+            let mut c = fs.client();
+            let bytes = fill(2 * CHUNK_SIZE + 31, 0x1F);
+            c.write_all("/crash/inflight", CreateMode::default(), &bytes).unwrap();
+            pads.push(("/crash/inflight".into(), bytes));
+            fs.db().pause_io(true);
+            let fs_t = fs.clone();
+            inflight_ckpt = Some(thread::spawn(move || {
+                // The drain barrier errors out when the crash aborts the
+                // queue; that error is the expected shape of this cycle.
+                let _ = fs_t.db().checkpoint();
+            }));
+            let deadline = Instant::now() + Duration::from_secs(30);
+            while fs.db().io_queue_depth() == 0 {
+                assert!(
+                    Instant::now() < deadline,
+                    "the paused checkpoint never queued a write-behind request"
+                );
+                thread::sleep(Duration::from_millis(1));
+            }
+        }
     }
 
     // Power cut, then the paper's instant recovery: just reattach.
     fs.db().simulate_crash();
+    if let Some(h) = inflight_ckpt.take() {
+        // The abort inside `simulate_crash` is what unblocked it; join
+        // before dropping unsynced writes so nothing races the crash.
+        h.join().unwrap();
+    }
     rig.crash();
     drop(pool);
     drop(fs);
@@ -516,6 +548,11 @@ fn battery_crash_mid_commit() {
 #[test]
 fn battery_crash_mid_checkpoint() {
     run_kind(FaultKind::CrashMidCheckpoint);
+}
+
+#[test]
+fn battery_crash_in_flight() {
+    run_kind(FaultKind::CrashInFlight);
 }
 
 // ---------------------------------------------------------------------------
