@@ -926,6 +926,14 @@ impl Db {
         None
     }
 
+    /// Number of pages allocated to a heap relation. The count comes from
+    /// the storage manager's in-memory block map, so reading it costs no
+    /// device I/O — the planner uses it as its cardinality input.
+    pub fn relation_pages(&self, rel: RelId) -> DbResult<u64> {
+        let (dev, _) = self.heap_parts(rel)?;
+        self.inner.smgr.with(dev, |m| m.nblocks(rel))
+    }
+
     pub(crate) fn heap_parts(&self, rel: RelId) -> DbResult<HeapParts> {
         let _order = crate::lock::order::token(crate::lock::order::CATALOG);
         let cat = self.inner.catalog.read();

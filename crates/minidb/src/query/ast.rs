@@ -91,7 +91,8 @@ pub struct Target {
 /// A parsed statement.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Stmt {
-    /// `retrieve [into name] (targets) [from ...] [where qual] [sort by ...]`
+    /// `retrieve [into name] (targets) [from ...] [where qual] [sort by ...]
+    /// [limit n]`
     Retrieve {
         /// Materialize the result into a new table of this name.
         into: Option<String>,
@@ -103,6 +104,8 @@ pub enum Stmt {
         qual: Option<Expr>,
         /// Output ordering: `(output column name, descending)` pairs.
         sort: Vec<(String, bool)>,
+        /// Keep at most this many output rows (applied after sorting).
+        limit: Option<u64>,
     },
     /// `append rel (col = expr, ...)`
     Append {
@@ -148,6 +151,16 @@ pub enum Stmt {
         impl_key: String,
         /// Optional file type the function operates on.
         for_type: Option<String>,
+    },
+    /// `explain [analyze] <statement>`: plan the statement and return the
+    /// plan tree as text instead of (or, with `analyze`, in addition to
+    /// running) the statement itself.
+    Explain {
+        /// With `analyze`, execute the plan and annotate each node with the
+        /// number of rows it actually produced.
+        analyze: bool,
+        /// The statement being explained.
+        inner: Box<Stmt>,
     },
     /// `define rule name on access|update|periodic to rel where qual do action`
     DefineRule {

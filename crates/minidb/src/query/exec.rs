@@ -1,5 +1,13 @@
-//! Statement execution: planning (seq scan vs index scan), nested-loop
-//! joins, projection, and the DDL statements.
+//! Statement execution: the volcano executor over optimizer plans.
+//!
+//! DML statements run through the planned pipeline — [`super::bind`] →
+//! [`super::optimize`] → [`run_plan`] — with one iterator per plan node.
+//! Join-side nodes pull `Tuple`s (one `(tid, row)` per range variable in
+//! scope order); output-side nodes pull finished result rows. Every node
+//! counts the rows it emits so `explain analyze` can annotate the plan.
+//! DDL statements execute directly, and the old match-and-eval interpreter
+//! survives verbatim in [`super::reference`] as the differential oracle's
+//! reference semantics.
 
 use simdev::SimInstant;
 
@@ -10,9 +18,12 @@ use crate::error::{DbError, DbResult};
 use crate::ids::Tid;
 use crate::xact::Snapshot;
 
-use super::ast::{BinOp, Expr, FromItem, Stmt, Target};
+use super::ast::{Expr, Stmt, Target};
+use super::bind;
 use super::eval::{coerce, eval, Binding};
+use super::optimize;
 use super::parser::parse;
+use super::plan::{Access, Plan, ScanPlan};
 
 /// The outcome of executing one statement.
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -63,13 +74,6 @@ impl QueryResult {
     }
 }
 
-/// One bound range variable with its materialized candidate rows.
-struct BoundRel {
-    var: String,
-    schema: Schema,
-    rows: Vec<(Tid, Row)>,
-}
-
 impl Session {
     /// Parses and executes one statement of the query language.
     ///
@@ -89,27 +93,16 @@ impl Session {
 
     fn execute(&mut self, stmt: Stmt) -> DbResult<QueryResult> {
         match stmt {
-            Stmt::Retrieve {
-                into,
-                targets,
-                from,
-                qual,
-                sort,
-            } => {
-                let result = self.exec_retrieve(targets, from, qual, sort)?;
-                match into {
-                    None => Ok(result),
-                    Some(name) => self.materialize_into(&name, result),
-                }
+            Stmt::Retrieve { .. }
+            | Stmt::Append { .. }
+            | Stmt::Delete { .. }
+            | Stmt::Replace { .. } => {
+                let bound = bind::bind(self, stmt)?;
+                let plan = optimize::plan_stmt(self, bound)?;
+                let (result, _counts) = run_plan(self, &plan)?;
+                Ok(result)
             }
-            Stmt::Append { rel, values } => self.exec_append(&rel, values),
-            Stmt::Delete { var, rel, qual } => self.exec_delete(&var, &rel, qual),
-            Stmt::Replace {
-                var,
-                rel,
-                values,
-                qual,
-            } => self.exec_replace(&var, &rel, values, qual),
+            Stmt::Explain { analyze, inner } => self.exec_explain(analyze, *inner),
             Stmt::DefineType { name } => {
                 self.db().define_type(&name)?;
                 Ok(QueryResult::default())
@@ -156,11 +149,38 @@ impl Session {
         }
     }
 
+    /// `explain [analyze] <stmt>`: plans the statement and returns the plan
+    /// tree as one text row per line. With `analyze` the plan also runs
+    /// (side effects included — explaining an `append` appends) and each
+    /// node line gains its actual output-row count.
+    fn exec_explain(&mut self, analyze: bool, inner: Stmt) -> DbResult<QueryResult> {
+        let bound = bind::bind(self, inner)?;
+        let plan = optimize::plan_stmt(self, bound)?;
+        let text = if analyze {
+            let (_result, counts) = run_plan(self, &plan)?;
+            plan.render(Some(&counts))
+        } else {
+            plan.render(None)
+        };
+        Ok(QueryResult {
+            columns: vec!["QUERY PLAN".into()],
+            rows: text
+                .lines()
+                .map(|l| vec![Datum::Text(l.to_string())])
+                .collect(),
+            affected: 0,
+        })
+    }
+
     /// `retrieve into name (...)`: creates a table named `name` with the
     /// result's columns and appends every result row. Column types come
     /// from the first non-null datum in each column (all-null columns
     /// become text).
-    fn materialize_into(&mut self, name: &str, result: QueryResult) -> DbResult<QueryResult> {
+    pub(crate) fn materialize_into(
+        &mut self,
+        name: &str,
+        result: QueryResult,
+    ) -> DbResult<QueryResult> {
         let mut cols: Vec<(String, crate::datum::TypeId)> = Vec::new();
         for (i, cname) in result.columns.iter().enumerate() {
             let ty = result
@@ -191,7 +211,7 @@ impl Session {
     /// `pg_stat_*` family, then anything registered through
     /// [`crate::db::Db::register_virtual`]), or `None` if `name` is an
     /// ordinary catalogued relation.
-    fn bind_virtual(&mut self, name: &str) -> Option<(Schema, Vec<Row>)> {
+    pub(crate) fn bind_virtual(&mut self, name: &str) -> Option<(Schema, Vec<Row>)> {
         use crate::datum::TypeId;
         let db = self.db().clone();
         let int8 = |v: u64| Datum::Int8(v as i64);
@@ -339,6 +359,23 @@ impl Session {
                     ]],
                 ))
             }
+            "pg_stat_planner" => {
+                let p = &db.inner.stats.planner;
+                Some((
+                    Schema::new([
+                        ("plans_built", TypeId::INT8),
+                        ("index_scans_chosen", TypeId::INT8),
+                        ("seq_scans_chosen", TypeId::INT8),
+                        ("joins_planned", TypeId::INT8),
+                    ]),
+                    vec![vec![
+                        int8(p.plans_built.get()),
+                        int8(p.index_scans_chosen.get()),
+                        int8(p.seq_scans_chosen.get()),
+                        int8(p.joins_planned.get()),
+                    ]],
+                ))
+            }
             "pg_stat_io" => {
                 let rows = db
                     .stats()
@@ -404,370 +441,699 @@ impl Session {
                 .map(|t| (t.schema.clone(), (t.rows)())),
         }
     }
+}
 
-    /// Materializes the candidate rows for one `from` item, using an index
-    /// when the qualification pins an indexed column to a literal.
-    fn bind_from(&mut self, item: &FromItem, qual: Option<&Expr>) -> DbResult<BoundRel> {
-        // Virtual system relations: rows are produced on the spot, not
-        // fetched from a heap. They have no history — reject a time-travel
-        // bracket rather than silently answering about the present.
-        if let Some((schema, rows)) = self.bind_virtual(&item.rel) {
-            if item.as_of.is_some() {
-                return Err(DbError::Invalid(format!(
-                    "virtual relation \"{}\" has no history (time-travel bracket not allowed)",
-                    item.rel
-                )));
-            }
-            return Ok(BoundRel {
-                var: item.var.clone(),
-                schema,
-                rows: rows
-                    .into_iter()
-                    .enumerate()
-                    .map(|(i, r)| (Tid::new((i >> 16) as u32, (i & 0xffff) as u16), r))
-                    .collect(),
-            });
+// ---------------------------------------------------------------------------
+// The volcano executor.
+
+/// One joined row in flight: a `(tid, row)` pair per range variable, in
+/// scope order.
+type Tuple = Vec<(Tid, Row)>;
+/// The range variables a tuple's entries correspond to.
+type Scope = Vec<(String, Schema)>;
+
+/// Runs a plan to completion. The second return value is each plan node's
+/// actual output-row count, in preorder — the order [`Plan::render`] walks
+/// for `explain analyze`.
+pub(crate) fn run_plan(s: &mut Session, plan: &Plan) -> DbResult<(QueryResult, Vec<u64>)> {
+    match plan {
+        Plan::Materialize { into, child } => {
+            let (inner, mut counts) = run_plan(s, child)?;
+            let result = s.materialize_into(into, inner)?;
+            counts.insert(0, result.affected as u64);
+            Ok((result, counts))
         }
-        let rel = self.db().relation_id(&item.rel)?;
-        let schema = self.db().schema_of(rel)?;
-        let snap = match &item.as_of {
-            Some(e) => {
-                let t = eval(self, &Binding::empty(), e)?.as_int()?;
-                Some(Snapshot::AsOf(SimInstant::from_nanos(t.max(0) as u64)))
+        Plan::Append {
+            rel,
+            schema,
+            values,
+            ..
+        } => {
+            let mut row = vec![Datum::Null; schema.len()];
+            for (i, e) in values {
+                let v = eval(s, &Binding::empty(), e)?;
+                row[*i] = coerce(v, schema.columns[*i].ty)?;
             }
-            None => None,
-        };
-
-        // Index selection: look for `var.col = <literal>` conjuncts.
-        if let Some(q) = qual {
-            let mut eq_pins: Vec<(usize, Datum)> = Vec::new();
-            collect_eq_pins(q, &item.var, &schema, &mut eq_pins);
-            for (col, lit) in &eq_pins {
-                if let Some(idx) = self.db().find_index(rel, &[*col]) {
-                    let key = [coerce(lit.clone(), schema.columns[*col].ty)?];
-                    let rows = match &snap {
-                        Some(s) => self.index_scan_eq_with(idx, &key, s)?,
-                        None => self.index_scan_eq(idx, &key)?,
-                    };
-                    return Ok(BoundRel {
-                        var: item.var.clone(),
-                        schema,
-                        rows,
-                    });
+            s.insert(*rel, row)?;
+            Ok((
+                QueryResult {
+                    affected: 1,
+                    ..Default::default()
+                },
+                vec![1],
+            ))
+        }
+        Plan::Delete { rel, child, .. } => {
+            let (mut exec, _scope) = build_tuple(s, child)?;
+            // Collect first, mutate after: the scan must not see its own
+            // deletions.
+            let mut victims = Vec::new();
+            while let Some(t) = exec.next(s)? {
+                victims.push(t[0].0);
+            }
+            let mut affected = 0;
+            for tid in victims {
+                if s.delete(*rel, tid)? {
+                    affected += 1;
                 }
             }
+            let mut counts = vec![affected as u64];
+            exec.collect_counts(&mut counts);
+            Ok((
+                QueryResult {
+                    affected,
+                    ..Default::default()
+                },
+                counts,
+            ))
         }
-        let rows = match &snap {
-            Some(s) => self.scan_with_snapshot(rel, s)?,
-            None => self.seq_scan(rel)?,
-        };
-        Ok(BoundRel {
-            var: item.var.clone(),
+        Plan::Replace {
+            rel,
             schema,
-            rows,
-        })
+            values,
+            child,
+            ..
+        } => {
+            let (mut exec, scope) = build_tuple(s, child)?;
+            // Same collect-then-mutate discipline as delete (no Halloween
+            // problem: a replaced row cannot be revisited).
+            let mut updates = Vec::new();
+            while let Some(t) = exec.next(s)? {
+                let mut new_row = t[0].1.clone();
+                for (i, e) in values {
+                    let v = {
+                        let binding = make_binding(&scope, &t);
+                        eval(s, &binding, e)?
+                    };
+                    new_row[*i] = coerce(v, schema.columns[*i].ty)?;
+                }
+                updates.push((t[0].0, new_row));
+            }
+            let affected = updates.len();
+            for (tid, new_row) in updates {
+                s.update(*rel, tid, new_row)?;
+            }
+            let mut counts = vec![affected as u64];
+            exec.collect_counts(&mut counts);
+            Ok((
+                QueryResult {
+                    affected,
+                    ..Default::default()
+                },
+                counts,
+            ))
+        }
+        _ => {
+            let columns = output_columns(plan);
+            let mut root = build_row(s, plan)?;
+            let mut rows = Vec::new();
+            while let Some(r) = root.next(s)? {
+                rows.push(r);
+            }
+            let mut counts = Vec::new();
+            root.collect_counts(&mut counts);
+            Ok((
+                QueryResult {
+                    columns,
+                    rows,
+                    affected: 0,
+                },
+                counts,
+            ))
+        }
+    }
+}
+
+/// Output column labels of a row-producing plan.
+fn output_columns(plan: &Plan) -> Vec<String> {
+    match plan {
+        Plan::Project { targets, .. }
+        | Plan::Aggregate { targets, .. }
+        | Plan::ConstRow { targets } => targets.iter().map(|t| t.name.clone()).collect(),
+        Plan::Sort { child, .. } | Plan::Limit { child, .. } | Plan::Materialize { child, .. } => {
+            output_columns(child)
+        }
+        _ => Vec::new(),
+    }
+}
+
+fn make_binding<'a>(scope: &'a [(String, Schema)], tuple: &'a [(Tid, Row)]) -> Binding<'a> {
+    Binding {
+        vars: scope
+            .iter()
+            .zip(tuple.iter())
+            .map(|((v, sch), (_, row))| (v.as_str(), sch, row))
+            .collect(),
+    }
+}
+
+/// A tuple-producing executor node (the join side of the plan).
+struct TupleExec {
+    node: TupleNode,
+    rows_out: u64,
+}
+
+enum TupleNode {
+    /// Rows materialized when the scan opened (heap, index, or virtual),
+    /// pushed-down filter already applied.
+    Scan { rows: Vec<(Tid, Row)>, pos: usize },
+    /// Rewinds `inner` once per outer tuple; enumerates combinations in
+    /// exactly the reference interpreter's odometer order.
+    NestLoop {
+        outer: Box<TupleExec>,
+        inner: Box<TupleExec>,
+        cur: Option<Tuple>,
+    },
+    /// Residual qualification above the joins.
+    Filter {
+        qual: Expr,
+        scope: Scope,
+        child: Box<TupleExec>,
+    },
+}
+
+impl TupleExec {
+    fn next(&mut self, s: &mut Session) -> DbResult<Option<Tuple>> {
+        let t = match &mut self.node {
+            TupleNode::Scan { rows, pos } => {
+                if *pos < rows.len() {
+                    let t = vec![rows[*pos].clone()];
+                    *pos += 1;
+                    Some(t)
+                } else {
+                    None
+                }
+            }
+            TupleNode::NestLoop { outer, inner, cur } => loop {
+                let outer_tuple = match cur {
+                    Some(t) => t.clone(),
+                    None => match outer.next(s)? {
+                        Some(t) => {
+                            inner.rewind();
+                            *cur = Some(t.clone());
+                            t
+                        }
+                        None => break None,
+                    },
+                };
+                match inner.next(s)? {
+                    Some(t) => {
+                        let mut combined = outer_tuple;
+                        combined.extend(t);
+                        break Some(combined);
+                    }
+                    None => *cur = None,
+                }
+            },
+            TupleNode::Filter { qual, scope, child } => loop {
+                match child.next(s)? {
+                    None => break None,
+                    Some(t) => {
+                        let keep = {
+                            let binding = make_binding(scope, &t);
+                            eval(s, &binding, qual)?.as_bool()?
+                        };
+                        if keep {
+                            break Some(t);
+                        }
+                    }
+                }
+            },
+        };
+        if t.is_some() {
+            self.rows_out += 1;
+        }
+        Ok(t)
     }
 
-    fn exec_retrieve(
-        &mut self,
-        targets: Vec<Target>,
-        from: Vec<FromItem>,
-        qual: Option<Expr>,
-        sort: Vec<(String, bool)>,
-    ) -> DbResult<QueryResult> {
-        let aggregated = targets.iter().any(|t| is_aggregate(&t.expr));
-        // Mixing aggregates with plain targets groups implicitly by the
-        // plain ones (POSTQUEL's aggregate "by" semantics).
-        let grouped = aggregated && !targets.iter().all(|t| is_aggregate(&t.expr));
-
-        // Constant retrieve: no relations at all.
-        if from.is_empty() && !targets_reference_columns(&targets) && !aggregated {
-            let b = Binding::empty();
-            let mut row = Vec::with_capacity(targets.len());
-            for t in &targets {
-                row.push(eval(self, &b, &t.expr)?);
+    /// Resets position state; materialized rows stay. `rows_out` keeps
+    /// accumulating across rewinds so `explain analyze` reports totals.
+    fn rewind(&mut self) {
+        match &mut self.node {
+            TupleNode::Scan { pos, .. } => *pos = 0,
+            TupleNode::NestLoop { outer, inner, cur } => {
+                outer.rewind();
+                inner.rewind();
+                *cur = None;
             }
-            return Ok(QueryResult {
-                columns: targets.into_iter().map(|t| t.name).collect(),
-                rows: vec![row],
-                affected: 0,
-            });
+            TupleNode::Filter { child, .. } => child.rewind(),
         }
-        if from.is_empty() {
-            return Err(DbError::Bind(
-                "column references require a from clause".into(),
-            ));
+    }
+
+    fn collect_counts(&self, out: &mut Vec<u64>) {
+        out.push(self.rows_out);
+        match &self.node {
+            TupleNode::Scan { .. } => {}
+            TupleNode::NestLoop { outer, inner, .. } => {
+                outer.collect_counts(out);
+                inner.collect_counts(out);
+            }
+            TupleNode::Filter { child, .. } => child.collect_counts(out),
         }
+    }
+}
 
-        let bound: Vec<BoundRel> = from
-            .iter()
-            .map(|f| self.bind_from(f, qual.as_ref()))
-            .collect::<DbResult<_>>()?;
+/// A result-row-producing executor node (the output side of the plan).
+struct RowExec {
+    node: RowNode,
+    rows_out: u64,
+}
 
-        let mut aggs: Vec<Accumulator> = if aggregated && !grouped {
-            targets
-                .iter()
-                .map(|t| Accumulator::for_target(&t.expr))
-                .collect::<DbResult<_>>()?
-        } else {
-            Vec::new()
+enum RowNode {
+    /// The constant-retrieve row.
+    Const { targets: Vec<Target>, done: bool },
+    /// Streamed target evaluation.
+    Project {
+        targets: Vec<Target>,
+        scope: Scope,
+        child: TupleExec,
+    },
+    /// Blocking aggregation; `out` holds the finished rows after the child
+    /// drains.
+    Aggregate {
+        targets: Vec<Target>,
+        grouped: bool,
+        scope: Scope,
+        child: TupleExec,
+        out: Option<std::vec::IntoIter<Row>>,
+    },
+    /// Blocking stable sort on resolved key indices.
+    Sort {
+        keys: Vec<(usize, bool)>,
+        child: Box<RowExec>,
+        out: Option<std::vec::IntoIter<Row>>,
+    },
+    /// Stops pulling once `n` rows have been emitted.
+    Limit {
+        n: u64,
+        emitted: u64,
+        child: Box<RowExec>,
+    },
+}
+
+impl RowExec {
+    fn next(&mut self, s: &mut Session) -> DbResult<Option<Row>> {
+        let r = match &mut self.node {
+            RowNode::Const { targets, done } => {
+                if *done {
+                    None
+                } else {
+                    *done = true;
+                    let b = Binding::empty();
+                    let mut row = Vec::with_capacity(targets.len());
+                    for t in targets.iter() {
+                        row.push(eval(s, &b, &t.expr)?);
+                    }
+                    Some(row)
+                }
+            }
+            RowNode::Project {
+                targets,
+                scope,
+                child,
+            } => match child.next(s)? {
+                None => None,
+                Some(t) => {
+                    let mut row = Vec::with_capacity(targets.len());
+                    for tg in targets.iter() {
+                        let binding = make_binding(scope, &t);
+                        row.push(eval(s, &binding, &tg.expr)?);
+                    }
+                    Some(row)
+                }
+            },
+            RowNode::Aggregate {
+                targets,
+                grouped,
+                scope,
+                child,
+                out,
+            } => {
+                if out.is_none() {
+                    let rows = aggregate_drain(s, targets, *grouped, scope, child)?;
+                    *out = Some(rows.into_iter());
+                }
+                out.as_mut().and_then(Iterator::next)
+            }
+            RowNode::Sort { keys, child, out } => {
+                if out.is_none() {
+                    let mut rows = Vec::new();
+                    while let Some(r) = child.next(s)? {
+                        rows.push(r);
+                    }
+                    // Vec::sort_by is stable, so equal keys keep input order.
+                    rows.sort_by(|a, b| {
+                        for &(i, desc) in keys.iter() {
+                            let ord = a[i].cmp_total(&b[i]);
+                            let ord = if desc { ord.reverse() } else { ord };
+                            if ord != std::cmp::Ordering::Equal {
+                                return ord;
+                            }
+                        }
+                        std::cmp::Ordering::Equal
+                    });
+                    *out = Some(rows.into_iter());
+                }
+                out.as_mut().and_then(Iterator::next)
+            }
+            RowNode::Limit { n, emitted, child } => {
+                if *emitted >= *n {
+                    None
+                } else {
+                    match child.next(s)? {
+                        Some(r) => {
+                            *emitted += 1;
+                            Some(r)
+                        }
+                        None => None,
+                    }
+                }
+            }
         };
-        // Group mode: key bytes -> (key datums per plain target, accumulators
-        // per aggregate target), insertion-ordered.
+        if r.is_some() {
+            self.rows_out += 1;
+        }
+        Ok(r)
+    }
+
+    fn collect_counts(&self, out: &mut Vec<u64>) {
+        out.push(self.rows_out);
+        match &self.node {
+            RowNode::Const { .. } => {}
+            RowNode::Project { child, .. } | RowNode::Aggregate { child, .. } => {
+                child.collect_counts(out)
+            }
+            RowNode::Sort { child, .. } | RowNode::Limit { child, .. } => {
+                child.collect_counts(out)
+            }
+        }
+    }
+}
+
+/// Drains the child and computes the aggregate rows — one finish row when
+/// ungrouped (even over zero input), one row per group (insertion-ordered)
+/// when grouped.
+fn aggregate_drain(
+    s: &mut Session,
+    targets: &[Target],
+    grouped: bool,
+    scope: &Scope,
+    child: &mut TupleExec,
+) -> DbResult<Vec<Row>> {
+    let mut rows = Vec::new();
+    if grouped {
         let mut groups: Vec<(Vec<Datum>, Vec<Accumulator>)> = Vec::new();
         let mut group_index: std::collections::HashMap<Vec<u8>, usize> =
             std::collections::HashMap::new();
-
-        // Nested-loop join over the bound relations. An empty relation
-        // yields no combinations at all.
-        let mut out_rows = Vec::new();
-        if bound.iter().all(|b| !b.rows.is_empty()) {
-            let mut cursor = vec![0usize; bound.len()];
-            'outer: loop {
-                {
-                    let binding = Binding {
-                        vars: bound
-                            .iter()
-                            .zip(&cursor)
-                            .map(|(b, &i)| (b.var.as_str(), &b.schema, &b.rows[i].1))
-                            .collect(),
+        while let Some(t) = child.next(s)? {
+            let mut key = Vec::new();
+            let mut arg_vals = Vec::new();
+            for tg in targets {
+                let binding = make_binding(scope, &t);
+                if is_aggregate(&tg.expr) {
+                    let Expr::Call { args, .. } = &tg.expr else {
+                        return Err(DbError::Eval(
+                            "aggregate target is not a function call".into(),
+                        ));
                     };
-                    let keep = match &qual {
-                        Some(q) => eval(self, &binding, q)?.as_bool()?,
-                        None => true,
+                    let v = match args.first() {
+                        Some(a) => eval(s, &binding, a)?,
+                        None => Datum::Int8(1),
                     };
-                    if keep {
-                        if grouped {
-                            // Evaluate plain targets (the group key) and
-                            // aggregate arguments under the same binding.
-                            let mut key = Vec::new();
-                            let mut arg_vals = Vec::new();
-                            for t in &targets {
-                                let binding = Binding {
-                                    vars: bound
-                                        .iter()
-                                        .zip(&cursor)
-                                        .map(|(b, &i)| (b.var.as_str(), &b.schema, &b.rows[i].1))
-                                        .collect(),
-                                };
-                                if is_aggregate(&t.expr) {
-                                    let Expr::Call { args, .. } = &t.expr else {
-                                        return Err(DbError::Eval(
-                                            "aggregate target is not a function call".into(),
-                                        ));
-                                    };
-                                    let v = match args.first() {
-                                        Some(a) => eval(self, &binding, a)?,
-                                        None => Datum::Int8(1),
-                                    };
-                                    arg_vals.push(Some(v));
-                                } else {
-                                    key.push(eval(self, &binding, &t.expr)?);
-                                    arg_vals.push(None);
-                                }
-                            }
-                            let key_bytes = crate::datum::encode_row(&key);
-                            let gi = match group_index.get(&key_bytes) {
-                                Some(&gi) => gi,
-                                None => {
-                                    let accs = targets
-                                        .iter()
-                                        .filter(|t| is_aggregate(&t.expr))
-                                        .map(|t| Accumulator::for_target(&t.expr))
-                                        .collect::<DbResult<Vec<_>>>()?;
-                                    groups.push((key, accs));
-                                    group_index.insert(key_bytes, groups.len() - 1);
-                                    groups.len() - 1
-                                }
-                            };
-                            let accs = &mut groups[gi].1;
-                            for (ai, v) in arg_vals.into_iter().flatten().enumerate() {
-                                accs[ai].add(v)?;
-                            }
-                        } else if aggregated {
-                            for (acc, t) in aggs.iter_mut().zip(&targets) {
-                                let Expr::Call { args, .. } = &t.expr else {
-                                    return Err(DbError::Eval(
-                                        "aggregate target is not a function call".into(),
-                                    ));
-                                };
-                                let v = match args.first() {
-                                    Some(a) => {
-                                        let binding = Binding {
-                                            vars: bound
-                                                .iter()
-                                                .zip(&cursor)
-                                                .map(|(b, &i)| {
-                                                    (b.var.as_str(), &b.schema, &b.rows[i].1)
-                                                })
-                                                .collect(),
-                                        };
-                                        eval(self, &binding, a)?
-                                    }
-                                    None => Datum::Int8(1), // count() counts rows.
-                                };
-                                acc.add(v)?;
-                            }
-                        } else {
-                            let mut row = Vec::with_capacity(targets.len());
-                            for t in &targets {
-                                let binding = Binding {
-                                    vars: bound
-                                        .iter()
-                                        .zip(&cursor)
-                                        .map(|(b, &i)| (b.var.as_str(), &b.schema, &b.rows[i].1))
-                                        .collect(),
-                                };
-                                row.push(eval(self, &binding, &t.expr)?);
-                            }
-                            out_rows.push(row);
-                        }
-                    }
+                    arg_vals.push(Some(v));
+                } else {
+                    key.push(eval(s, &binding, &tg.expr)?);
+                    arg_vals.push(None);
                 }
-                // Odometer increment.
-                for i in (0..bound.len()).rev() {
-                    cursor[i] += 1;
-                    if cursor[i] < bound[i].rows.len() {
-                        continue 'outer;
-                    }
-                    cursor[i] = 0;
+            }
+            let key_bytes = crate::datum::encode_row(&key);
+            let gi = match group_index.get(&key_bytes) {
+                Some(&gi) => gi,
+                None => {
+                    let accs = targets
+                        .iter()
+                        .filter(|t| is_aggregate(&t.expr))
+                        .map(|t| Accumulator::for_target(&t.expr))
+                        .collect::<DbResult<Vec<_>>>()?;
+                    groups.push((key, accs));
+                    group_index.insert(key_bytes, groups.len() - 1);
+                    groups.len() - 1
                 }
-                break;
-            }
-        }
-        if grouped {
-            for (key, accs) in groups {
-                let mut finished = accs.into_iter().map(Accumulator::finish);
-                let mut key_it = key.into_iter();
-                let row: Vec<Datum> = targets
-                    .iter()
-                    .map(|t| {
-                        if is_aggregate(&t.expr) {
-                            finished.next().expect("one accumulator per aggregate")
-                        } else {
-                            key_it.next().expect("one key datum per plain target")
-                        }
-                    })
-                    .collect();
-                out_rows.push(row);
-            }
-        } else if aggregated {
-            out_rows = vec![aggs.into_iter().map(Accumulator::finish).collect()];
-        }
-        let columns: Vec<String> = targets.into_iter().map(|t| t.name).collect();
-        sort_rows(&columns, &sort, &mut out_rows)?;
-        Ok(QueryResult {
-            columns,
-            rows: out_rows,
-            affected: 0,
-        })
-    }
-
-    fn exec_append(
-        &mut self,
-        rel_name: &str,
-        values: Vec<(String, Expr)>,
-    ) -> DbResult<QueryResult> {
-        let rel = self.db().relation_id(rel_name)?;
-        let schema = self.db().schema_of(rel)?;
-        let mut row = vec![Datum::Null; schema.len()];
-        for (col, e) in &values {
-            let i = schema
-                .column_index(col)
-                .ok_or_else(|| DbError::Bind(format!("no column \"{col}\" in {rel_name}")))?;
-            let v = eval(self, &Binding::empty(), e)?;
-            row[i] = coerce(v, schema.columns[i].ty)?;
-        }
-        self.insert(rel, row)?;
-        Ok(QueryResult {
-            affected: 1,
-            ..Default::default()
-        })
-    }
-
-    fn exec_delete(
-        &mut self,
-        var: &str,
-        rel_name: &str,
-        qual: Option<Expr>,
-    ) -> DbResult<QueryResult> {
-        let rel = self.db().relation_id(rel_name)?;
-        let schema = self.db().schema_of(rel)?;
-        let candidates = self.seq_scan(rel)?;
-        let mut victims = Vec::new();
-        for (tid, row) in &candidates {
-            let binding = Binding::single(var, &schema, row);
-            let keep = match &qual {
-                Some(q) => eval(self, &binding, q)?.as_bool()?,
-                None => true,
             };
-            if keep {
-                victims.push(*tid);
+            let accs = &mut groups[gi].1;
+            for (ai, v) in arg_vals.into_iter().flatten().enumerate() {
+                accs[ai].add(v)?;
             }
         }
-        let mut affected = 0;
-        for tid in victims {
-            if self.delete(rel, tid)? {
-                affected += 1;
+        for (key, accs) in groups {
+            let mut finished = accs.into_iter().map(Accumulator::finish);
+            let mut key_it = key.into_iter();
+            let row: Vec<Datum> = targets
+                .iter()
+                .map(|t| {
+                    if is_aggregate(&t.expr) {
+                        finished.next().ok_or_else(|| {
+                            DbError::Invalid("group produced too few accumulators".into())
+                        })
+                    } else {
+                        key_it.next().ok_or_else(|| {
+                            DbError::Invalid("group produced too few key values".into())
+                        })
+                    }
+                })
+                .collect::<DbResult<_>>()?;
+            rows.push(row);
+        }
+    } else {
+        let mut accs: Vec<Accumulator> = targets
+            .iter()
+            .map(|t| Accumulator::for_target(&t.expr))
+            .collect::<DbResult<_>>()?;
+        while let Some(t) = child.next(s)? {
+            for (acc, tg) in accs.iter_mut().zip(targets) {
+                let Expr::Call { args, .. } = &tg.expr else {
+                    return Err(DbError::Eval(
+                        "aggregate target is not a function call".into(),
+                    ));
+                };
+                let v = match args.first() {
+                    Some(a) => {
+                        let binding = make_binding(scope, &t);
+                        eval(s, &binding, a)?
+                    }
+                    None => Datum::Int8(1), // count() counts rows.
+                };
+                acc.add(v)?;
             }
         }
-        Ok(QueryResult {
-            affected,
-            ..Default::default()
-        })
+        rows.push(accs.into_iter().map(Accumulator::finish).collect());
     }
+    Ok(rows)
+}
 
-    fn exec_replace(
-        &mut self,
-        var: &str,
-        rel_name: &str,
-        values: Vec<(String, Expr)>,
-        qual: Option<Expr>,
-    ) -> DbResult<QueryResult> {
-        let rel = self.db().relation_id(rel_name)?;
-        let schema = self.db().schema_of(rel)?;
-        let candidates = self.seq_scan(rel)?;
-        let mut updates = Vec::new();
-        for (tid, row) in &candidates {
-            let binding = Binding::single(var, &schema, row);
-            let keep = match &qual {
-                Some(q) => eval(self, &binding, q)?.as_bool()?,
-                None => true,
-            };
-            if !keep {
-                continue;
+/// Builds the output side of the plan.
+fn build_row(s: &mut Session, plan: &Plan) -> DbResult<RowExec> {
+    let node = match plan {
+        Plan::ConstRow { targets } => RowNode::Const {
+            targets: targets.clone(),
+            done: false,
+        },
+        Plan::Project { targets, child } => {
+            let (child, scope) = build_tuple(s, child)?;
+            RowNode::Project {
+                targets: targets.clone(),
+                scope,
+                child,
             }
-            let mut new_row = row.clone();
-            for (col, e) in &values {
-                let i = schema
-                    .column_index(col)
-                    .ok_or_else(|| DbError::Bind(format!("no column \"{col}\" in {rel_name}")))?;
-                let v = eval(self, &binding, e)?;
-                new_row[i] = coerce(v, schema.columns[i].ty)?;
+        }
+        Plan::Aggregate {
+            targets,
+            grouped,
+            child,
+        } => {
+            let (child, scope) = build_tuple(s, child)?;
+            RowNode::Aggregate {
+                targets: targets.clone(),
+                grouped: *grouped,
+                scope,
+                child,
+                out: None,
             }
-            updates.push((*tid, new_row));
         }
-        let affected = updates.len();
-        for (tid, new_row) in updates {
-            self.update(rel, tid, new_row)?;
+        Plan::Sort { keys, child } => {
+            let cols = output_columns(child);
+            let mut resolved = Vec::with_capacity(keys.len());
+            for (name, desc) in keys {
+                let i = cols.iter().position(|c| c == name).ok_or_else(|| {
+                    DbError::Bind(format!("sort by unknown column \"{name}\""))
+                })?;
+                resolved.push((i, *desc));
+            }
+            RowNode::Sort {
+                keys: resolved,
+                child: Box::new(build_row(s, child)?),
+                out: None,
+            }
         }
-        Ok(QueryResult {
-            affected,
-            ..Default::default()
-        })
+        Plan::Limit { n, child } => RowNode::Limit {
+            n: *n,
+            emitted: 0,
+            child: Box::new(build_row(s, child)?),
+        },
+        other => {
+            return Err(DbError::Invalid(format!(
+                "plan node cannot produce result rows: {other:?}"
+            )))
+        }
+    };
+    Ok(RowExec { node, rows_out: 0 })
+}
+
+/// Builds the join side of the plan, returning the executor plus the scope
+/// its tuples follow.
+fn build_tuple(s: &mut Session, plan: &Plan) -> DbResult<(TupleExec, Scope)> {
+    match plan {
+        Plan::Scan(sp) => {
+            let exec = build_scan(s, sp)?;
+            Ok((exec, vec![(sp.var.clone(), sp.schema.clone())]))
+        }
+        Plan::NestLoop { outer, inner, .. } => {
+            let (o, mut scope) = build_tuple(s, outer)?;
+            let (i, iscope) = build_tuple(s, inner)?;
+            scope.extend(iscope);
+            Ok((
+                TupleExec {
+                    node: TupleNode::NestLoop {
+                        outer: Box::new(o),
+                        inner: Box::new(i),
+                        cur: None,
+                    },
+                    rows_out: 0,
+                },
+                scope,
+            ))
+        }
+        Plan::Filter { qual, child } => {
+            let (c, scope) = build_tuple(s, child)?;
+            Ok((
+                TupleExec {
+                    node: TupleNode::Filter {
+                        qual: qual.clone(),
+                        scope: scope.clone(),
+                        child: Box::new(c),
+                    },
+                    rows_out: 0,
+                },
+                scope,
+            ))
+        }
+        other => Err(DbError::Invalid(format!(
+            "not a tuple-producing plan node: {other:?}"
+        ))),
     }
 }
+
+/// Opens one scan: materializes the rows through the chosen access method
+/// and applies the pushed-down filter.
+fn build_scan(s: &mut Session, sp: &ScanPlan) -> DbResult<TupleExec> {
+    let mut rows: Vec<(Tid, Row)> = match (&sp.access, sp.rel) {
+        (Access::Virtual, _) => {
+            let (_schema, vrows) = s.bind_virtual(&sp.rel_name).ok_or_else(|| {
+                DbError::NotFound(format!("relation \"{}\"", sp.rel_name))
+            })?;
+            vrows
+                .into_iter()
+                .enumerate()
+                .map(|(i, r)| (Tid::new((i >> 16) as u32, (i & 0xffff) as u16), r))
+                .collect()
+        }
+        (access, Some(rel)) => {
+            let snap = match &sp.as_of {
+                Some(e) => {
+                    let t = eval(s, &Binding::empty(), e)?.as_int()?;
+                    Some(Snapshot::AsOf(SimInstant::from_nanos(t.max(0) as u64)))
+                }
+                None => None,
+            };
+            match access {
+                Access::Seq => match &snap {
+                    Some(sn) => s.scan_with_snapshot(rel, sn)?,
+                    None => s.seq_scan(rel)?,
+                },
+                Access::IndexEq { index, key, .. } => {
+                    let key = [key.clone()];
+                    match &snap {
+                        Some(sn) => s.index_scan_eq_with(*index, &key, sn)?,
+                        None => s.index_scan_eq(*index, &key)?,
+                    }
+                }
+                Access::IndexRange { index, lo, hi, .. } => {
+                    let lo_key: Option<Vec<Datum>> = lo.as_ref().map(|d| vec![d.clone()]);
+                    let hi_key: Option<Vec<Datum>> = hi.as_ref().map(|d| vec![d.clone()]);
+                    let mut out = Vec::new();
+                    s.index_scan_range(*index, lo_key.as_deref(), hi_key.as_deref(), |tid, row| {
+                        out.push((tid, row));
+                        Ok(true)
+                    })?;
+                    out
+                }
+                Access::Virtual => {
+                    return Err(DbError::Invalid(format!(
+                        "virtual relation \"{}\" reached the heap scan path",
+                        sp.rel_name
+                    )))
+                }
+            }
+        }
+        (_, None) => {
+            return Err(DbError::Invalid(format!(
+                "heap scan of \"{}\" without a relation id",
+                sp.rel_name
+            )))
+        }
+    };
+    if let Some(f) = &sp.filter {
+        let mut kept = Vec::with_capacity(rows.len());
+        for (tid, row) in rows {
+            let keep = {
+                let binding = Binding::single(&sp.var, &sp.schema, &row);
+                eval(s, &binding, f)?.as_bool()?
+            };
+            if keep {
+                kept.push((tid, row));
+            }
+        }
+        rows = kept;
+    }
+    Ok(TupleExec {
+        node: TupleNode::Scan { rows, pos: 0 },
+        rows_out: 0,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Shared helpers (used by the binder and the reference interpreter too).
 
 /// Aggregate function names reserved by the executor.
 const AGGREGATES: [&str; 5] = ["count", "sum", "avg", "min", "max"];
 
-fn is_aggregate(e: &Expr) -> bool {
+pub(crate) fn is_aggregate(e: &Expr) -> bool {
     matches!(e, Expr::Call { name, .. }
         if AGGREGATES.iter().any(|a| name.eq_ignore_ascii_case(a)))
 }
 
+/// Bind-time arity check for an aggregate target (no-op for plain targets).
+pub(crate) fn validate_aggregate(e: &Expr) -> DbResult<()> {
+    if let Expr::Call { name, args } = e {
+        if is_aggregate(e) && args.len() > 1 {
+            return Err(DbError::Bind(format!("{name} takes at most one argument")));
+        }
+    }
+    Ok(())
+}
+
 /// Running state for one aggregate target.
-enum Accumulator {
+pub(crate) enum Accumulator {
     Count(i64),
     Sum(f64, bool),      // (sum, any_float)
     Avg(f64, i64, bool), // (sum, n, any_float)
@@ -776,7 +1142,7 @@ enum Accumulator {
 }
 
 impl Accumulator {
-    fn for_target(e: &Expr) -> DbResult<Accumulator> {
+    pub(crate) fn for_target(e: &Expr) -> DbResult<Accumulator> {
         let Expr::Call { name, args } = e else {
             return Err(DbError::Bind("not an aggregate".into()));
         };
@@ -793,7 +1159,7 @@ impl Accumulator {
         })
     }
 
-    fn add(&mut self, v: Datum) -> DbResult<()> {
+    pub(crate) fn add(&mut self, v: Datum) -> DbResult<()> {
         if v == Datum::Null {
             return Ok(()); // Nulls do not participate, SQL-style.
         }
@@ -830,7 +1196,7 @@ impl Accumulator {
         Ok(())
     }
 
-    fn finish(self) -> Datum {
+    pub(crate) fn finish(self) -> Datum {
         match self {
             Accumulator::Count(n) => Datum::Int8(n),
             Accumulator::Sum(sum, true) => Datum::Float8(sum),
@@ -843,7 +1209,11 @@ impl Accumulator {
 }
 
 /// Sorts result rows by the named output columns.
-fn sort_rows(columns: &[String], sort: &[(String, bool)], rows: &mut [Row]) -> DbResult<()> {
+pub(crate) fn sort_rows(
+    columns: &[String],
+    sort: &[(String, bool)],
+    rows: &mut [Row],
+) -> DbResult<()> {
     if sort.is_empty() {
         return Ok(());
     }
@@ -868,46 +1238,7 @@ fn sort_rows(columns: &[String], sort: &[(String, bool)], rows: &mut [Row]) -> D
     Ok(())
 }
 
-/// Collects `var.col = literal` (or `literal = var.col`) conjuncts usable
-/// for index selection.
-fn collect_eq_pins(e: &Expr, var: &str, schema: &Schema, out: &mut Vec<(usize, Datum)>) {
-    match e {
-        Expr::Binary {
-            op: BinOp::And,
-            lhs,
-            rhs,
-        } => {
-            collect_eq_pins(lhs, var, schema, out);
-            collect_eq_pins(rhs, var, schema, out);
-        }
-        Expr::Binary {
-            op: BinOp::Eq,
-            lhs,
-            rhs,
-        } => {
-            let sides = [(lhs, rhs), (rhs, lhs)];
-            for (col_side, lit_side) in sides {
-                if let (Expr::Column { var: v, attr }, Expr::Lit(d)) =
-                    (col_side.as_ref(), lit_side.as_ref())
-                {
-                    let applies = match v {
-                        Some(v) => v == var,
-                        None => true,
-                    };
-                    if applies {
-                        if let Some(i) = schema.column_index(attr) {
-                            out.push((i, d.clone()));
-                            return;
-                        }
-                    }
-                }
-            }
-        }
-        _ => {}
-    }
-}
-
-fn targets_reference_columns(targets: &[Target]) -> bool {
+pub(crate) fn targets_reference_columns(targets: &[Target]) -> bool {
     fn walk(e: &Expr) -> bool {
         match e {
             Expr::Column { .. } => true,
@@ -1034,6 +1365,43 @@ mod tests {
     }
 
     #[test]
+    fn cross_type_equality_does_not_use_index() {
+        // `e.age = 5.0` on an INT4 column: probing the btree with a float
+        // key's encoding would miss every row, while predicate evaluation
+        // compares across numeric types. The planner must refuse the index.
+        let db = setup();
+        let rel = db.relation_id("emp").unwrap();
+        db.create_index("emp_age", rel, &["age"]).unwrap();
+        let mut s = db.begin().unwrap();
+        let r = s
+            .query("retrieve (e.name) from e in emp where e.age = 35.0")
+            .unwrap();
+        assert_eq!(r.rows, vec![vec![Datum::Text("margo".into())]]);
+        let plan = s
+            .query("explain retrieve (e.name) from e in emp where e.age = 35.0")
+            .unwrap();
+        let text = plan.to_table();
+        assert!(text.contains("Seq Scan"), "{text}");
+        // A literal that cannot coerce (out of int4 range) must not error,
+        // and must not use the index either: the row set is simply empty.
+        let r = s
+            .query("retrieve (e.name) from e in emp where e.age = 5000000000")
+            .unwrap();
+        assert!(r.rows.is_empty());
+        // Null pins never probe the index (and match nothing).
+        let r = s
+            .query("retrieve (e.name) from e in emp where e.age = null")
+            .unwrap();
+        assert!(r.rows.is_empty());
+        // Type-matched pins still do use it.
+        let plan = s
+            .query("explain retrieve (e.name) from e in emp where e.age = 35")
+            .unwrap();
+        assert!(plan.to_table().contains("Index Scan"), "{}", plan.to_table());
+        s.commit().unwrap();
+    }
+
+    #[test]
     fn delete_and_replace() {
         let db = setup();
         let mut s = db.begin().unwrap();
@@ -1136,6 +1504,164 @@ mod tests {
             .unwrap();
         assert!(r.to_table().contains("(1 rows affected)"));
         s.commit().unwrap();
+    }
+
+    #[test]
+    fn limit_caps_output_after_sort() {
+        let db = setup();
+        let mut s = db.begin().unwrap();
+        let r = s
+            .query("retrieve (e.name, e.age) from e in emp sort by age desc limit 2")
+            .unwrap();
+        let names: Vec<&str> = r.rows.iter().map(|r| r[0].as_text().unwrap()).collect();
+        assert_eq!(names, vec!["mike", "randy"]);
+        let r = s
+            .query("retrieve (e.name) from e in emp limit 0")
+            .unwrap();
+        assert!(r.rows.is_empty());
+        let r = s.query("retrieve (x = 1) limit 0").unwrap();
+        assert!(r.rows.is_empty());
+        s.commit().unwrap();
+    }
+}
+
+#[cfg(test)]
+mod explain_tests {
+    use super::*;
+    use crate::datum::TypeId;
+    use crate::db::Db;
+
+    fn setup() -> Db {
+        let db = Db::open_in_memory().unwrap();
+        db.create_table(
+            "emp",
+            Schema::new([("name", TypeId::TEXT), ("age", TypeId::INT4)]),
+        )
+        .unwrap();
+        let rel = db.relation_id("emp").unwrap();
+        db.create_index("emp_name", rel, &["name"]).unwrap();
+        let mut s = db.begin().unwrap();
+        for (n, a) in [("mao", 29), ("mike", 45), ("margo", 35)] {
+            s.query(&format!(r#"append emp (name = "{n}", age = {a})"#))
+                .unwrap();
+        }
+        s.commit().unwrap();
+        db
+    }
+
+    fn plan_text(db: &Db, q: &str) -> String {
+        let mut s = db.begin().unwrap();
+        let r = s.query(q).unwrap();
+        s.commit().unwrap();
+        assert_eq!(r.columns, vec!["QUERY PLAN"]);
+        r.rows
+            .iter()
+            .map(|row| row[0].as_text().unwrap().to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
+    #[test]
+    fn explain_shows_access_choice() {
+        let db = setup();
+        let seq = plan_text(&db, "explain retrieve (e.age) from e in emp where e.age > 30");
+        assert!(seq.contains("Seq Scan on emp as e"), "{seq}");
+        assert!(seq.contains("Project"), "{seq}");
+        let idx = plan_text(
+            &db,
+            r#"explain retrieve (e.age) from e in emp where e.name = "mike""#,
+        );
+        assert!(
+            idx.contains("Index Scan on emp as e using emp_name"),
+            "{idx}"
+        );
+    }
+
+    #[test]
+    fn explain_does_not_run_the_statement() {
+        let db = setup();
+        let mut s = db.begin().unwrap();
+        s.query("explain delete e from e in emp").unwrap();
+        let r = s.query("retrieve (n = count()) from e in emp").unwrap();
+        assert_eq!(r.rows[0][0], Datum::Int8(3), "rows survived the explain");
+        s.commit().unwrap();
+    }
+
+    #[test]
+    fn explain_analyze_reports_row_counts() {
+        let db = setup();
+        let text = plan_text(
+            &db,
+            "explain analyze retrieve (e.name) from e in emp where e.age > 30 sort by name",
+        );
+        // Sort and Project both saw two rows; the scan emitted two of three.
+        assert!(text.contains("Sort (name) (rows=2)"), "{text}");
+        assert!(text.contains("(rows=2)"), "{text}");
+        assert!(text.contains("Seq Scan"), "{text}");
+    }
+
+    #[test]
+    fn explain_join_and_pushdown_shape() {
+        let db = setup();
+        db.create_table(
+            "dept",
+            Schema::new([("dname", TypeId::TEXT), ("floor", TypeId::INT4)]),
+        )
+        .unwrap();
+        let text = plan_text(
+            &db,
+            "explain retrieve (e.name, d.floor) from e in emp, d in dept \
+             where e.name = d.dname and e.age > 30 and d.floor = 4",
+        );
+        assert!(text.contains("Nested Loop"), "{text}");
+        // Single-variable conjuncts went below the join...
+        assert!(text.contains("filter (e.age > 30)"), "{text}");
+        assert!(text.contains("filter (d.floor = 4)"), "{text}");
+        // ...while the join predicate stayed above it.
+        assert!(text.contains("Filter (e.name = d.dname)"), "{text}");
+    }
+
+    #[test]
+    fn planner_counters_track_choices() {
+        let db = setup();
+        let p = || {
+            let reg = db.stats_registry();
+            (
+                reg.planner.plans_built.get(),
+                reg.planner.index_scans_chosen.get(),
+                reg.planner.seq_scans_chosen.get(),
+                reg.planner.joins_planned.get(),
+            )
+        };
+        let before = p();
+        let mut s = db.begin().unwrap();
+        s.query(r#"retrieve (e.age) from e in emp where e.name = "mike""#)
+            .unwrap();
+        s.query("retrieve (e.age) from e in emp").unwrap();
+        s.query("retrieve (a.age, b.age) from a in emp, b in emp")
+            .unwrap();
+        s.commit().unwrap();
+        let after = p();
+        assert_eq!(after.0 - before.0, 3, "plans built");
+        assert_eq!(after.1 - before.1, 1, "index scans chosen");
+        assert_eq!(after.2 - before.2, 3, "seq scans chosen");
+        assert_eq!(after.3 - before.3, 1, "joins planned");
+        // And the counters are visible through the virtual relation.
+        let mut s = db.begin().unwrap();
+        let r = s
+            .query("retrieve (p.plans_built, p.index_scans_chosen) from p in pg_stat_planner")
+            .unwrap();
+        assert!(r.rows[0][0].as_int().unwrap() >= 4);
+        assert!(r.rows[0][1].as_int().unwrap() >= 1);
+        s.commit().unwrap();
+    }
+
+    #[test]
+    fn explain_rejects_ddl() {
+        let db = setup();
+        let mut s = db.begin().unwrap();
+        assert!(s.query("explain define type blob").is_err());
+        s.abort().unwrap();
     }
 }
 

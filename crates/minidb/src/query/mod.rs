@@ -19,17 +19,29 @@
 //! mechanism behind the paper's `snow(file)` example and its fastest
 //! benchmark configuration.
 //!
-//! The planner is deliberately simple: an equality qualification against an
-//! indexed column becomes an index scan; everything else is a sequential
-//! scan; multiple range variables nest loops.
+//! DML statements run through a cost-based pipeline: [`bind`] resolves
+//! names and types against the catalog, [`optimize`] builds a physical
+//! [`plan::Plan`] (choosing B-tree index scans when a qualification bounds
+//! an indexed column, pushing single-variable conjuncts below the joins,
+//! nesting loops in `from`-clause order), and [`exec`] runs it with a
+//! volcano-style iterator per node. `explain [analyze] <stmt>` renders the
+//! chosen plan; `pg_stat_planner` counts its decisions. The pre-planner
+//! interpreter survives in [`reference`] as the differential-testing
+//! oracle.
 
 pub mod ast;
+pub mod bind;
 pub mod eval;
 pub mod exec;
 pub mod lexer;
+pub mod optimize;
 pub mod parser;
+pub mod plan;
+#[doc(hidden)]
+pub mod reference;
 
 pub use ast::{BinOp, Expr, FromItem, Stmt, Target};
 pub use eval::{coerce, eval, Binding};
 pub use exec::QueryResult;
 pub use parser::{expr_to_source, parse, parse_expr};
+pub use plan::{Access, Plan, ScanPlan};

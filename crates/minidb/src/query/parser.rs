@@ -315,13 +315,28 @@ impl Parser {
         let from = self.parse_from_clause()?;
         let qual = self.where_clause()?;
         let sort = self.sort_clause()?;
+        let limit = self.limit_clause()?;
         Ok(Stmt::Retrieve {
             into,
             targets,
             from,
             qual,
             sort,
+            limit,
         })
+    }
+
+    fn limit_clause(&mut self) -> DbResult<Option<u64>> {
+        if !self.at_kw("limit") {
+            return Ok(None);
+        }
+        self.next();
+        match self.next() {
+            Token::Int(n) if n >= 0 => Ok(Some(n as u64)),
+            other => Err(DbError::Parse(format!(
+                "expected a non-negative row count after limit, found {other:?}"
+            ))),
+        }
     }
 
     fn sort_clause(&mut self) -> DbResult<Vec<(String, bool)>> {
@@ -506,21 +521,42 @@ pub fn expr_to_source(e: &Expr) -> String {
     }
 }
 
+impl Parser {
+    /// One statement. `allow_explain` is false inside an `explain` so the
+    /// verb cannot nest.
+    fn statement(&mut self, allow_explain: bool) -> DbResult<Stmt> {
+        let verb = self.ident()?;
+        match verb.to_ascii_lowercase().as_str() {
+            "retrieve" => self.retrieve(),
+            "append" => self.append(),
+            "delete" => self.delete(),
+            "replace" => self.replace(),
+            "define" => self.define(),
+            "explain" if allow_explain => {
+                let analyze = if self.at_kw("analyze") {
+                    self.next();
+                    true
+                } else {
+                    false
+                };
+                let inner = self.statement(false)?;
+                Ok(Stmt::Explain {
+                    analyze,
+                    inner: Box::new(inner),
+                })
+            }
+            other => Err(DbError::Parse(format!("unknown command \"{other}\""))),
+        }
+    }
+}
+
 /// Parses one statement.
 pub fn parse(input: &str) -> DbResult<Stmt> {
     let mut p = Parser {
         toks: lex(input)?,
         pos: 0,
     };
-    let verb = p.ident()?;
-    let stmt = match verb.to_ascii_lowercase().as_str() {
-        "retrieve" => p.retrieve()?,
-        "append" => p.append()?,
-        "delete" => p.delete()?,
-        "replace" => p.replace()?,
-        "define" => p.define()?,
-        other => return Err(DbError::Parse(format!("unknown command \"{other}\""))),
-    };
+    let stmt = p.statement(true)?;
     if *p.peek() != Token::Eof {
         return Err(DbError::Parse(format!("trailing input: {:?}", p.peek())));
     }
@@ -725,6 +761,34 @@ mod tests {
         assert!(parse("define gadget x").is_err());
         assert!(parse("retrieve (a) extra").is_err());
     }
+
+    #[test]
+    fn parses_explain_and_limit() {
+        let s = parse("explain retrieve (e.a) from e in t").unwrap();
+        let Stmt::Explain { analyze, inner } = s else {
+            panic!()
+        };
+        assert!(!analyze);
+        assert!(matches!(*inner, Stmt::Retrieve { .. }));
+
+        let s = parse("explain analyze delete e from e in t where e.a = 1").unwrap();
+        let Stmt::Explain { analyze, inner } = s else {
+            panic!()
+        };
+        assert!(analyze);
+        assert!(matches!(*inner, Stmt::Delete { .. }));
+
+        let s = parse("retrieve (e.a) from e in t sort by a limit 3").unwrap();
+        let Stmt::Retrieve { limit, .. } = s else {
+            panic!()
+        };
+        assert_eq!(limit, Some(3));
+
+        // `explain` does not nest, and limit wants a non-negative count.
+        assert!(parse("explain explain retrieve (e.a) from e in t").is_err());
+        assert!(parse("retrieve (e.a) from e in t limit -1").is_err());
+        assert!(parse("retrieve (e.a) from e in t limit x").is_err());
+    }
 }
 
 #[cfg(test)]
@@ -760,6 +824,10 @@ mod robustness_tests {
             "1 + + 2",
             "a . . b",
             "[[[",
+            "explain",
+            "explain analyze",
+            "retrieve (a) limit",
+            "retrieve (a) from e in t limit 1 2",
         ];
         for src in srcs {
             let _ = parse(src);

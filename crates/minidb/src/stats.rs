@@ -205,6 +205,20 @@ pub struct LockCounters {
     pub timeouts: Counter,
 }
 
+/// Query-planner counters, surfaced as the `pg_stat_planner` virtual
+/// relation.
+#[derive(Debug, Default)]
+pub struct PlannerCounters {
+    /// Statements planned (one per bind → plan → optimize pass).
+    pub plans_built: Counter,
+    /// Heap scans the optimizer resolved to a B-tree index scan.
+    pub index_scans_chosen: Counter,
+    /// Heap scans the optimizer left as sequential scans.
+    pub seq_scans_chosen: Counter,
+    /// Nested-loop join nodes planned.
+    pub joins_planned: Counter,
+}
+
 /// Device slots tracked per registry. [`DeviceId`]s at or above this index
 /// share the last slot; real configurations use a handful of devices.
 pub const DEVICE_SLOTS: usize = 16;
@@ -262,6 +276,8 @@ pub struct StatsRegistry {
     pub btree: BTreeCounters,
     /// Lock-manager counters.
     pub lock: LockCounters,
+    /// Query-planner counters.
+    pub planner: PlannerCounters,
     /// Vacuum passes completed.
     pub vacuum_passes: Counter,
     /// Per-device I/O, indexed by [`DeviceId`] (clamped to [`DEVICE_SLOTS`]).
@@ -351,6 +367,19 @@ pub struct BTreeOpStats {
     pub page_writes: u64,
 }
 
+/// Frozen planner counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlannerStats {
+    /// Statements planned.
+    pub plans_built: u64,
+    /// Scans resolved to index scans.
+    pub index_scans_chosen: u64,
+    /// Scans left sequential.
+    pub seq_scans_chosen: u64,
+    /// Nested-loop joins planned.
+    pub joins_planned: u64,
+}
+
 /// Frozen lock counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct LockStats {
@@ -413,6 +442,8 @@ pub struct StatsSnapshot {
     pub btree: BTreeOpStats,
     /// Lock counters.
     pub lock: LockStats,
+    /// Planner counters.
+    pub planner: PlannerStats,
     /// Vacuum passes completed.
     pub vacuum_passes: u64,
     /// Per-device I/O, one entry per registered device.
@@ -463,6 +494,12 @@ impl StatsSnapshot {
                 waits: reg.lock.waits.get(),
                 deadlocks: reg.lock.deadlocks.get(),
                 timeouts: reg.lock.timeouts.get(),
+            },
+            planner: PlannerStats {
+                plans_built: reg.planner.plans_built.get(),
+                index_scans_chosen: reg.planner.index_scans_chosen.get(),
+                seq_scans_chosen: reg.planner.seq_scans_chosen.get(),
+                joins_planned: reg.planner.joins_planned.get(),
             },
             vacuum_passes: reg.vacuum_passes.get(),
             devices: Vec::new(),
@@ -560,6 +597,18 @@ impl StatsSnapshot {
                 deadlocks: sub(self.lock.deadlocks, baseline.lock.deadlocks),
                 timeouts: sub(self.lock.timeouts, baseline.lock.timeouts),
             },
+            planner: PlannerStats {
+                plans_built: sub(self.planner.plans_built, baseline.planner.plans_built),
+                index_scans_chosen: sub(
+                    self.planner.index_scans_chosen,
+                    baseline.planner.index_scans_chosen,
+                ),
+                seq_scans_chosen: sub(
+                    self.planner.seq_scans_chosen,
+                    baseline.planner.seq_scans_chosen,
+                ),
+                joins_planned: sub(self.planner.joins_planned, baseline.planner.joins_planned),
+            },
             vacuum_passes: sub(self.vacuum_passes, baseline.vacuum_passes),
             devices,
         }
@@ -610,6 +659,8 @@ impl StatsSnapshot {
              \"replayed_records\":{}}},\
              \"heap\":{{\"scans\":{},\"fetches\":{},\"appends\":{}}},\
              \"btree\":{{\"searches\":{},\"inserts\":{},\"splits\":{},\"page_writes\":{}}},\
+             \"planner\":{{\"plans_built\":{},\"index_scans_chosen\":{},\
+             \"seq_scans_chosen\":{},\"joins_planned\":{}}},\
              \"vacuum_passes\":{},\
              \"devices\":[{}]}}",
             self.buffer.hits,
@@ -644,6 +695,10 @@ impl StatsSnapshot {
             self.btree.inserts,
             self.btree.splits,
             self.btree.page_writes,
+            self.planner.plans_built,
+            self.planner.index_scans_chosen,
+            self.planner.seq_scans_chosen,
+            self.planner.joins_planned,
             self.vacuum_passes,
             devices.join(","),
         )
