@@ -112,7 +112,16 @@ fn bind_from(s: &mut Session, item: &FromItem, qual: Option<&Expr>) -> DbResult<
         for (col, lit) in &eq_pins {
             if let Some(idx) = s.db().find_index(rel, &[*col]) {
                 let ty = schema.columns[*col].ty;
-                let key = [coerce(lit.clone(), ty)?];
+                // Only probe when the literal coerces exactly to the
+                // column type: a lossy coercion means the B-tree's key
+                // encoding does not agree with predicate evaluation —
+                // fall through to the sequential scan instead of missing
+                // rows.
+                let key = coerce(lit.clone(), ty)?;
+                if key.type_id() != Some(ty) {
+                    continue;
+                }
+                let key = [key];
                 let rows = match &snap {
                     Some(sn) => s.index_scan_eq_with(idx, &key, sn)?,
                     None => s.index_scan_eq(idx, &key)?,
@@ -520,6 +529,17 @@ mod tests {
             r.sort_by(|a, b| crate::datum::encode_row(a).cmp(&crate::datum::encode_row(b)));
             assert_eq!(p, r, "{q}");
         }
+        s.commit().unwrap();
+    }
+
+    #[test]
+    fn cross_type_pin_falls_back_to_seq_scan() {
+        // int4 column pinned with a float literal: the index encoding
+        // would miss the row, the fixed reference path must not.
+        let db = setup();
+        let mut s = db.begin().unwrap();
+        let r = query(&mut s, "retrieve (e.name) from e in emp where e.age = 35.0").unwrap();
+        assert_eq!(r.rows, vec![vec![Datum::Text("margo".into())]]);
         s.commit().unwrap();
     }
 
