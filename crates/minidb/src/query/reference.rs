@@ -5,9 +5,18 @@
 //! This is deliberately a direct port of the pre-planner `exec.rs` — an
 //! odometer nested loop over materialized candidate row sets, with the one
 //! "optimization" the old code had (equality pins against an indexed
-//! column become index probes). The only intentional deviation is
-//! `limit 0`, which short-circuits before evaluating any target to match
-//! the volcano Limit node's lazy pull.
+//! column become index probes). Two latent index-path bugs the oracle
+//! flushed out are fixed here *and* in the planner, each with a dedicated
+//! unit test in `exec.rs`:
+//!
+//! 1. A cross-type pin (`int4_col = 5.0`) used to probe the B-tree with
+//!    the literal's encoding, missing rows the predicate would match.
+//!    An index is now only used when the literal coerces *exactly* to the
+//!    column type.
+//! 2. An out-of-range pin (`int4_col = 5000000000`) used to propagate the
+//!    coercion overflow as a query error, while the same query without an
+//!    index quietly returned the empty set. A literal that fails to coerce
+//!    now just disqualifies the index.
 //!
 //! This module is `#[doc(hidden)]` public so integration tests (which are
 //! external crates) can drive it; it is not part of the supported API.
@@ -113,11 +122,13 @@ fn bind_from(s: &mut Session, item: &FromItem, qual: Option<&Expr>) -> DbResult<
             if let Some(idx) = s.db().find_index(rel, &[*col]) {
                 let ty = schema.columns[*col].ty;
                 // Only probe when the literal coerces exactly to the
-                // column type: a lossy coercion means the B-tree's key
-                // encoding does not agree with predicate evaluation —
-                // fall through to the sequential scan instead of missing
-                // rows.
-                let key = coerce(lit.clone(), ty)?;
+                // column type: a lossy coercion (or a failing one, e.g.
+                // int4 overflow) means the B-tree's key encoding does not
+                // agree with predicate evaluation — fall through to the
+                // sequential scan instead of missing rows or erroring.
+                let Ok(key) = coerce(lit.clone(), ty) else {
+                    continue;
+                };
                 if key.type_id() != Some(ty) {
                     continue;
                 }
@@ -540,6 +551,19 @@ mod tests {
         let mut s = db.begin().unwrap();
         let r = query(&mut s, "retrieve (e.name) from e in emp where e.age = 35.0").unwrap();
         assert_eq!(r.rows, vec![vec![Datum::Text("margo".into())]]);
+        s.commit().unwrap();
+    }
+
+    #[test]
+    fn overflowing_pin_is_empty_not_an_error() {
+        let db = setup();
+        let mut s = db.begin().unwrap();
+        let r = query(
+            &mut s,
+            "retrieve (e.name) from e in emp where e.age = 5000000000",
+        )
+        .unwrap();
+        assert!(r.rows.is_empty());
         s.commit().unwrap();
     }
 
