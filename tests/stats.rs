@@ -426,6 +426,91 @@ fn virtual_relations_reject_time_travel() {
 }
 
 // ---------------------------------------------------------------------------
+// Planner counters (`pg_stat_planner`) and the cost of access-method choice.
+
+/// The planner's access-method choice is not just cosmetic: an equality
+/// pin on an indexed column must both bump `index_scans_chosen` and touch
+/// fewer buffer pages than the unbounded sequential scan of the same
+/// multi-page table.
+#[test]
+fn index_choice_reads_fewer_pages_than_seq_scan() {
+    let db = Db::open_in_memory().unwrap();
+    let rel = db
+        .create_table(
+            "big",
+            Schema::new([("k", TypeId::INT4), ("pad", TypeId::TEXT)]),
+        )
+        .unwrap();
+    db.create_index("big_k", rel, &["k"]).unwrap();
+    let mut s = db.begin().unwrap();
+    for k in 0..1000 {
+        s.insert(rel, vec![Datum::Int4(k), Datum::Text(format!("{k:0>200}"))])
+            .unwrap();
+    }
+    s.commit().unwrap();
+
+    let before = db.stats();
+    let mut s = db.begin().unwrap();
+    let res = s
+        .query("retrieve (b.pad) from b in big where b.k = 617")
+        .unwrap();
+    s.commit().unwrap();
+    let probe = db.stats().delta(&before);
+    assert_eq!(res.rows.len(), 1);
+    assert_eq!(probe.planner.plans_built, 1);
+    assert_eq!(probe.planner.index_scans_chosen, 1, "pin must use big_k");
+    assert_eq!(probe.planner.seq_scans_chosen, 0);
+
+    let before = db.stats();
+    let mut s = db.begin().unwrap();
+    let res = s.query("retrieve (b.pad) from b in big").unwrap();
+    s.commit().unwrap();
+    let seq = db.stats().delta(&before);
+    assert_eq!(res.rows.len(), 1000);
+    assert_eq!(seq.planner.seq_scans_chosen, 1, "no bound, no index");
+    assert_eq!(seq.planner.index_scans_chosen, 0);
+
+    let probe_pages = probe.buffer.hits + probe.buffer.misses;
+    let seq_pages = seq.buffer.hits + seq.buffer.misses;
+    assert!(
+        probe_pages < seq_pages,
+        "index probe touched {probe_pages} pages, seq scan {seq_pages}: \
+         the chosen plan must be cheaper, not just differently labelled"
+    );
+}
+
+/// Planning without executing (`explain`) stays on the read-only commit
+/// fast path: no heap scan runs, nothing flushes, nothing syncs.
+#[test]
+fn explain_only_transaction_commits_without_io() {
+    let db = Db::open_in_memory().unwrap();
+    let rel = db
+        .create_table("t", Schema::new([("v", TypeId::INT4)]))
+        .unwrap();
+    let mut s = db.begin().unwrap();
+    for i in 0..10 {
+        s.insert(rel, vec![Datum::Int4(i)]).unwrap();
+    }
+    s.commit().unwrap();
+
+    let before = db.stats();
+    let mut s = db.begin().unwrap();
+    let res = s
+        .query("explain retrieve (t.v) from t in t where t.v = 3")
+        .unwrap();
+    s.commit().unwrap();
+    let d = db.stats().delta(&before);
+
+    assert!(!res.rows.is_empty(), "explain returns the plan tree");
+    assert_eq!(d.planner.plans_built, 1);
+    assert_eq!(d.heap.scans, 0, "explain plans the scan but never runs it");
+    assert_eq!(d.xact.commits, 1);
+    assert_eq!(d.xact.pages_flushed_at_commit, 0, "plan-only: nothing to flush");
+    assert_eq!(d.xact.sync_calls, 0, "plan-only: no device sync");
+    assert_eq!(d.xact.batched_records, 0, "plan-only: no commit record");
+}
+
+// ---------------------------------------------------------------------------
 // Wire/session-pool network counters (`pg_stat_net`).
 
 /// Every frame the client sends is a frame the server counts in, and vice
