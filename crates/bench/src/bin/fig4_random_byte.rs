@@ -11,6 +11,41 @@ use bench::scaling::{self, ScalingWorkload};
 use bench::testbed::{InversionTestbed, NfsTestbed};
 use bench::workload::{measure_byte_ops, measure_create, InversionRemote, UltrixNfs, MB};
 
+/// Runs the figure's pathname resolution as POSTQUEL — a `naming.file`
+/// equality pin — and reports whether the cost-based planner resolved it
+/// to `naming_file_idx`. CI asserts `index_scan_chosen` stays true.
+fn planner_probe(db: &minidb::Db) -> String {
+    let mut s = db.begin().expect("begin planner probe");
+    let oid = {
+        let r = s
+            .query("retrieve (n.file) from n in naming limit 1")
+            .expect("sample a naming oid");
+        match r.rows[0][0] {
+            minidb::Datum::Oid(o) => o,
+            ref other => panic!("naming.file is an oid, got {other:?}"),
+        }
+    };
+    let before = db.stats();
+    let hits = s
+        .query(&format!(
+            "retrieve (n.filename) from n in naming where n.file = {oid}"
+        ))
+        .expect("planner probe lookup");
+    let d = db.stats().delta(&before);
+    s.commit().expect("commit planner probe");
+    let chose_index = d.planner.index_scans_chosen >= 1 && d.planner.seq_scans_chosen == 0;
+    format!(
+        "{{\"query\":\"retrieve (n.filename) from n in naming where n.file = <oid>\",\
+         \"rows\":{},\"plans_built\":{},\"index_scans_chosen\":{},\
+         \"seq_scans_chosen\":{},\"index_scan_chosen\":{}}}",
+        hits.rows.len(),
+        d.planner.plans_built,
+        d.planner.index_scans_chosen,
+        d.planner.seq_scans_chosen,
+        chose_index
+    )
+}
+
 fn thread_scaling(threads: usize) {
     print_header("Figure 4 --threads: multi-client random byte reads, cache-resident");
     let (base, multi) = scaling::measure_speedup(ScalingWorkload::RandomByte, threads);
@@ -64,6 +99,7 @@ fn main() {
             &[
                 ("minidb_stats_delta", after.delta(&before).to_json()),
                 ("inv_stats", remote.testbed().fs.stats().to_json()),
+                ("planner", planner_probe(remote.testbed().fs.db())),
             ],
         );
         report::write_bench_json("fig4_random_byte", &doc).expect("write BENCH json");

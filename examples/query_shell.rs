@@ -87,6 +87,10 @@ fn show_stats(fs: &InversionFs) {
             "retrieve (s.heap_scans, s.heap_fetches, s.heap_appends, s.btree_searches, s.btree_inserts, s.btree_splits) from s in pg_stat_relation",
         ),
         (
+            "pg_stat_planner",
+            "retrieve (s.plans_built, s.index_scans_chosen, s.seq_scans_chosen, s.joins_planned) from s in pg_stat_planner",
+        ),
+        (
             "pg_stat_device",
             "retrieve (s.device, s.name, s.reads, s.writes, s.read_ns, s.write_ns) from s in pg_stat_device",
         ),
@@ -123,6 +127,7 @@ fn main() {
                where filetype(n.file) = "tm" and snow(n.file) * 2 > pixelcount(n.file)
                  and month_of(n.file) = "April""#,
             r#"retrieve (n.filename, d = dir(n.file)) from n in naming where owner(n.file) = "mao" and size(n.file) > 0"#,
+            r#"explain retrieve (n.filename) from n in naming where size(n.file) > 0 sort by filename"#,
         ];
         println!("POSTQUEL query monitor (scripted demo; pipe queries to stdin for shell mode)\n");
         for q in demo {

@@ -36,6 +36,12 @@ echo "== crash-recovery battery (WAL + checkpointer + instant recovery) =="
 cargo test --release -q --test recovery
 cargo test --release -q --test properties
 
+echo "== differential query oracle (planned executor vs reference interpreter) =="
+cargo test --release -q --test properties planned_
+
+echo "== golden plan corpus (pinned EXPLAIN for the planner query set) =="
+cargo test --release -q --test explain
+
 echo "== wire protocol fuzz battery =="
 cargo test --release -q --test wire
 
@@ -66,6 +72,21 @@ test -s BENCH_fig3_create.json || {
 }
 grep -q '"minidb_stats_delta"' BENCH_fig3_create.json || {
     echo "BENCH_fig3_create.json lacks stats delta" >&2
+    exit 1
+}
+
+echo "== smoke: fig4_random_byte --json (planner picks the naming index) =="
+cargo run --release -q -p bench --bin fig4_random_byte -- --json
+test -s BENCH_fig4_random_byte.json || {
+    echo "BENCH_fig4_random_byte.json missing or empty" >&2
+    exit 1
+}
+grep -q '"planner"' BENCH_fig4_random_byte.json || {
+    echo "BENCH_fig4_random_byte.json lacks planner section" >&2
+    exit 1
+}
+grep -q '"index_scan_chosen":true' BENCH_fig4_random_byte.json || {
+    echo "planner regressed: naming.file lookup no longer uses naming_file_idx" >&2
     exit 1
 }
 
@@ -128,5 +149,5 @@ grep -q '"speedup_at_least_3_6x": true' BENCH_fig6_writes.json || {
 }
 
 mkdir -p results
-mv BENCH_fig3_create.json BENCH_fig5_reads.json BENCH_fig6_writes.json results/
+mv BENCH_fig3_create.json BENCH_fig4_random_byte.json BENCH_fig5_reads.json BENCH_fig6_writes.json results/
 echo "CI OK"
